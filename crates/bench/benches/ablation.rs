@@ -1,0 +1,137 @@
+//! Ablation studies over Duplexity's design parameters.
+//!
+//! These are not paper figures; they probe the design choices §III argues
+//! for:
+//!
+//! * **eviction latency** — the §III-B4 fast-spill mechanism (≈50 cycles)
+//!   vs microcode-style register swapping (hundreds of cycles), measured by
+//!   master-thread request latency;
+//! * **virtual-context count** — §IV's claim that 32 contexts per dyad
+//!   suffice, measured by master-core utilization as the pool shrinks;
+//! * **morph threshold** — the minimum hole size worth morphing for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity_cpu::dyad::{DyadConfig, DyadSim};
+use duplexity_cpu::request::RequestStream;
+use duplexity_stats::rng::rng_from_seed;
+use duplexity_workloads::graph::FillerFactory;
+use duplexity_workloads::Workload;
+use std::hint::black_box;
+
+fn run_dyad(cfg: DyadConfig, contexts: usize, horizon: u64) -> duplexity_cpu::dyad::DyadMetrics {
+    let w = Workload::McRouter;
+    let master = RequestStream::open_loop(
+        w.kernel(42),
+        0.5,
+        w.nominal_service_us(),
+        cfg.machine.cycles_per_us(),
+    );
+    let mut dyad = DyadSim::new(cfg, Box::new(master));
+    let fillers = FillerFactory::paper(42);
+    for id in 0..contexts {
+        dyad.add_batch_thread(id, fillers.stream(id));
+    }
+    let mut rng = rng_from_seed(7);
+    dyad.run(horizon, &mut rng);
+    dyad.metrics()
+}
+
+fn ablate_eviction_latency(c: &mut Criterion) {
+    println!("Ablation: filler-eviction latency vs master mean request latency");
+    for evict in [50u64, 250, 1000, 4000] {
+        let cfg = DyadConfig {
+            morph_out_cycles: evict,
+            ..DyadConfig::duplexity()
+        };
+        let m = run_dyad(cfg, 32, 1_500_000);
+        let mean = m.request_latencies_cycles.iter().sum::<u64>() as f64
+            / m.request_latencies_cycles.len().max(1) as f64
+            / cfg.machine.cycles_per_us();
+        println!(
+            "  evict {evict:>5} cycles: mean latency {mean:.2}µs, util {:.3}",
+            m.master_core_utilization(4)
+        );
+    }
+    c.bench_function("ablation_eviction_latency", |b| {
+        b.iter(|| {
+            let cfg = DyadConfig {
+                morph_out_cycles: 250,
+                ..DyadConfig::duplexity()
+            };
+            black_box(run_dyad(cfg, 16, 150_000))
+        })
+    });
+}
+
+fn ablate_virtual_contexts(c: &mut Criterion) {
+    println!("Ablation: virtual contexts per dyad vs master-core utilization");
+    for contexts in [8usize, 16, 24, 32] {
+        let m = run_dyad(DyadConfig::duplexity(), contexts, 1_500_000);
+        println!(
+            "  {contexts:>2} contexts: util {:.3}, filler ops {}",
+            m.master_core_utilization(4),
+            m.filler_retired_on_master
+        );
+    }
+    c.bench_function("ablation_virtual_contexts", |b| {
+        b.iter(|| black_box(run_dyad(DyadConfig::duplexity(), 8, 150_000)))
+    });
+}
+
+fn ablate_morph_threshold(c: &mut Criterion) {
+    println!("Ablation: minimum morph gain (cycles) vs utilization and morph count");
+    for min_gain in [250u64, 500, 2000, 8000] {
+        let cfg = DyadConfig {
+            min_morph_gain_cycles: min_gain,
+            ..DyadConfig::duplexity()
+        };
+        let m = run_dyad(cfg, 32, 1_500_000);
+        println!(
+            "  min gain {min_gain:>5}: util {:.3}, morphs {}",
+            m.master_core_utilization(4),
+            m.morphs
+        );
+    }
+    c.bench_function("ablation_morph_threshold", |b| {
+        b.iter(|| {
+            let cfg = DyadConfig {
+                min_morph_gain_cycles: 2000,
+                ..DyadConfig::duplexity()
+            };
+            black_box(run_dyad(cfg, 16, 150_000))
+        })
+    });
+}
+
+fn ablate_detection_latency(c: &mut Criterion) {
+    println!("Ablation: stall-demarcation latency (§IV) vs filler throughput");
+    for delay in [0u64, 100, 1000, 3400] {
+        let cfg = DyadConfig {
+            stall_detection_delay: delay,
+            ..DyadConfig::duplexity()
+        };
+        let m = run_dyad(cfg, 32, 1_500_000);
+        println!(
+            "  detect {delay:>5} cycles: util {:.3}, filler ops {}",
+            m.master_core_utilization(4),
+            m.filler_retired_on_master
+        );
+    }
+    c.bench_function("ablation_detection_latency", |b| {
+        b.iter(|| {
+            let cfg = DyadConfig {
+                stall_detection_delay: 1000,
+                ..DyadConfig::duplexity()
+            };
+            black_box(run_dyad(cfg, 16, 150_000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_eviction_latency, ablate_virtual_contexts, ablate_morph_threshold,
+        ablate_detection_latency
+}
+criterion_main!(benches);

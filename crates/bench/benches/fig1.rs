@@ -1,0 +1,46 @@
+//! Benchmarks regenerating Figure 1 (the killer-microsecond motivation).
+//!
+//! Each bench target regenerates one sub-figure; the series are printed once
+//! so `cargo bench` doubles as a reproduction run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::experiments::fig1;
+use duplexity::report as render;
+use duplexity_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig1a(c: &mut Criterion) {
+    println!("{}", render::render_fig1a(&fig1::fig1a(1)));
+    c.bench_function("fig1a_utilization_surface", |b| {
+        b.iter(|| black_box(fig1::fig1a(black_box(4))))
+    });
+}
+
+fn bench_fig1b(c: &mut Criterion) {
+    println!("{}", render::render_fig1b(&fig1::fig1b(200)));
+    c.bench_function("fig1b_idle_period_cdfs", |b| {
+        b.iter(|| black_box(fig1::fig1b(black_box(200))))
+    });
+}
+
+fn bench_fig1c(c: &mut Criterion) {
+    let horizon = Fidelity::Bench.sweep_horizon_cycles();
+    let points = fig1::fig1c(16, horizon, 42);
+    println!("{}", render::render_fig1c(&points));
+    for v in fig1::FlannVariant::ALL {
+        if let Some(peak) = fig1::peak_threads(&points, v) {
+            println!("  {v} peaks at {peak} threads");
+        }
+    }
+    c.bench_function("fig1c_smt_thread_sweep", |b| {
+        // One representative column of the sweep (8 threads, all variants).
+        b.iter(|| black_box(fig1::fig1c(black_box(8), horizon / 4, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1a, bench_fig1b, bench_fig1c
+}
+criterion_main!(benches);

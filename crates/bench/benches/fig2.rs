@@ -1,0 +1,29 @@
+//! Benchmarks regenerating Figure 2 (lender-core design space).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::experiments::fig2;
+use duplexity::report as render;
+use duplexity_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig2a(c: &mut Criterion) {
+    let horizon = Fidelity::Bench.sweep_horizon_cycles();
+    println!("{}", render::render_fig2a(&fig2::fig2a(16, horizon, 42)));
+    c.bench_function("fig2a_ooo_vs_ino_threads", |b| {
+        b.iter(|| black_box(fig2::fig2a(black_box(8), horizon / 4, 42)))
+    });
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    println!("{}", render::render_fig2b(&fig2::fig2b(32)));
+    c.bench_function("fig2b_virtual_context_model", |b| {
+        b.iter(|| black_box(fig2::fig2b(black_box(32))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2a, bench_fig2b
+}
+criterion_main!(benches);

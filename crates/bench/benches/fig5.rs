@@ -1,0 +1,106 @@
+//! Benchmarks regenerating Figure 5 (efficiency and QoS).
+//!
+//! The bench-sized grid (McRouter @ 50%, all designs) is computed once and
+//! printed; each sub-figure then has its own target. `fig5_cell_simulation`
+//! measures the cost of one end-to-end cycle-simulation cell, the dominant
+//! cost of the full figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::experiments::fig5::{run_fig5, Fig5Cell};
+use duplexity::report::render_fig5_matrix;
+use duplexity::{Design, ServerSim, Workload};
+use duplexity_bench::Fidelity;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn cells() -> &'static [Fig5Cell] {
+    static CELLS: OnceLock<Vec<Fig5Cell>> = OnceLock::new();
+    CELLS.get_or_init(|| run_fig5(&Fidelity::Bench.fig5_options(42)))
+}
+
+fn bench_fig5a(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(a): core utilization", |x| x.utilization)
+    );
+    c.bench_function("fig5a_utilization_extract", |b| {
+        b.iter(|| {
+            black_box(cells().iter().map(|x| x.utilization).sum::<f64>());
+        })
+    });
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(b): normalized performance density", |x| {
+            x.perf_density_norm
+        })
+    );
+    c.bench_function("fig5b_density_extract", |b| {
+        b.iter(|| black_box(cells().iter().map(|x| x.perf_density_norm).sum::<f64>()))
+    });
+}
+
+fn bench_fig5c(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(c): normalized energy", |x| x.energy_norm)
+    );
+    c.bench_function("fig5c_energy_extract", |b| {
+        b.iter(|| black_box(cells().iter().map(|x| x.energy_norm).sum::<f64>()))
+    });
+}
+
+fn bench_fig5d(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(d): normalized p99", |x| x.p99_norm)
+    );
+    c.bench_function("fig5d_tail_extract", |b| {
+        b.iter(|| black_box(cells().iter().map(|x| x.p99_us).sum::<f64>()))
+    });
+}
+
+fn bench_fig5e(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(e): normalized iso-throughput p99", |x| {
+            x.iso_p99_norm
+        })
+    );
+    c.bench_function("fig5e_iso_tail_extract", |b| {
+        b.iter(|| black_box(cells().iter().map(|x| x.iso_p99_us).sum::<f64>()))
+    });
+}
+
+fn bench_fig5f(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_fig5_matrix(cells(), "Fig 5(f): normalized batch STP", |x| x.stp_norm)
+    );
+    c.bench_function("fig5f_stp_extract", |b| {
+        b.iter(|| black_box(cells().iter().map(|x| x.stp_norm).sum::<f64>()))
+    });
+}
+
+fn bench_cell_simulation(c: &mut Criterion) {
+    c.bench_function("fig5_cell_simulation", |b| {
+        b.iter(|| {
+            black_box(
+                ServerSim::new(Design::Duplexity, Workload::McRouter)
+                    .load(0.5)
+                    .horizon_cycles(200_000)
+                    .run(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5a, bench_fig5b, bench_fig5c, bench_fig5d, bench_fig5e, bench_fig5f,
+        bench_cell_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark regenerating Figure 6 (NIC IOPS utilization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::experiments::{fig5, fig6};
+use duplexity::report::render_fig6;
+use duplexity_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let cells = fig5::run_fig5(&Fidelity::Bench.fig5_options(42));
+    let f6 = fig6::fig6(&cells);
+    println!("{}", render_fig6(&f6));
+    println!(
+        "  worst-case dyads per FDR port: {}",
+        fig6::dyads_per_port(&f6)
+    );
+    c.bench_function("fig6_nic_utilization", |b| {
+        b.iter(|| black_box(fig6::fig6(black_box(&cells))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks regenerating Tables I and II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::experiments::tables;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("Table I: microarchitecture details");
+    for line in tables::table1_lines() {
+        println!("  {line}");
+    }
+    c.bench_function("table1_render", |b| {
+        b.iter(|| black_box(tables::table1_lines()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("Table II: area and clock frequencies");
+    for line in tables::table2_lines() {
+        println!("  {line}");
+    }
+    c.bench_function("table2_area_model", |b| {
+        b.iter(|| black_box(tables::table2_rows()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2
+}
+criterion_main!(benches);

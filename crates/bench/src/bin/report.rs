@@ -1,0 +1,223 @@
+//! Regenerates every table and figure of the paper as text.
+//!
+//! ```text
+//! report [--quick] [--seed N] [--json DIR] [--fig1a] [--fig1b] [--fig1c]
+//!        [--fig2a] [--fig2b] [--table1] [--table2] [--fig5] [--fig6] [--all]
+//! ```
+//!
+//! With no figure flags (or `--all`), everything is regenerated. `--quick`
+//! reduces simulation horizons for a faster pass. `--json DIR` additionally
+//! writes each artifact as machine-readable JSON into `DIR`.
+
+use duplexity::experiments::{fig1, fig2, fig5, fig6, tables};
+use duplexity::report as render;
+use duplexity_bench::Fidelity;
+use std::path::PathBuf;
+
+/// Writes `value` as pretty JSON to `dir/name.json` when exporting.
+fn export<T: serde::Serialize>(dir: Option<&PathBuf>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| serde_json::to_writer_pretty(f, value).map_err(|e| e.to_string()))
+    {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+    let fidelity = if has("--quick") {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+    let json_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let json_dir = json_dir.as_ref();
+    let figure_flags = [
+        "--fig1a",
+        "--fig1b",
+        "--fig1c",
+        "--fig2a",
+        "--fig2b",
+        "--table1",
+        "--table2",
+        "--fig5",
+        "--fig6",
+        "--extensions",
+        "--power",
+    ];
+    let all = has("--all") || !args.iter().any(|a| figure_flags.contains(&a.as_str()));
+    let want = |flag: &str| all || has(flag);
+
+    println!("Duplexity reproduction report (seed {seed}, {fidelity:?} fidelity)\n");
+
+    if want("--table1") {
+        println!("Table I: microarchitecture details");
+        for line in tables::table1_lines() {
+            println!("  {line}");
+        }
+        println!();
+    }
+    if want("--table2") {
+        println!("Table II: area and clock frequencies (model vs paper)");
+        for line in tables::table2_lines() {
+            println!("  {line}");
+        }
+        println!();
+        export(json_dir, "table2", &tables::table2_rows());
+    }
+    if want("--fig1a") {
+        println!("{}", render::render_fig1a(&fig1::fig1a(1)));
+        export(json_dir, "fig1a", &fig1::fig1a(8));
+    }
+    if want("--fig1b") {
+        let series = fig1::fig1b(200);
+        println!("{}", render::render_fig1b(&series));
+        export(json_dir, "fig1b", &series);
+    }
+    if want("--fig1c") {
+        let points = fig1::fig1c(16, fidelity.sweep_horizon_cycles(), seed);
+        println!("{}", render::render_fig1c(&points));
+        for v in fig1::FlannVariant::ALL {
+            if let Some(peak) = fig1::peak_threads(&points, v) {
+                println!("  {v} peaks at {peak} threads");
+            }
+        }
+        println!();
+        export(json_dir, "fig1c", &points);
+    }
+    if want("--fig2a") {
+        let points = fig2::fig2a(16, fidelity.sweep_horizon_cycles(), seed);
+        println!("{}", render::render_fig2a(&points));
+        export(json_dir, "fig2a", &points);
+    }
+    if want("--fig2b") {
+        let points = fig2::fig2b(32);
+        println!("{}", render::render_fig2b(&points));
+        export(json_dir, "fig2b", &points);
+    }
+
+    if want("--power") {
+        println!("{}", render::render_power_breakdown(2.0));
+    }
+
+    if want("--extensions") {
+        eprintln!("running the extension-design comparison...");
+        let mut opts = fidelity.fig5_options(seed);
+        opts.designs = duplexity::Design::ALL_WITH_EXTENSIONS.to_vec();
+        opts.workloads = vec![duplexity::Workload::McRouter];
+        opts.loads = vec![0.5];
+        let cells = fig5::run_fig5(&opts);
+        println!(
+            "{}",
+            render::render_fig5_matrix(
+                &cells,
+                "Extensions: utilization incl. Elfen and Runahead (McRouter @ 50%)",
+                |c| c.utilization
+            )
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Extensions: normalized p99", |c| c.p99_norm)
+        );
+        export(json_dir, "extensions", &cells);
+    }
+
+    if want("--fig5") || want("--fig6") {
+        eprintln!("running the Figure 5 grid (this is the long part)...");
+        let opts = fidelity.fig5_options(seed);
+        let cells = fig5::run_fig5(&opts);
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Fig 5(a): core utilization", |c| c.utilization)
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Fig 5(b): normalized performance density", |c| {
+                c.perf_density_norm
+            })
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Fig 5(c): normalized energy", |c| c.energy_norm)
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Fig 5(d): normalized p99 latency", |c| c.p99_norm)
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(
+                &cells,
+                "Fig 5(e): normalized iso-throughput p99 latency",
+                |c| c.iso_p99_norm
+            )
+        );
+        println!(
+            "{}",
+            render::render_fig5_matrix(&cells, "Fig 5(f): normalized batch STP", |c| c.stp_norm)
+        );
+        summarize_headlines(&cells);
+        export(json_dir, "fig5", &cells);
+        if want("--fig6") {
+            let f6 = fig6::fig6(&cells);
+            println!("{}", render::render_fig6(&f6));
+            println!(
+                "  worst-case dyads per FDR port: {}",
+                fig6::dyads_per_port(&f6)
+            );
+            export(json_dir, "fig6", &f6);
+        }
+    }
+}
+
+/// Prints the paper's headline aggregate comparisons.
+fn summarize_headlines(cells: &[fig5::Fig5Cell]) {
+    use duplexity::Design;
+    let mean = |design: Design, f: &dyn Fn(&fig5::Fig5Cell) -> f64| -> f64 {
+        let v: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.design == design && f(c).is_finite())
+            .map(f)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let util = &|c: &fig5::Fig5Cell| c.utilization;
+    let iso = &|c: &fig5::Fig5Cell| c.iso_p99_norm;
+    let dup_util = mean(Design::Duplexity, util);
+    let base_util = mean(Design::Baseline, util);
+    let smt_util = mean(Design::Smt, util);
+    println!("Headlines (vs paper: 4.8x / 1.9x utilization, 1.8x / 2.7x iso-p99):");
+    println!(
+        "  Duplexity utilization gain: {:.1}x over baseline, {:.1}x over SMT",
+        dup_util / base_util,
+        dup_util / smt_util
+    );
+    let dup_iso = mean(Design::Duplexity, iso);
+    let smt_iso = mean(Design::Smt, iso);
+    println!(
+        "  Duplexity iso-throughput p99: {:.1}x lower than baseline, {:.1}x lower than SMT",
+        1.0 / dup_iso,
+        smt_iso / dup_iso
+    );
+}

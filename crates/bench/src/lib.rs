@@ -1,0 +1,86 @@
+//! Shared helpers for the Duplexity benchmark harness.
+//!
+//! The criterion benches (one target per paper table/figure) and the
+//! [`report` binary](../report/index.html) both regenerate the paper's
+//! artifacts; this crate holds the fidelity presets they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use duplexity::experiments::fig5::Fig5Options;
+use duplexity_queueing::des::Mg1Options;
+
+/// Fidelity presets for regenerating the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Bench-sized: a representative sub-grid, small horizons.
+    Bench,
+    /// Quick report: full grid, reduced horizons.
+    Quick,
+    /// Full report: the paper's grid at full horizons.
+    Full,
+}
+
+impl Fidelity {
+    /// Cycle-simulation horizon per Figure 5 cell.
+    #[must_use]
+    pub fn horizon_cycles(self) -> u64 {
+        match self {
+            Fidelity::Bench => 800_000,
+            Fidelity::Quick => 2_500_000,
+            Fidelity::Full => 6_000_000,
+        }
+    }
+
+    /// The Figure 5 grid at this fidelity.
+    #[must_use]
+    pub fn fig5_options(self, seed: u64) -> Fig5Options {
+        let mut opts = Fig5Options {
+            horizon_cycles: self.horizon_cycles(),
+            seed,
+            ..Fig5Options::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.workloads = vec![duplexity::Workload::McRouter];
+                opts.loads = vec![0.5];
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
+                opts.queue = Mg1Options {
+                    max_samples: 400_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
+    /// SMT-sweep horizon for Figures 1(c) and 2(a).
+    #[must_use]
+    pub fn sweep_horizon_cycles(self) -> u64 {
+        match self {
+            Fidelity::Bench => 300_000,
+            Fidelity::Quick => 800_000,
+            Fidelity::Full => 2_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Fidelity::Bench.horizon_cycles() < Fidelity::Quick.horizon_cycles());
+        assert!(Fidelity::Quick.horizon_cycles() < Fidelity::Full.horizon_cycles());
+        assert_eq!(Fidelity::Bench.fig5_options(1).workloads.len(), 1);
+        assert_eq!(Fidelity::Full.fig5_options(1).workloads.len(), 5);
+    }
+}

@@ -1,0 +1,8 @@
+//! One driver per table and figure of the paper's evaluation.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod sweep;
+pub mod tables;

@@ -1,0 +1,213 @@
+//! Latency–load sweeps and SLO capacity (an operator-facing extension).
+//!
+//! The paper reports tails at three fixed loads; operators usually ask the
+//! inverse question: *how much load can a design carry inside a tail-latency
+//! budget?* This driver sweeps offered load, runs the same
+//! IPC-scaled BigHouse machinery as Figure 5(d) at each point, and derives
+//! each design's **SLO capacity** — the highest load whose p99 stays within
+//! budget.
+
+use crate::server::ServerSim;
+use duplexity_cpu::designs::Design;
+use duplexity_queueing::des::{simulate_mg1, Mg1Options};
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Microservice under test.
+    pub workload: Workload,
+    /// Designs to sweep.
+    pub designs: Vec<Design>,
+    /// Offered loads to evaluate (fractions of nominal capacity).
+    pub loads: Vec<f64>,
+    /// Cycle horizon for the per-design service calibration.
+    pub calibration_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queueing controls.
+    pub queue: Mg1Options,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::McRouter,
+            designs: vec![Design::Baseline, Design::Smt, Design::Duplexity],
+            loads: (1..=17).map(|i| 0.05 * f64::from(i)).collect(),
+            calibration_cycles: 2_000_000,
+            seed: 42,
+            queue: Mg1Options {
+                max_samples: 300_000,
+                ..Mg1Options::default()
+            },
+        }
+    }
+}
+
+/// One sweep measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Design.
+    pub design: Design,
+    /// Offered load fraction.
+    pub load: f64,
+    /// 99th-percentile latency, µs (`inf` once the scaled queue saturates).
+    pub p99_us: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Whether this point saturated.
+    pub saturated: bool,
+}
+
+/// Runs the sweep: one saturated calibration per design, then a queueing
+/// simulation per (design, load), with common random numbers across designs.
+///
+/// # Panics
+///
+/// Panics if the options contain no loads, no designs, or omit
+/// [`Design::Baseline`] (the slowdown reference).
+#[must_use]
+pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
+    assert!(
+        !opts.loads.is_empty() && !opts.designs.is_empty(),
+        "empty sweep"
+    );
+    assert!(
+        opts.designs.contains(&Design::Baseline),
+        "baseline required as the slowdown reference"
+    );
+    let model = opts.workload.service_model();
+    let nominal = opts.workload.nominal_service_us();
+    let stall = model.mean_stall_us();
+
+    let saturated_service = |design: Design| -> Option<f64> {
+        let m = ServerSim::new(design, opts.workload)
+            .saturated()
+            .horizon_cycles(opts.calibration_cycles)
+            .seed(derive_stream(opts.seed, 0x53E9))
+            .run();
+        if m.request_latencies_us.len() < 10 {
+            return None;
+        }
+        Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
+    };
+    let base_service = saturated_service(Design::Baseline);
+
+    let mut out = Vec::with_capacity(opts.designs.len() * opts.loads.len());
+    for &design in &opts.designs {
+        let slowdown = match (base_service, saturated_service(design)) {
+            (Some(b), Some(m)) => {
+                let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
+                (mc / bc).clamp(1.0, 6.0)
+            }
+            _ => 1.0,
+        };
+        let scaled = model.scale_compute(slowdown);
+        for &load in &opts.loads {
+            let lambda = load / nominal;
+            let scaled_mean = model.mean_compute_us() * slowdown + stall;
+            if lambda * scaled_mean >= 0.95 {
+                out.push(SweepPoint {
+                    design,
+                    load,
+                    p99_us: f64::INFINITY,
+                    mean_us: f64::INFINITY,
+                    saturated: true,
+                });
+                continue;
+            }
+            let mut service = |rng: &mut SimRng| {
+                let (c, s) = scaled.sample_parts(rng);
+                c + s
+            };
+            let mut qopts = opts.queue;
+            qopts.seed = derive_stream(opts.seed, 0x53EA ^ (load * 1000.0) as u64);
+            let r = simulate_mg1(lambda, &mut service, &qopts);
+            out.push(SweepPoint {
+                design,
+                load,
+                p99_us: r.tail_us,
+                mean_us: r.mean_sojourn_us,
+                saturated: false,
+            });
+        }
+    }
+    out
+}
+
+/// The highest swept load whose p99 stays within `budget_us` for `design`
+/// (its SLO capacity), or `None` if no point qualifies.
+#[must_use]
+pub fn slo_capacity(points: &[SweepPoint], design: Design, budget_us: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.design == design && !p.saturated && p.p99_us <= budget_us)
+        .map(|p| p.load)
+        .fold(None, |best, l| Some(best.map_or(l, |b: f64| b.max(l))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> SweepOptions {
+        SweepOptions {
+            loads: vec![0.2, 0.4, 0.6, 0.8],
+            calibration_cycles: 800_000,
+            queue: Mg1Options {
+                max_samples: 80_000,
+                warmup: 1_000,
+                ..Mg1Options::default()
+            },
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn p99_rises_monotonically_with_load() {
+        let points = latency_load_sweep(&quick_opts());
+        for design in [Design::Baseline, Design::Duplexity] {
+            let series: Vec<&SweepPoint> = points
+                .iter()
+                .filter(|p| p.design == design && !p.saturated)
+                .collect();
+            assert!(series.len() >= 3, "{design}: too few stable points");
+            for w in series.windows(2) {
+                assert!(
+                    w[1].p99_us >= w[0].p99_us * 0.95,
+                    "{design}: p99 fell from {} to {} as load rose",
+                    w[0].p99_us,
+                    w[1].p99_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slo_capacity_orders_designs_sensibly() {
+        let points = latency_load_sweep(&quick_opts());
+        // Pick a budget that the baseline meets at low load.
+        let base_low = points
+            .iter()
+            .find(|p| p.design == Design::Baseline && p.load == 0.2)
+            .unwrap()
+            .p99_us;
+        let budget = base_low * 3.0;
+        let base_cap = slo_capacity(&points, Design::Baseline, budget);
+        let dup_cap = slo_capacity(&points, Design::Duplexity, budget);
+        assert!(base_cap.is_some());
+        // Duplexity's modest service inflation cannot beat baseline at
+        // iso-load, but it must stay within one sweep step of it.
+        let (b, d) = (base_cap.unwrap(), dup_cap.unwrap_or(0.0));
+        assert!(d >= b - 0.21, "Duplexity SLO capacity {d} vs baseline {b}");
+    }
+
+    #[test]
+    fn slo_capacity_none_for_impossible_budget() {
+        let points = latency_load_sweep(&quick_opts());
+        assert_eq!(slo_capacity(&points, Design::Baseline, 0.0001), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Tables I and II.
+
+pub use duplexity_power::table2::{table2_rows, Table2Row};
+pub use duplexity_uarch::config::Table1;
+
+/// Renders Table I as printable lines.
+#[must_use]
+pub fn table1_lines() -> Vec<String> {
+    Table1::rows()
+        .into_iter()
+        .map(|(k, v)| format!("{k:<14} | {v}"))
+        .collect()
+}
+
+/// Renders Table II as printable lines (model vs paper).
+#[must_use]
+pub fn table2_lines() -> Vec<String> {
+    table2_rows()
+        .into_iter()
+        .map(|r| {
+            let freq = r
+                .frequency_ghz
+                .map_or_else(|| "N/A".to_string(), |f| format!("{f:.2} GHz"));
+            format!(
+                "{:<26} | {:>6.2} mm^2 (paper {:>5.1}) | {}",
+                r.component, r.area_mm2, r.paper_area_mm2, freq
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let lines = table1_lines();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().any(|l| l.contains("Lender-core")));
+        assert!(lines.iter().any(|l| l.contains("Infiniband")));
+    }
+
+    #[test]
+    fn table2_renders_with_frequencies() {
+        let lines = table2_lines();
+        assert_eq!(lines.len(), 7);
+        assert!(lines.iter().any(|l| l.contains("3.25 GHz")));
+        assert!(lines.last().unwrap().contains("N/A"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # Duplexity
+//!
+//! A full-system reproduction of **"Enhancing Server Efficiency in the Face
+//! of Killer Microseconds"** (Mirhosseini, Sriraman, Wenisch — HPCA 2019).
+//!
+//! Modern data-center events — remote memory reads, fast-storage accesses,
+//! inter-request gaps in high-throughput microservices — last single-digit
+//! *microseconds*: too long for out-of-order execution to hide, too short to
+//! amortize an OS context switch. Duplexity's answer is the **dyad**: a
+//! latency-optimized, *morphable* **master-core** paired with a
+//! throughput-optimized, hierarchically multithreaded (HSMT) **lender-core**.
+//! When the master-thread stalls or idles, the master-core morphs into an
+//! 8-context in-order engine and *borrows* filler-threads from the lender's
+//! virtual-context run queue — while keeping the master-thread's caches,
+//! TLBs, predictors and registers untouched so that its tail latency
+//! survives.
+//!
+//! This crate is the top of the workspace: it wires the cycle-level CPU
+//! models (`duplexity-cpu`), workload models (`duplexity-workloads`),
+//! BigHouse-style queueing (`duplexity-queueing`), the area/power model
+//! (`duplexity-power`) and the NIC model (`duplexity-net`) into the paper's
+//! experiments — one driver per table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use duplexity::{Design, ServerSim, Workload};
+//!
+//! // Simulate a Duplexity dyad serving McRouter at 50% load for 1M cycles.
+//! let sim = ServerSim::new(Design::Duplexity, Workload::McRouter)
+//!     .load(0.5)
+//!     .horizon_cycles(1_000_000)
+//!     .seed(7);
+//! let m = sim.run();
+//! assert!(m.utilization(4) > 0.0);
+//! ```
+//!
+//! ## Experiment index
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 1(a) utilization surface | [`experiments::fig1::fig1a`] |
+//! | Fig. 1(b) idle-period CDFs | [`experiments::fig1::fig1b`] |
+//! | Fig. 1(c) SMT thread sweep | [`experiments::fig1::fig1c`] |
+//! | Fig. 2(a) OoO vs InO threads | [`experiments::fig2::fig2a`] |
+//! | Fig. 2(b) virtual-context model | [`experiments::fig2::fig2b`] |
+//! | Table I / Table II | [`experiments::tables`] |
+//! | Fig. 5(a)–(f) | [`experiments::fig5::run_fig5`] |
+//! | Fig. 6 NIC utilization | [`experiments::fig6::fig6`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod experiments;
+pub mod report;
+pub mod scheduler;
+pub mod server;
+
+pub use chip::{simulate_chip, simulate_mixed_chip, ChipConfig, ChipMetrics, DyadAssignment};
+pub use duplexity_cpu::designs::{Design, DesignMetrics};
+pub use duplexity_workloads::Workload;
+pub use scheduler::{
+    provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
+    ProvisionerConfig,
+};
+pub use server::{CustomSim, ServerSim};

@@ -1,0 +1,246 @@
+//! Plain-text rendering of experiment results, in the same rows/series the
+//! paper's figures report.
+
+use crate::experiments::fig1::{Fig1bSeries, Fig1cPoint, FlannVariant};
+use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
+use crate::experiments::fig5::Fig5Cell;
+use crate::experiments::fig6::Fig6Cell;
+use duplexity_cpu::designs::Design;
+use duplexity_queueing::closed_loop::SurfaceCell;
+use std::fmt::Write as _;
+
+/// Formats a normalized value, marking saturated queues.
+fn norm(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:>7.3}")
+    } else {
+        "    sat".to_string()
+    }
+}
+
+/// Renders the Figure 1(a) surface as a sparse grid (one row per stall
+/// duration).
+#[must_use]
+pub fn render_fig1a(cells: &[SurfaceCell]) -> String {
+    let mut out = String::from("Fig 1(a): utilization vs (stall µs, compute µs)\n");
+    let mut row_key = f64::NAN;
+    for c in cells {
+        if c.stall_us != row_key {
+            row_key = c.stall_us;
+            let _ = write!(out, "\nstall {:>8.2}µs |", c.stall_us);
+        }
+        let _ = write!(out, " {:>4.2}", c.utilization);
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the Figure 1(b) idle-period CDFs at a few probe durations.
+#[must_use]
+pub fn render_fig1b(series: &[Fig1bSeries]) -> String {
+    let probes = [1.0, 2.0, 5.0, 10.0, 20.0, 40.0];
+    let mut out = String::from("Fig 1(b): P(idle <= t)\n");
+    let _ = writeln!(
+        out,
+        "{:<22} {}",
+        "series",
+        probes
+            .iter()
+            .map(|p| format!("{p:>7.0}µs"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for s in series {
+        let name = format!("{}K QPS @ {:.0}%", (s.qps / 1000.0) as u64, s.load * 100.0);
+        let vals: Vec<String> = probes
+            .iter()
+            .map(|&p| {
+                let v = s
+                    .cdf
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - p)
+                            .abs()
+                            .partial_cmp(&(b.0 - p).abs())
+                            .expect("finite")
+                    })
+                    .map_or(0.0, |x| x.1);
+                format!("{v:>9.3}")
+            })
+            .collect();
+        let _ = writeln!(out, "{name:<22} {}", vals.join(" "));
+    }
+    out
+}
+
+/// Renders Figure 1(c) as one series per FLANN variant.
+#[must_use]
+pub fn render_fig1c(points: &[Fig1cPoint]) -> String {
+    let mut out = String::from("Fig 1(c): normalized throughput vs SMT threads\n");
+    for variant in FlannVariant::ALL {
+        let series: Vec<&Fig1cPoint> = points.iter().filter(|p| p.variant == variant).collect();
+        if series.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "{:<12}", variant.name());
+        for p in &series {
+            let _ = write!(out, " {:>5.2}", p.normalized);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Figure 2(a).
+#[must_use]
+pub fn render_fig2a(points: &[Fig2aPoint]) -> String {
+    let mut out = String::from("Fig 2(a): threads | OoO IPC | InO IPC | InO/OoO\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>7} | {:>7.2} | {:>7.2} | {:>7.2}",
+            p.threads,
+            p.ooo_ipc,
+            p.ino_ipc,
+            p.ino_over_ooo()
+        );
+    }
+    out
+}
+
+/// Renders Figure 2(b) as two series.
+#[must_use]
+pub fn render_fig2b(points: &[Fig2bPoint]) -> String {
+    let mut out = String::from("Fig 2(b): P(>=8 ready) vs virtual contexts\n");
+    for stall in [0.1, 0.5] {
+        let _ = write!(out, "p_stall={stall:<4}");
+        for p in points.iter().filter(|p| p.stall_p == stall) {
+            let _ = write!(out, " {:>4.2}", p.p_ready);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one Figure 5 sub-figure as a design × (workload, load) matrix.
+///
+/// `metric` selects the value; `label` names the sub-figure.
+#[must_use]
+pub fn render_fig5_matrix(
+    cells: &[Fig5Cell],
+    label: &str,
+    metric: impl Fn(&Fig5Cell) -> f64,
+) -> String {
+    let mut out = format!("{label}\n");
+    let mut columns: Vec<(String, f64, duplexity_workloads::Workload)> = Vec::new();
+    for c in cells {
+        let key = format!("{}@{:.0}%", c.workload.name(), c.load * 100.0);
+        if !columns.iter().any(|(k, _, _)| *k == key) {
+            columns.push((key, c.load, c.workload));
+        }
+    }
+    let _ = write!(out, "{:<15}", "design");
+    for (k, _, _) in &columns {
+        let _ = write!(out, " {k:>15}");
+    }
+    out.push('\n');
+    for design in Design::ALL_WITH_EXTENSIONS {
+        let rows: Vec<&Fig5Cell> = cells.iter().filter(|c| c.design == design).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "{:<15}", design.name());
+        for (_, load, workload) in &columns {
+            let v = rows
+                .iter()
+                .find(|c| c.load == *load && c.workload == *workload)
+                .map_or(f64::NAN, |c| metric(c));
+            let _ = write!(out, " {:>15}", norm(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a per-component power breakdown for each design at a nominal
+/// operating point (the `report --power` artifact).
+#[must_use]
+pub fn render_power_breakdown(ipc: f64) -> String {
+    use duplexity_power::{component_power, core_kind_for};
+    let mut out = format!(
+        "Per-component power at IPC {ipc:.1} (W, static+dynamic)
+"
+    );
+    for design in Design::ALL {
+        let kind = core_kind_for(design);
+        let parts = component_power(kind, ipc, design.clock_ghz(), 0.0);
+        let total: f64 = parts.iter().map(|p| p.total_w()).sum();
+        let _ = writeln!(
+            out,
+            "
+{} ({total:.2} W total):",
+            design.name()
+        );
+        for p in parts {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>5.2} W  ({:>4.2} static + {:>4.2} dynamic)",
+                p.name,
+                p.total_w(),
+                p.static_w,
+                p.dynamic_w
+            );
+        }
+    }
+    out
+}
+
+/// Renders Figure 6.
+#[must_use]
+pub fn render_fig6(cells: &[Fig6Cell]) -> String {
+    let mut out = String::from("Fig 6: NIC IOPS utilization per dyad\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:<15} {:<10} @{:>3.0}% : {:>6.2}% of FDR ({:>6.2}M ops/s)",
+            c.design.name(),
+            c.workload.name(),
+            c.load * 100.0,
+            c.nic_utilization * 100.0,
+            c.ops_per_second / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig1, fig2};
+
+    #[test]
+    fn fig1a_rendering_contains_rows() {
+        let s = render_fig1a(&fig1::fig1a(1));
+        assert!(s.contains("stall"));
+        assert!(s.lines().count() > 4);
+    }
+
+    #[test]
+    fn fig1b_rendering_lists_six_series() {
+        let s = render_fig1b(&fig1::fig1b(40));
+        assert_eq!(s.lines().filter(|l| l.contains("QPS")).count(), 6);
+    }
+
+    #[test]
+    fn fig2b_rendering_has_two_series() {
+        let s = render_fig2b(&fig2::fig2b(16));
+        assert!(s.contains("p_stall=0.1"));
+        assert!(s.contains("p_stall=0.5"));
+    }
+
+    #[test]
+    fn norm_marks_saturation() {
+        assert_eq!(norm(f64::INFINITY), "    sat");
+        assert!(norm(1.234).contains("1.234"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Engine-level performance counters.
+
+use crate::memsys::MemSys;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a cycle-level engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Cycles the engine has been stepped.
+    pub cycles: u64,
+    /// Retired micro-ops of the latency-critical (primary) thread.
+    pub retired_primary: u64,
+    /// Retired micro-ops of batch/filler (secondary) threads.
+    pub retired_secondary: u64,
+    /// Conditional branches dispatched.
+    pub branches: u64,
+    /// Branches whose direction was mispredicted.
+    pub mispredicts: u64,
+    /// µs-scale remote operations issued (drives NIC accounting, Fig. 6).
+    pub remote_ops: u64,
+    /// Cycles in which every thread was idle (no request in flight).
+    pub idle_cycles: u64,
+    /// End-to-end latency, in cycles, of each completed primary request.
+    pub request_latencies_cycles: Vec<u64>,
+    /// Loads issued by the primary (latency-critical) thread.
+    pub primary_loads: u64,
+    /// Primary-thread loads that missed the L1 (any longer-latency source).
+    pub primary_load_l1_misses: u64,
+}
+
+impl EngineStats {
+    /// Total retired micro-ops.
+    #[must_use]
+    pub fn retired_total(&self) -> u64 {
+        self.retired_primary + self.retired_secondary
+    }
+
+    /// Core utilization: retired per cycle over peak retire bandwidth
+    /// (the Fig. 5(a) metric).
+    #[must_use]
+    pub fn utilization(&self, width: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_total() as f64 / (self.cycles as f64 * width as f64)
+        }
+    }
+
+    /// Instructions per cycle across all threads.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_total() as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC of the primary thread alone.
+    #[must_use]
+    pub fn primary_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_primary as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1-D miss ratio of the primary thread's loads.
+    #[must_use]
+    pub fn primary_l1d_miss_ratio(&self) -> f64 {
+        if self.primary_loads == 0 {
+            0.0
+        } else {
+            self.primary_load_l1_misses as f64 / self.primary_loads as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Merges counters from another engine (e.g. a morphed sub-engine).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.retired_primary += other.retired_primary;
+        self.retired_secondary += other.retired_secondary;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.remote_ops += other.remote_ops;
+        self.idle_cycles += other.idle_cycles;
+        self.primary_loads += other.primary_loads;
+        self.primary_load_l1_misses += other.primary_load_l1_misses;
+        self.request_latencies_cycles
+            .extend_from_slice(&other.request_latencies_cycles);
+    }
+}
+
+/// Microarchitectural health summary of one core: cache/TLB miss ratios and
+/// branch prediction accuracy (the paper's interference story in numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UarchStats {
+    /// L1 instruction-cache miss ratio (whole core).
+    pub l1i_miss_ratio: f64,
+    /// L1 data-cache miss ratio of the *latency-critical thread's* loads —
+    /// the paper's interference channel.
+    pub l1d_miss_ratio: f64,
+    /// LLC miss ratio.
+    pub llc_miss_ratio: f64,
+    /// Data-TLB miss ratio.
+    pub dtlb_miss_ratio: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+}
+
+impl UarchStats {
+    /// Summarizes a core's memory system and engine counters.
+    #[must_use]
+    pub fn collect(mem: &MemSys, engine: &EngineStats) -> Self {
+        Self {
+            l1i_miss_ratio: mem.l1i.stats().miss_ratio(),
+            l1d_miss_ratio: engine.primary_l1d_miss_ratio(),
+            llc_miss_ratio: mem.llc.stats().miss_ratio(),
+            dtlb_miss_ratio: mem.dtlb.stats().miss_ratio(),
+            mispredict_rate: engine.mispredict_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_saturated_core() {
+        let s = EngineStats {
+            cycles: 100,
+            retired_primary: 400,
+            ..Default::default()
+        };
+        assert!((s.utilization(4) - 1.0).abs() < 1e-12);
+        assert!((s.ipc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.utilization(4), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn uarch_stats_collects_ratios() {
+        use duplexity_uarch::cache::AccessKind;
+        use duplexity_uarch::config::LatencyModel;
+        let mut mem = MemSys::table1(LatencyModel::default());
+        mem.data_access(0x1000, AccessKind::Read); // miss
+        mem.data_access(0x1000, AccessKind::Read); // hit
+        let engine = EngineStats {
+            branches: 10,
+            mispredicts: 2,
+            primary_loads: 4,
+            primary_load_l1_misses: 1,
+            ..Default::default()
+        };
+        let u = UarchStats::collect(&mem, &engine);
+        assert!((u.l1d_miss_ratio - 0.25).abs() < 1e-12);
+        assert!((u.mispredict_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates_but_keeps_cycles() {
+        let mut a = EngineStats {
+            cycles: 50,
+            retired_primary: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            cycles: 99,
+            retired_secondary: 20,
+            remote_ops: 3,
+            request_latencies_cycles: vec![7],
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cycles, 50); // cycles are wall-clock, not additive
+        assert_eq!(a.retired_total(), 30);
+        assert_eq!(a.remote_ops, 3);
+        assert_eq!(a.request_latencies_cycles, vec![7]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Open-loop request generation for latency-critical master-threads.
+//!
+//! Microservices receive Poisson request arrivals (§II-A: "due to the
+//! memory-less property of Poisson request arrivals..."), serve them FCFS,
+//! and sit idle in the µs-scale gaps between requests. [`RequestStream`]
+//! adapts a [`RequestKernel`] into an [`InstructionStream`]: it pumps a
+//! Poisson arrival process, queues requests, replays each request's micro-op
+//! trace, and reports [`Fetched::IdleUntil`] when the queue drains — the
+//! idleness holes that master-cores fill by morphing.
+
+use crate::op::{Fetched, InstructionStream, MicroOp, RequestKernel};
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::rng::SimRng;
+use std::collections::VecDeque;
+
+/// Arrival behaviour of a [`RequestStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArrivalMode {
+    /// Poisson arrivals with the given mean inter-arrival time in cycles.
+    Open { mean_interarrival_cycles: f64 },
+    /// Saturated closed loop: a new request is always waiting (100% load, the
+    /// Fig. 1(c) protocol).
+    Saturated,
+}
+
+/// Adapts a workload kernel into a master-thread instruction stream with
+/// request arrivals, FCFS queueing, and idle-period signalling.
+pub struct RequestStream {
+    kernel: Box<dyn RequestKernel>,
+    mode: ArrivalMode,
+    next_arrival: u64,
+    queue: VecDeque<u64>,
+    current: Vec<MicroOp>,
+    pos: usize,
+    completed: u64,
+    max_requests: u64,
+}
+
+impl std::fmt::Debug for RequestStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestStream")
+            .field("mode", &self.mode)
+            .field("queued", &self.queue.len())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl RequestStream {
+    /// Open-loop stream at offered `load` (fraction of capacity), where
+    /// capacity is `1 / service_us` requests per microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not in `(0, 1)` or `service_us <= 0`.
+    #[must_use]
+    pub fn open_loop(
+        kernel: Box<dyn RequestKernel>,
+        load: f64,
+        service_us: f64,
+        cycles_per_us: f64,
+    ) -> Self {
+        assert!(
+            load > 0.0 && load < 1.0,
+            "load must be in (0,1), got {load}"
+        );
+        assert!(service_us > 0.0, "service time must be positive");
+        let mean_interarrival_cycles = service_us * cycles_per_us / load;
+        Self {
+            kernel,
+            mode: ArrivalMode::Open {
+                mean_interarrival_cycles,
+            },
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            current: Vec::new(),
+            pos: 0,
+            completed: 0,
+            max_requests: u64::MAX,
+        }
+    }
+
+    /// Saturated stream: back-to-back requests, no idle periods (used by the
+    /// §II-B throughput experiments).
+    #[must_use]
+    pub fn saturated(kernel: Box<dyn RequestKernel>) -> Self {
+        Self {
+            kernel,
+            mode: ArrivalMode::Saturated,
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            current: Vec::new(),
+            pos: 0,
+            completed: 0,
+            max_requests: u64::MAX,
+        }
+    }
+
+    /// Stops producing work after `n` requests (the stream then reports
+    /// [`Fetched::Done`]).
+    #[must_use]
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = n;
+        self
+    }
+
+    /// Requests whose traces have been fully handed to the engine.
+    #[must_use]
+    pub fn dispatched_requests(&self) -> u64 {
+        self.completed
+    }
+
+    fn pump_arrivals(&mut self, now: u64, rng: &mut SimRng) {
+        if let ArrivalMode::Open {
+            mean_interarrival_cycles,
+        } = self.mode
+        {
+            let d = Exponential::new(mean_interarrival_cycles);
+            while self.next_arrival <= now
+                && self.completed + (self.queue.len() as u64) < self.max_requests
+            {
+                self.queue.push_back(self.next_arrival);
+                self.next_arrival += d.sample(rng).round().max(1.0) as u64;
+            }
+        }
+    }
+
+    fn start_request(&mut self, arrival: u64, rng: &mut SimRng) {
+        self.current.clear();
+        self.kernel.generate(rng, &mut self.current);
+        if let Some(last) = self.current.last_mut() {
+            last.end_of_request = Some(arrival);
+        }
+        self.pos = 0;
+    }
+}
+
+impl InstructionStream for RequestStream {
+    fn at_request_boundary(&self) -> bool {
+        self.pos >= self.current.len()
+    }
+
+    fn next(&mut self, now: u64, rng: &mut SimRng) -> Fetched {
+        loop {
+            if self.pos < self.current.len() {
+                let op = self.current[self.pos];
+                self.pos += 1;
+                return Fetched::Op(op);
+            }
+            // Current request exhausted: find the next one.
+            if self.completed >= self.max_requests {
+                return Fetched::Done;
+            }
+            match self.mode {
+                ArrivalMode::Saturated => {
+                    self.completed += 1;
+                    self.start_request(now, rng);
+                }
+                ArrivalMode::Open { .. } => {
+                    self.pump_arrivals(now, rng);
+                    if let Some(arrival) = self.queue.pop_front() {
+                        self.completed += 1;
+                        self.start_request(arrival, rng);
+                    } else if self.completed >= self.max_requests {
+                        return Fetched::Done;
+                    } else {
+                        return Fetched::IdleUntil(self.next_arrival);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MicroOp, Op};
+    use duplexity_stats::rng::rng_from_seed;
+
+    #[derive(Debug)]
+    struct TenAluKernel;
+    impl RequestKernel for TenAluKernel {
+        fn generate(&mut self, _rng: &mut SimRng, out: &mut Vec<MicroOp>) {
+            for i in 0..10 {
+                out.push(MicroOp::new(i * 4, Op::IntAlu));
+            }
+        }
+        fn nominal_service_us(&self) -> f64 {
+            0.01
+        }
+    }
+
+    #[test]
+    fn saturated_never_idles() {
+        let mut s = RequestStream::saturated(Box::new(TenAluKernel));
+        let mut rng = rng_from_seed(1);
+        for now in 0..100 {
+            assert!(matches!(s.next(now, &mut rng), Fetched::Op(_)));
+        }
+        assert!(s.dispatched_requests() >= 10);
+    }
+
+    #[test]
+    fn open_loop_idles_between_requests() {
+        // Very low load: idle periods dominate.
+        let mut s = RequestStream::open_loop(Box::new(TenAluKernel), 0.01, 0.01, 3400.0);
+        let mut rng = rng_from_seed(2);
+        // Drain the request that arrives at cycle 0.
+        let mut idles = 0;
+        let mut now = 0u64;
+        for _ in 0..200 {
+            match s.next(now, &mut rng) {
+                Fetched::Op(_) => now += 1,
+                Fetched::IdleUntil(c) => {
+                    assert!(c > now);
+                    idles += 1;
+                    now = c;
+                }
+                Fetched::Done => break,
+            }
+        }
+        assert!(idles > 3, "idles {idles}");
+    }
+
+    #[test]
+    fn end_of_request_carries_arrival() {
+        let mut s = RequestStream::saturated(Box::new(TenAluKernel)).with_max_requests(1);
+        let mut rng = rng_from_seed(3);
+        let mut markers = 0;
+        loop {
+            match s.next(50, &mut rng) {
+                Fetched::Op(op) => {
+                    if let Some(arrival) = op.end_of_request {
+                        assert_eq!(arrival, 50);
+                        markers += 1;
+                    }
+                }
+                Fetched::Done => break,
+                Fetched::IdleUntil(_) => panic!("saturated stream must not idle"),
+            }
+        }
+        assert_eq!(markers, 1);
+    }
+
+    #[test]
+    fn max_requests_terminates() {
+        let mut s = RequestStream::saturated(Box::new(TenAluKernel)).with_max_requests(3);
+        let mut rng = rng_from_seed(4);
+        let mut ops = 0;
+        loop {
+            match s.next(0, &mut rng) {
+                Fetched::Op(_) => ops += 1,
+                Fetched::Done => break,
+                Fetched::IdleUntil(_) => panic!("saturated stream must not idle"),
+            }
+        }
+        assert_eq!(ops, 30);
+        assert_eq!(s.dispatched_requests(), 3);
+    }
+
+    #[test]
+    fn arrival_rate_matches_load() {
+        // load 0.5 with 0.01µs service => one arrival per 68 cycles on avg.
+        let mut s = RequestStream::open_loop(Box::new(TenAluKernel), 0.5, 0.01, 3400.0);
+        let mut rng = rng_from_seed(5);
+        let horizon = 500_000u64;
+        let mut now = 0u64;
+        while now < horizon {
+            match s.next(now, &mut rng) {
+                Fetched::Op(_) => now += 1, // ~1 op per cycle consumption
+                Fetched::IdleUntil(c) => now = c.max(now + 1),
+                Fetched::Done => break,
+            }
+        }
+        let expected = horizon as f64 / 68.0;
+        let actual = s.dispatched_requests() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.15,
+            "actual {actual} expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Edge-case and failure-injection tests for the dyad controller.
+
+use duplexity_cpu::dyad::{DyadConfig, DyadSim, FillerPlacement};
+use duplexity_cpu::op::{Fetched, InstructionStream, MicroOp, Op, RequestKernel, NO_REG};
+use duplexity_cpu::request::RequestStream;
+use duplexity_stats::rng::{rng_from_seed, SimRng};
+
+#[derive(Debug)]
+struct StallKernel;
+impl RequestKernel for StallKernel {
+    fn generate(&mut self, _rng: &mut SimRng, out: &mut Vec<MicroOp>) {
+        for i in 0..1000u64 {
+            out.push(
+                MicroOp::new(i * 4, Op::IntAlu)
+                    .with_srcs(0, NO_REG)
+                    .with_dst(0),
+            );
+        }
+        out.push(
+            MicroOp::new(4096, Op::RemoteLoad { latency_us: 2.0 })
+                .with_srcs(0, NO_REG)
+                .with_dst(1),
+        );
+        out.push(MicroOp::new(4100, Op::IntAlu).with_srcs(1, NO_REG));
+    }
+    fn nominal_service_us(&self) -> f64 {
+        2.4
+    }
+}
+
+fn master(cfg: &DyadConfig) -> Box<dyn InstructionStream> {
+    Box::new(RequestStream::open_loop(
+        Box::new(StallKernel),
+        0.5,
+        2.4,
+        cfg.machine.cycles_per_us(),
+    ))
+}
+
+/// A dyad with an EMPTY virtual-context pool: the master-core still morphs
+/// but finds no fillers; the master-thread must be completely unaffected.
+#[test]
+fn empty_pool_does_not_harm_master() {
+    let cfg = DyadConfig::duplexity();
+    let mut empty = DyadSim::new(cfg, master(&cfg));
+    let mut rng = rng_from_seed(1);
+    empty.run(1_000_000, &mut rng);
+    let m = empty.metrics();
+    assert!(m.morphs > 0, "morphs still trigger");
+    assert_eq!(m.filler_retired_on_master, 0, "no fillers exist");
+    assert!(!m.request_latencies_cycles.is_empty());
+
+    // Compare master latency against a no-morph run: the morph machinery
+    // itself (with the resume penalty) must cost only the documented ~50
+    // cycles per transition.
+    let mut nomorph_cfg = cfg;
+    nomorph_cfg.min_morph_gain_cycles = u64::MAX;
+    let mut nomorph = DyadSim::new(nomorph_cfg, master(&nomorph_cfg));
+    let mut rng = rng_from_seed(1);
+    nomorph.run(1_000_000, &mut rng);
+    let lat = |m: &duplexity_cpu::dyad::DyadMetrics| {
+        m.request_latencies_cycles.iter().sum::<u64>() as f64
+            / m.request_latencies_cycles.len().max(1) as f64
+    };
+    let with = lat(&empty.metrics());
+    let without = lat(&nomorph.metrics());
+    assert!(
+        with < without * 1.1 + 200.0,
+        "empty-pool morphing cost too much: {with} vs {without} cycles"
+    );
+}
+
+/// A dyad whose batch threads all finish: the pool drains and the dyad
+/// keeps serving the master without wedging.
+#[test]
+fn finite_fillers_drain_cleanly() {
+    #[derive(Debug)]
+    struct Finite(u32);
+    impl InstructionStream for Finite {
+        fn next(&mut self, _now: u64, _rng: &mut SimRng) -> Fetched {
+            if self.0 == 0 {
+                return Fetched::Done;
+            }
+            self.0 -= 1;
+            Fetched::Op(MicroOp::new(u64::from(self.0) * 4, Op::IntAlu))
+        }
+    }
+    let cfg = DyadConfig::duplexity();
+    let mut dyad = DyadSim::new(cfg, master(&cfg));
+    for id in 0..8 {
+        dyad.add_batch_thread(id, Box::new(Finite(5_000)));
+    }
+    let mut rng = rng_from_seed(2);
+    dyad.run(2_000_000, &mut rng);
+    let m = dyad.metrics();
+    // All 40k filler ops eventually retire somewhere, then the threads die.
+    let batch_total = m.filler_retired_on_master + m.lender_retired;
+    assert_eq!(batch_total, 8 * 5_000);
+    assert!(
+        !m.request_latencies_cycles.is_empty(),
+        "master kept serving"
+    );
+}
+
+/// All three filler placements run against the same scenario and their
+/// isolation ordering holds: master L1 misses are highest when fillers share
+/// the master's caches.
+#[test]
+fn placement_isolation_ordering() {
+    let run = |placement: FillerPlacement| {
+        let cfg = match placement {
+            FillerPlacement::MasterCaches => DyadConfig::morphcore_plus(),
+            FillerPlacement::ReplicatedCaches => DyadConfig::duplexity_replication(),
+            FillerPlacement::LenderCaches => DyadConfig::duplexity(),
+        };
+        assert_eq!(cfg.placement, placement);
+        let mut dyad = DyadSim::new(cfg, master(&cfg));
+        for id in 0..16 {
+            // Memory-hungry fillers.
+            let base = 0x5000_0000 + 0x100_0000 * id as u64;
+            let ops: Vec<MicroOp> = (0..256)
+                .map(|i| {
+                    MicroOp::new(
+                        base + i * 4,
+                        Op::Load {
+                            addr: base + 0x10_000 + i * 2048,
+                        },
+                    )
+                    .with_dst((i % 8) as u8)
+                })
+                .collect();
+            dyad.add_batch_thread(id, Box::new(duplexity_cpu::op::LoopedTrace::new(ops)));
+        }
+        let mut rng = rng_from_seed(3);
+        dyad.run(800_000, &mut rng);
+        dyad.master_mem().l1_misses()
+    };
+    let shared = run(FillerPlacement::MasterCaches);
+    let replicated = run(FillerPlacement::ReplicatedCaches);
+    let lender = run(FillerPlacement::LenderCaches);
+    assert!(
+        shared > 2 * replicated.max(1),
+        "shared {shared} vs replicated {replicated}"
+    );
+    assert!(
+        shared > 2 * lender.max(1),
+        "shared {shared} vs lender {lender}"
+    );
+}
+
+/// §IV "Demarcating stalls": slower stall recognition (mwait-style polling
+/// instead of queue-pair demarcation) shrinks every hole by the detection
+/// delay, costing filler throughput monotonically.
+#[test]
+fn detection_latency_costs_filler_throughput() {
+    let run = |delay: u64| {
+        let cfg = DyadConfig {
+            stall_detection_delay: delay,
+            ..DyadConfig::duplexity()
+        };
+        let mut dyad = DyadSim::new(cfg, master(&cfg));
+        for id in 0..16 {
+            let base = 0x6000_0000 + 0x100_0000 * id as u64;
+            let ops: Vec<MicroOp> = (0..128)
+                .map(|i| MicroOp::new(base + i * 4, Op::IntAlu).with_dst((i % 8) as u8))
+                .collect();
+            dyad.add_batch_thread(id, Box::new(duplexity_cpu::op::LoopedTrace::new(ops)));
+        }
+        let mut rng = rng_from_seed(5);
+        dyad.run(1_200_000, &mut rng);
+        dyad.metrics().filler_retired_on_master
+    };
+    let instant = run(0);
+    let slow = run(3_400); // a full 1µs of detection latency
+    assert!(instant > 0);
+    assert!(
+        slow < instant,
+        "1µs detection must cost filler work: {slow} vs {instant}"
+    );
+}
+
+/// The morph log classifies holes correctly: a stall-heavy master produces
+/// `Stall` morphs; an idle-only master produces `Idle` morphs.
+#[test]
+fn morph_log_classifies_causes() {
+    use duplexity_cpu::dyad::MorphCause;
+    use duplexity_cpu::op::RequestKernel;
+
+    // Stall-heavy, saturated: only Stall morphs possible.
+    let cfg = DyadConfig::duplexity();
+    let mut stall_dyad = DyadSim::new(
+        cfg,
+        Box::new(RequestStream::saturated(Box::new(StallKernel))),
+    );
+    let mut rng = rng_from_seed(7);
+    stall_dyad.run(600_000, &mut rng);
+    assert!(!stall_dyad.morph_log().is_empty());
+    assert!(stall_dyad
+        .morph_log()
+        .iter()
+        .all(|e| e.cause == MorphCause::Stall));
+    // Every event's window is at least the minimum morph gain.
+    for e in stall_dyad.morph_log() {
+        assert!(e.hole_cycles() >= cfg.min_morph_gain_cycles);
+    }
+
+    // Compute-only at low load: only Idle morphs possible.
+    #[derive(Debug)]
+    struct ComputeOnly;
+    impl RequestKernel for ComputeOnly {
+        fn generate(&mut self, _rng: &mut SimRng, out: &mut Vec<MicroOp>) {
+            for i in 0..1500u64 {
+                out.push(
+                    MicroOp::new(i * 4, Op::IntAlu)
+                        .with_srcs(0, NO_REG)
+                        .with_dst(0),
+                );
+            }
+        }
+        fn nominal_service_us(&self) -> f64 {
+            0.5
+        }
+    }
+    let mut idle_dyad = DyadSim::new(
+        cfg,
+        Box::new(RequestStream::open_loop(
+            Box::new(ComputeOnly),
+            0.2,
+            0.5,
+            cfg.machine.cycles_per_us(),
+        )),
+    );
+    let mut rng = rng_from_seed(8);
+    idle_dyad.run(1_000_000, &mut rng);
+    assert!(!idle_dyad.morph_log().is_empty());
+    assert!(idle_dyad
+        .morph_log()
+        .iter()
+        .all(|e| e.cause == MorphCause::Idle));
+    // The log agrees with the morph counter.
+    assert_eq!(idle_dyad.morph_log().len() as u64, idle_dyad.morphs());
+}

@@ -1,0 +1,227 @@
+//! Power and energy model.
+//!
+//! Static power scales with area (leakage-dominated at 32nm high
+//! performance); dynamic power scales with retired micro-ops and the energy
+//! cost of the issue style: in-order issue avoids the rename/wakeup/select
+//! energy of out-of-order issue (one of MorphCore's original motivations
+//! \[49\]), and replicated structures burn extra leakage even when idle.
+
+use crate::components::{core_area_mm2, CoreKind};
+use serde::{Deserialize, Serialize};
+
+/// Leakage density at 32nm high-performance (W per mm²).
+pub const STATIC_W_PER_MM2: f64 = 0.12;
+
+/// Dynamic energy per retired micro-op under out-of-order issue (nJ),
+/// including fetch/rename/wakeup/bypass and cache access shares.
+pub const OOO_NJ_PER_OP: f64 = 0.50;
+
+/// Dynamic energy per retired micro-op under in-order issue (nJ).
+pub const INO_NJ_PER_OP: f64 = 0.28;
+
+/// Power split of one core running a given instruction mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Leakage, W.
+    pub static_w: f64,
+    /// Switching, W.
+    pub dynamic_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power, W.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Dynamic energy per micro-op for a core kind, nJ.
+///
+/// Morphable cores execute filler ops at in-order cost; `ino_fraction` is
+/// the fraction of retired ops executed in in-order mode (0 for the
+/// baseline, 1 for the lender-core).
+#[must_use]
+pub fn energy_per_op_nj(kind: CoreKind, ino_fraction: f64) -> f64 {
+    let ino_fraction = ino_fraction.clamp(0.0, 1.0);
+    match kind {
+        CoreKind::LenderCore => INO_NJ_PER_OP,
+        _ => OOO_NJ_PER_OP * (1.0 - ino_fraction) + INO_NJ_PER_OP * ino_fraction,
+    }
+}
+
+/// Power of one core retiring `ipc` micro-ops per cycle at `clock_ghz`,
+/// with `ino_fraction` of them in in-order mode.
+#[must_use]
+pub fn power_w(kind: CoreKind, ipc: f64, clock_ghz: f64, ino_fraction: f64) -> PowerBreakdown {
+    let static_w = core_area_mm2(kind) * STATIC_W_PER_MM2;
+    // ops/ns * nJ/op = W.
+    let dynamic_w = ipc * clock_ghz * energy_per_op_nj(kind, ino_fraction);
+    PowerBreakdown {
+        static_w,
+        dynamic_w,
+    }
+}
+
+/// Power attributed to one named block of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPower {
+    /// Block name (matches [`crate::components::core_components`]).
+    pub name: &'static str,
+    /// Leakage, W (proportional to the block's area).
+    pub static_w: f64,
+    /// Switching, W (the core's dynamic power split by activity share).
+    pub dynamic_w: f64,
+}
+
+impl ComponentPower {
+    /// Total power of this block, W.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Dynamic-energy share of a block by name: how much of each retired op's
+/// switching energy lands in it. In-order issue moves the scheduling share
+/// out of the rename/wakeup structures (they are clock-gated in filler
+/// mode), which is where MorphCore's energy saving comes from \[49\].
+fn dynamic_share(name: &str, ino_fraction: f64) -> f64 {
+    let ooo = 1.0 - ino_fraction;
+    if name.contains("L1") || name.contains("L0") {
+        0.22
+    } else if name.contains("rename") || name.contains("ROB") {
+        0.25 * ooo + 0.04 * ino_fraction
+    } else if name.contains("issue queues") || name.contains("scoreboard") {
+        0.10
+    } else if name.contains("functional") {
+        0.24
+    } else if name.contains("fetch/decode") {
+        0.16
+    } else if name.contains("PRF") || name.contains("ARF") || name.contains("RF") {
+        0.09
+    } else if name.contains("predictor") || name.contains("gshare") || name.contains("tournament") {
+        0.05
+    } else if name.contains("TLB") {
+        0.02
+    } else {
+        0.03
+    }
+}
+
+/// Splits a core's power across its named components.
+///
+/// Leakage is exact per block (area-proportional); switching is distributed
+/// by activity shares and renormalized so the breakdown sums to
+/// [`power_w`]'s totals.
+#[must_use]
+pub fn component_power(
+    kind: CoreKind,
+    ipc: f64,
+    clock_ghz: f64,
+    ino_fraction: f64,
+) -> Vec<ComponentPower> {
+    let components = crate::components::core_components(kind);
+    let total = power_w(kind, ipc, clock_ghz, ino_fraction);
+    let raw_shares: Vec<f64> = components
+        .iter()
+        .map(|c| dynamic_share(c.name, ino_fraction))
+        .collect();
+    let share_sum: f64 = raw_shares.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    components
+        .iter()
+        .zip(raw_shares)
+        .map(|(c, share)| ComponentPower {
+            name: c.name,
+            static_w: c.mm2 * STATIC_W_PER_MM2,
+            dynamic_w: total.dynamic_w * share / share_sum,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_breakdown_sums_to_core_power() {
+        for kind in [
+            CoreKind::BaselineOoo,
+            CoreKind::MasterCore,
+            CoreKind::LenderCore,
+        ] {
+            for ino in [0.0, 0.5, 1.0] {
+                let total = power_w(kind, 1.5, 3.3, ino);
+                let parts = component_power(kind, 1.5, 3.3, ino);
+                let s: f64 = parts.iter().map(|p| p.static_w).sum();
+                let d: f64 = parts.iter().map(|p| p.dynamic_w).sum();
+                assert!((s - total.static_w).abs() < 1e-9, "{kind:?} static");
+                assert!((d - total.dynamic_w).abs() < 1e-9, "{kind:?} dynamic");
+            }
+        }
+    }
+
+    #[test]
+    fn inorder_mode_gates_the_scheduler() {
+        let parts_ooo = component_power(CoreKind::MasterCore, 2.0, 3.25, 0.0);
+        let parts_ino = component_power(CoreKind::MasterCore, 2.0, 3.25, 1.0);
+        let sched = |parts: &[ComponentPower]| {
+            parts
+                .iter()
+                .find(|p| p.name.contains("rename"))
+                .map(|p| p.dynamic_w)
+                .expect("rename block exists")
+        };
+        assert!(
+            sched(&parts_ino) < 0.3 * sched(&parts_ooo),
+            "filler mode must gate the OoO scheduler"
+        );
+    }
+
+    #[test]
+    fn caches_are_a_major_dynamic_consumer() {
+        let parts = component_power(CoreKind::BaselineOoo, 2.0, 3.4, 0.0);
+        let cache_w: f64 = parts
+            .iter()
+            .filter(|p| p.name.contains("L1"))
+            .map(|p| p.dynamic_w)
+            .sum();
+        let total_dyn: f64 = parts.iter().map(|p| p.dynamic_w).sum();
+        assert!((0.1..0.4).contains(&(cache_w / total_dyn)));
+    }
+
+    #[test]
+    fn static_power_tracks_area() {
+        let base = power_w(CoreKind::BaselineOoo, 0.0, 3.4, 0.0);
+        let repl = power_w(CoreKind::MasterCoreReplicated, 0.0, 3.25, 0.0);
+        assert!(repl.static_w > 1.3 * base.static_w);
+        assert_eq!(base.dynamic_w, 0.0);
+    }
+
+    #[test]
+    fn plausible_absolute_power() {
+        // A 4-wide OoO at IPC 2 and 3.4GHz should land in the 3-7W range.
+        let p = power_w(CoreKind::BaselineOoo, 2.0, 3.4, 0.0).total_w();
+        assert!((3.0..7.0).contains(&p), "power {p} W");
+    }
+
+    #[test]
+    fn inorder_ops_are_cheaper() {
+        assert!(energy_per_op_nj(CoreKind::LenderCore, 0.0) < OOO_NJ_PER_OP);
+        let mixed = energy_per_op_nj(CoreKind::MasterCore, 0.5);
+        assert!(mixed < OOO_NJ_PER_OP && mixed > INO_NJ_PER_OP);
+    }
+
+    #[test]
+    fn ino_fraction_is_clamped() {
+        assert_eq!(energy_per_op_nj(CoreKind::MasterCore, 5.0), INO_NJ_PER_OP);
+        assert_eq!(energy_per_op_nj(CoreKind::MasterCore, -1.0), OOO_NJ_PER_OP);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_throughput() {
+        let p1 = power_w(CoreKind::BaselineOoo, 1.0, 3.4, 0.0);
+        let p2 = power_w(CoreKind::BaselineOoo, 2.0, 3.4, 0.0);
+        assert!((p2.dynamic_w - 2.0 * p1.dynamic_w).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Area, frequency and power model for the Duplexity reproduction.
+//!
+//! The paper sizes its designs with McPAT \[87\] and CACTI \[120\] at 32nm and
+//! reports the results in Table II. Neither tool can be linked here, so this
+//! crate provides an analytical substitute: a component-level area breakdown
+//! ([`components`]) whose totals are calibrated to Table II, plus a power
+//! model ([`energy`]) with static power proportional to area and dynamic
+//! energy per retired micro-op per core style. The experiment drivers use it
+//! for performance density (Fig. 5(b)), energy (Fig. 5(c)), and the
+//! iso-throughput normalization of Fig. 5(e).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod energy;
+pub mod table2;
+
+pub use components::{chip_area_mm2, core_area_mm2, core_components, ComponentArea, CoreKind};
+pub use energy::{component_power, energy_per_op_nj, power_w, ComponentPower, PowerBreakdown};
+pub use table2::{table2_rows, Table2Row};
+
+use duplexity_cpu::designs::Design;
+
+/// Maps an evaluated design to the core organization occupying its
+/// latency-critical slot.
+#[must_use]
+pub fn core_kind_for(design: Design) -> CoreKind {
+    match design {
+        Design::Baseline | Design::Runahead => CoreKind::BaselineOoo,
+        Design::Smt | Design::SmtPlus | Design::Elfen => CoreKind::Smt2,
+        Design::MorphCore | Design::MorphCorePlus => CoreKind::MorphCore,
+        Design::DuplexityReplication => CoreKind::MasterCoreReplicated,
+        Design::Duplexity => CoreKind::MasterCore,
+    }
+}
+
+/// LLC area per megabyte at 32nm (Table II: 3.9 mm²/MB).
+pub const LLC_MM2_PER_MB: f64 = 3.9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_mapping_is_total() {
+        for d in Design::ALL {
+            let _ = core_kind_for(d);
+        }
+        assert_eq!(core_kind_for(Design::Duplexity), CoreKind::MasterCore);
+        assert_eq!(
+            core_kind_for(Design::DuplexityReplication),
+            CoreKind::MasterCoreReplicated
+        );
+    }
+}

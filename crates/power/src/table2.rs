@@ -1,0 +1,108 @@
+//! Table II: area and clock frequencies per component.
+
+use crate::components::{core_area_mm2, CoreKind};
+use crate::LLC_MM2_PER_MB;
+use serde::{Deserialize, Serialize};
+
+/// One Table II row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Component name as printed in the paper.
+    pub component: &'static str,
+    /// Area in mm² (per MB for the LLC row).
+    pub area_mm2: f64,
+    /// Clock frequency in GHz; `None` for the LLC.
+    pub frequency_ghz: Option<f64>,
+    /// The paper's published value, for side-by-side reporting.
+    pub paper_area_mm2: f64,
+}
+
+/// Computes all Table II rows from the component model.
+#[must_use]
+pub fn table2_rows() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            component: "Baseline OoO",
+            area_mm2: core_area_mm2(CoreKind::BaselineOoo),
+            frequency_ghz: Some(3.4),
+            paper_area_mm2: 12.1,
+        },
+        Table2Row {
+            component: "SMT",
+            area_mm2: core_area_mm2(CoreKind::Smt2),
+            frequency_ghz: Some(3.35),
+            paper_area_mm2: 12.2,
+        },
+        Table2Row {
+            component: "MorphCore",
+            area_mm2: core_area_mm2(CoreKind::MorphCore),
+            frequency_ghz: Some(3.3),
+            paper_area_mm2: 12.4,
+        },
+        Table2Row {
+            component: "Master-core",
+            area_mm2: core_area_mm2(CoreKind::MasterCore),
+            frequency_ghz: Some(3.25),
+            paper_area_mm2: 12.7,
+        },
+        Table2Row {
+            component: "Master-core + replication",
+            area_mm2: core_area_mm2(CoreKind::MasterCoreReplicated),
+            frequency_ghz: Some(3.25),
+            paper_area_mm2: 16.7,
+        },
+        Table2Row {
+            component: "Lender-core",
+            area_mm2: core_area_mm2(CoreKind::LenderCore),
+            frequency_ghz: Some(3.4),
+            paper_area_mm2: 5.5,
+        },
+        Table2Row {
+            component: "LLC (per MB)",
+            area_mm2: LLC_MM2_PER_MB,
+            frequency_ghz: None,
+            paper_area_mm2: 3.9,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_close_to_paper() {
+        for row in table2_rows() {
+            let err = (row.area_mm2 - row.paper_area_mm2).abs() / row.paper_area_mm2;
+            assert!(
+                err < 0.01,
+                "{}: model {} vs paper {}",
+                row.component,
+                row.area_mm2,
+                row.paper_area_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn frequencies_match_table2() {
+        let rows = table2_rows();
+        let freq = |name: &str| {
+            rows.iter()
+                .find(|r| r.component == name)
+                .and_then(|r| r.frequency_ghz)
+                .unwrap()
+        };
+        assert_eq!(freq("Baseline OoO"), 3.4);
+        assert_eq!(freq("SMT"), 3.35);
+        assert_eq!(freq("MorphCore"), 3.3);
+        assert_eq!(freq("Master-core"), 3.25);
+        assert_eq!(freq("Lender-core"), 3.4);
+        assert!(rows.last().unwrap().frequency_ghz.is_none());
+    }
+
+    #[test]
+    fn seven_rows_like_the_paper() {
+        assert_eq!(table2_rows().len(), 7);
+    }
+}

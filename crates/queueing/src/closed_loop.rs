@@ -1,0 +1,134 @@
+//! The Figure 1(a) closed-loop stall model.
+//!
+//! §II-A: "We consider a single-job closed-loop model representing a period
+//! of computation leading to a µs-scale stall event ... The modeled system
+//! alternates between periods of computation and stalls. During stalls, CPU
+//! time is wasted, reducing utilization."
+//!
+//! For a deterministic alternation the utilization is simply
+//! `compute / (compute + stall)`; the figure's message is in the *shape* of
+//! that surface — utilization collapses precisely when stalls and compute
+//! are of the same order (the killer-microsecond regime).
+
+use serde::{Deserialize, Serialize};
+
+/// Utilization of a closed-loop system alternating `compute_us` of work with
+/// `stall_us` of waiting.
+///
+/// # Panics
+///
+/// Panics if `compute_us` is not positive or `stall_us` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_queueing::closed_loop_utilization;
+///
+/// // DRAM-scale stalls between µs-scale compute: negligible loss.
+/// assert!(closed_loop_utilization(2.0, 0.0001) > 0.9999);
+/// // Equal compute and stall: half the CPU is wasted.
+/// assert_eq!(closed_loop_utilization(1.0, 1.0), 0.5);
+/// ```
+#[must_use]
+pub fn closed_loop_utilization(compute_us: f64, stall_us: f64) -> f64 {
+    assert!(compute_us > 0.0, "compute must be positive");
+    assert!(stall_us >= 0.0, "stall must be non-negative");
+    compute_us / (compute_us + stall_us)
+}
+
+/// One cell of the Figure 1(a) utilization surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceCell {
+    /// Stall duration, µs.
+    pub stall_us: f64,
+    /// Compute interval between stalls, µs.
+    pub compute_us: f64,
+    /// Resulting utilization in `\[0, 1\]`.
+    pub utilization: f64,
+}
+
+/// Computes the Figure 1(a) surface over logarithmic grids of stall duration
+/// and compute interval (both in µs).
+///
+/// `points_per_decade` controls the resolution; the figure spans
+/// 0.01–100µs on both axes.
+#[must_use]
+pub fn utilization_surface(points_per_decade: usize) -> Vec<SurfaceCell> {
+    let grid = log_grid(0.01, 100.0, points_per_decade);
+    let mut cells = Vec::with_capacity(grid.len() * grid.len());
+    for &stall in &grid {
+        for &compute in &grid {
+            cells.push(SurfaceCell {
+                stall_us: stall,
+                compute_us: compute,
+                utilization: closed_loop_utilization(compute, stall),
+            });
+        }
+    }
+    cells
+}
+
+/// Logarithmically spaced grid from `lo` to `hi` inclusive.
+fn log_grid(lo: f64, hi: f64, points_per_decade: usize) -> Vec<f64> {
+    let decades = (hi / lo).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize;
+    (0..=n)
+        .map(|i| lo * 10f64.powf(i as f64 / points_per_decade as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits() {
+        assert!(closed_loop_utilization(100.0, 0.001) > 0.99999);
+        assert!(closed_loop_utilization(0.001, 100.0) < 0.0001);
+    }
+
+    #[test]
+    fn equal_order_collapses() {
+        // The killer-microsecond claim: same-order compute and stall wastes
+        // half the machine.
+        let u = closed_loop_utilization(1.0, 1.0);
+        assert_eq!(u, 0.5);
+        // A 10µs stall every 1µs of compute: <10% utilization.
+        assert!(closed_loop_utilization(1.0, 10.0) < 0.1);
+    }
+
+    #[test]
+    fn surface_is_monotone_in_both_axes() {
+        let cells = utilization_surface(3);
+        for w in cells.windows(2) {
+            if w[0].stall_us == w[1].stall_us {
+                // More compute between stalls => higher utilization.
+                assert!(w[1].utilization >= w[0].utilization);
+            }
+        }
+        // And for fixed compute, more stall => lower utilization.
+        let grid_len = (cells.len() as f64).sqrt() as usize;
+        for i in 0..cells.len() - grid_len {
+            assert!(cells[i].utilization >= cells[i + grid_len].utilization - 1e-12);
+        }
+    }
+
+    #[test]
+    fn surface_covers_four_decades() {
+        let cells = utilization_surface(2);
+        let min = cells
+            .iter()
+            .map(|c| c.stall_us)
+            .fold(f64::INFINITY, f64::min);
+        let max = cells.iter().map(|c| c.stall_us).fold(0.0, f64::max);
+        assert!(min <= 0.011);
+        assert!(max >= 99.0);
+    }
+
+    #[test]
+    fn grid_is_log_spaced() {
+        let g = log_grid(0.01, 100.0, 1);
+        assert_eq!(g.len(), 5);
+        assert!((g[1] / g[0] - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Discrete-event M/G/1 FCFS simulation with BigHouse stopping.
+//!
+//! A single-server FCFS queue admits the Lindley recursion
+//! `W(n+1) = max(0, W(n) + S(n) - A(n+1))`, which lets us simulate millions
+//! of requests per second of host time while recording exactly what the
+//! paper's methodology needs: per-request sojourn times (for the
+//! 99th-percentile tail), idle-period durations (Figure 1(b)), and server
+//! utilization. Simulation stops once the p99's 95% confidence interval is
+//! within 5% relative error (§V), or at the sample cap.
+
+use duplexity_stats::ci::ConfidenceInterval;
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::histogram::Histogram;
+use duplexity_stats::quantile::QuantileEstimator;
+use duplexity_stats::rng::{rng_from_seed, SimRng};
+use duplexity_stats::summary::Summary;
+
+/// Simulation control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mg1Options {
+    /// Target quantile (the paper reports p99).
+    pub quantile: f64,
+    /// Confidence level for the stopping rule (0.95).
+    pub confidence: f64,
+    /// Maximum relative CI half-width before stopping (0.05).
+    pub max_relative_error: f64,
+    /// Requests discarded as warm-up before measuring.
+    pub warmup: usize,
+    /// Hard cap on measured requests.
+    pub max_samples: usize,
+    /// Convergence is checked every this many samples.
+    pub check_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mg1Options {
+    fn default() -> Self {
+        Self {
+            quantile: 0.99,
+            confidence: 0.95,
+            max_relative_error: 0.05,
+            warmup: 5_000,
+            max_samples: 2_000_000,
+            check_every: 20_000,
+            seed: 0xB16_0915,
+        }
+    }
+}
+
+/// Results of one M/G/1 simulation.
+#[derive(Debug, Clone)]
+pub struct Mg1Result {
+    /// The target quantile of sojourn time, µs.
+    pub tail_us: f64,
+    /// Confidence interval around [`Mg1Result::tail_us`], if computable.
+    pub tail_ci: Option<ConfidenceInterval>,
+    /// Mean sojourn time, µs.
+    pub mean_sojourn_us: f64,
+    /// Median sojourn time, µs.
+    pub p50_us: f64,
+    /// Server utilization (busy fraction).
+    pub utilization: f64,
+    /// Idle-period statistics, µs.
+    pub idle: Summary,
+    /// Idle-period histogram (for CDF plots), µs.
+    pub idle_histogram: Histogram,
+    /// Measured requests.
+    pub samples: usize,
+    /// Whether the CI stopping rule was met before the cap.
+    pub converged: bool,
+}
+
+/// Simulates an M/G/1 FCFS queue with Poisson arrivals at `lambda_per_us`
+/// and service times drawn from `service`.
+///
+/// # Panics
+///
+/// Panics if `lambda_per_us` is not positive, or the implied load (from a
+/// pilot service-mean estimate) is ≥ 1 — an unstable queue has no steady
+/// state to report.
+pub fn simulate_mg1(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    opts: &Mg1Options,
+) -> Mg1Result {
+    assert!(lambda_per_us > 0.0, "arrival rate must be positive");
+    let mut rng = rng_from_seed(opts.seed);
+    let interarrival = Exponential::from_rate(lambda_per_us);
+
+    // Pilot: estimate the mean service time to reject unstable inputs early.
+    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    let rho_estimate = lambda_per_us * pilot;
+    assert!(
+        rho_estimate < 1.0,
+        "offered load {rho_estimate:.3} >= 1: the queue is unstable"
+    );
+
+    let mut wait = 0.0f64; // W(n)
+    let mut sojourns = QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20));
+    let mut idle = Summary::new();
+    let mut idle_hist = Histogram::new(0.0, 100.0, 400);
+    let mut busy_time = 0.0f64;
+    let mut clock = 0.0f64;
+    let mut converged = false;
+
+    let total = opts.warmup + opts.max_samples;
+    for n in 0..total {
+        let s = service(&mut rng);
+        let measured = n >= opts.warmup;
+        if measured {
+            sojourns.record(wait + s);
+            busy_time += s;
+        }
+        let a = interarrival.sample(&mut rng);
+        if measured {
+            clock += a;
+            let slack = a - (wait + s);
+            if slack > 0.0 {
+                idle.record(slack);
+                idle_hist.record(slack);
+            }
+        }
+        wait = (wait + s - a).max(0.0);
+
+        if measured && sojourns.count().is_multiple_of(opts.check_every) {
+            if let Some(ci) = sojourns.quantile_ci(opts.quantile, opts.confidence) {
+                if ci.converged(opts.max_relative_error) {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let samples = sojourns.count();
+    let mean = sojourns.mean().unwrap_or(0.0);
+    let tail_ci = sojourns.quantile_ci(opts.quantile, opts.confidence);
+    let tail_us = sojourns.quantile(opts.quantile).unwrap_or(0.0);
+    let p50_us = sojourns.quantile(0.5).unwrap_or(0.0);
+    Mg1Result {
+        tail_us,
+        tail_ci,
+        mean_sojourn_us: mean,
+        p50_us,
+        utilization: if clock > 0.0 {
+            (busy_time / clock).min(1.0)
+        } else {
+            0.0
+        },
+        idle,
+        idle_histogram: idle_hist,
+        samples,
+        converged,
+    }
+}
+
+/// Convenience: simulate with a fixed service distribution.
+pub fn simulate_mg1_dist(
+    lambda_per_us: f64,
+    service: &dyn Distribution,
+    opts: &Mg1Options,
+) -> Mg1Result {
+    let mut f = |rng: &mut SimRng| service.sample(rng);
+    simulate_mg1(lambda_per_us, &mut f, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::Mg1Analytic;
+    use duplexity_stats::dist::Deterministic;
+
+    fn fast_opts(seed: u64) -> Mg1Options {
+        Mg1Options {
+            max_samples: 400_000,
+            warmup: 2_000,
+            seed,
+            ..Mg1Options::default()
+        }
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_analytic() {
+        // M/M/1 at rho=0.5: E[T] = E[S]/(1-rho).
+        let service = Exponential::new(5.0);
+        let r = simulate_mg1_dist(0.1, &service, &fast_opts(1));
+        let analytic = 5.0 / (1.0 - 0.5);
+        assert!(
+            (r.mean_sojourn_us - analytic).abs() / analytic < 0.05,
+            "sim {} vs analytic {analytic}",
+            r.mean_sojourn_us
+        );
+    }
+
+    #[test]
+    fn mm1_p99_matches_analytic() {
+        // M/M/1 sojourn is exponential with mean E[S]/(1-rho):
+        // p99 = mean * ln(100).
+        let service = Exponential::new(2.0);
+        let r = simulate_mg1_dist(0.25, &service, &fast_opts(2)); // rho=0.5
+        let analytic = (2.0 / 0.5) * 100.0_f64.ln();
+        assert!(
+            (r.tail_us - analytic).abs() / analytic < 0.08,
+            "sim {} vs analytic {analytic}",
+            r.tail_us
+        );
+    }
+
+    #[test]
+    fn md1_wait_matches_pollaczek_khinchine() {
+        let service = Deterministic::new(4.0);
+        let lambda = 0.7 / 4.0;
+        let r = simulate_mg1_dist(lambda, &service, &fast_opts(3));
+        let analytic = Mg1Analytic {
+            lambda_per_us: lambda,
+            mean_service_us: 4.0,
+            service_scv: 0.0,
+        }
+        .mean_sojourn_us();
+        assert!(
+            (r.mean_sojourn_us - analytic).abs() / analytic < 0.05,
+            "sim {} vs analytic {analytic}",
+            r.mean_sojourn_us
+        );
+    }
+
+    #[test]
+    fn utilization_matches_rho() {
+        let service = Exponential::new(1.0);
+        let r = simulate_mg1_dist(0.7, &service, &fast_opts(4));
+        assert!(
+            (r.utilization - 0.7).abs() < 0.03,
+            "utilization {}",
+            r.utilization
+        );
+    }
+
+    #[test]
+    fn idle_periods_are_exponential_with_rate_lambda() {
+        // §II-A: idle periods ~ Exp(lambda) for ANY service distribution.
+        let service = Deterministic::new(2.0); // decidedly non-exponential
+        let lambda = 0.25; // rho = 0.5
+        let r = simulate_mg1_dist(lambda, &service, &fast_opts(5));
+        let expect_mean = 1.0 / lambda;
+        assert!(
+            (r.idle.mean() - expect_mean).abs() / expect_mean < 0.05,
+            "idle mean {} vs {expect_mean}",
+            r.idle.mean()
+        );
+        // Exponential: scv == 1.
+        assert!(
+            (r.idle.scv() - 1.0).abs() < 0.1,
+            "idle scv {}",
+            r.idle.scv()
+        );
+    }
+
+    #[test]
+    fn convergence_flag_set_on_easy_cases() {
+        let service = Exponential::new(1.0);
+        let r = simulate_mg1_dist(0.3, &service, &fast_opts(6));
+        assert!(r.converged, "low-load M/M/1 must converge in 400k samples");
+        assert!(r.tail_ci.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_overload() {
+        let service = Exponential::new(2.0);
+        let _ = simulate_mg1_dist(0.6, &service, &fast_opts(7)); // rho = 1.2
+    }
+
+    #[test]
+    fn tail_exceeds_median_exceeds_service() {
+        let service = Exponential::new(3.0);
+        let r = simulate_mg1_dist(0.2, &service, &fast_opts(8)); // rho=0.6
+        assert!(r.tail_us > r.p50_us);
+        assert!(r.mean_sojourn_us > 3.0);
+    }
+
+    #[test]
+    fn higher_load_means_higher_tail() {
+        let service = Exponential::new(1.0);
+        let lo = simulate_mg1_dist(0.3, &service, &fast_opts(9));
+        let hi = simulate_mg1_dist(0.7, &service, &fast_opts(9));
+        assert!(
+            hi.tail_us > 1.5 * lo.tail_us,
+            "lo {} hi {}",
+            lo.tail_us,
+            hi.tail_us
+        );
+    }
+}

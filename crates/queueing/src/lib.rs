@@ -1,0 +1,32 @@
+//! BigHouse-style queueing simulation for the Duplexity reproduction.
+//!
+//! §V of the paper: "We estimate tail latencies using the BigHouse \[67\]
+//! methodology. We simulate the queuing system until we achieve 95%
+//! confidence intervals of 5% error in reported results. We measure IPC in
+//! gem5 and use it to determine the service rate of an FCFS M/G/1 queuing
+//! system. We then simulate the high-level behavior of the queue at request
+//! (rather than instruction) granularity."
+//!
+//! * [`closed_loop`] — the Figure 1(a) closed-loop compute/stall utilization
+//!   model;
+//! * [`mg1`] — analytic M/G/1 results (Pollaczek–Khinchine, exponential idle
+//!   periods) used for Figure 1(b) and as cross-checks;
+//! * [`des`] — the discrete-event FCFS simulator (Lindley recursion) with
+//!   the BigHouse confidence-interval stopping rule, producing tail
+//!   latencies and idle-period distributions;
+//! * [`fanout`] — max-of-k leaf waits for mid-tier fan-out scenarios
+//!   ("tail at scale"), an extension beyond the paper's single-leaf
+//!   McRouter model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed_loop;
+pub mod des;
+pub mod fanout;
+pub mod mg1;
+
+pub use closed_loop::{closed_loop_utilization, utilization_surface};
+pub use des::{simulate_mg1, Mg1Options, Mg1Result};
+pub use fanout::{exponential_fanout_mean, exponential_fanout_quantile, FanOut};
+pub use mg1::{idle_period_cdf, mean_idle_period_us, Mg1Analytic};

@@ -1,0 +1,163 @@
+//! Analytic M/G/1 results.
+//!
+//! §II-A: "due to the memory-less property of Poisson request arrivals, idle
+//! periods of all M/G/1 queuing systems follow an exponential distribution,
+//! independent of the service distribution; idle period duration is only a
+//! function of service rate and load." These closed forms drive Figure 1(b)
+//! and serve as correctness oracles for the discrete-event simulator.
+
+use duplexity_stats::dist::Exponential;
+use serde::{Deserialize, Serialize};
+
+/// Analytic M/G/1 queue description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1Analytic {
+    /// Arrival rate λ, requests per µs.
+    pub lambda_per_us: f64,
+    /// Mean service time E\[S\], µs.
+    pub mean_service_us: f64,
+    /// Squared coefficient of variation of service time.
+    pub service_scv: f64,
+}
+
+impl Mg1Analytic {
+    /// Builds from a service rate (capacity) in queries-per-second and an
+    /// offered load fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps <= 0`, or `load` is outside `(0, 1)`.
+    #[must_use]
+    pub fn from_qps_load(qps: f64, load: f64, service_scv: f64) -> Self {
+        assert!(qps > 0.0, "qps must be positive");
+        assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+        let mean_service_us = 1e6 / qps; // capacity of 1/E[S]
+        Self {
+            lambda_per_us: load / mean_service_us,
+            mean_service_us,
+            service_scv,
+        }
+    }
+
+    /// Offered load ρ = λ E\[S\].
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.lambda_per_us * self.mean_service_us
+    }
+
+    /// Pollaczek–Khinchine mean waiting time E\[W\] in µs.
+    ///
+    /// `E\[W\] = λ E[S²] / (2 (1 - ρ))` with `E[S²] = (1 + scv) E\[S\]²`.
+    #[must_use]
+    pub fn mean_wait_us(&self) -> f64 {
+        let rho = self.rho();
+        let es2 = (1.0 + self.service_scv) * self.mean_service_us * self.mean_service_us;
+        self.lambda_per_us * es2 / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean sojourn (response) time E\[T\] = E\[W\] + E\[S\] in µs.
+    #[must_use]
+    pub fn mean_sojourn_us(&self) -> f64 {
+        self.mean_wait_us() + self.mean_service_us
+    }
+
+    /// The idle-period distribution: exponential with rate λ, regardless of
+    /// the service distribution (memorylessness of Poisson arrivals).
+    #[must_use]
+    pub fn idle_distribution(&self) -> Exponential {
+        Exponential::from_rate(self.lambda_per_us)
+    }
+}
+
+/// Mean idle-period duration for a service of capacity `qps` at offered
+/// `load` — the §II-A headline numbers (200K QPS @ 50% → 10µs; 1M QPS @ 50%
+/// → 2µs).
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_queueing::mean_idle_period_us;
+///
+/// assert!((mean_idle_period_us(200_000.0, 0.5) - 10.0).abs() < 1e-9);
+/// assert!((mean_idle_period_us(1_000_000.0, 0.5) - 2.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `qps <= 0` or `load` outside `(0, 1)`.
+#[must_use]
+pub fn mean_idle_period_us(qps: f64, load: f64) -> f64 {
+    assert!(qps > 0.0 && load > 0.0 && load < 1.0, "bad parameters");
+    1e6 / (qps * load)
+}
+
+/// CDF of idle-period duration at `t_us` for a service of capacity `qps` at
+/// `load` (Figure 1(b) series).
+#[must_use]
+pub fn idle_period_cdf(qps: f64, load: f64, t_us: f64) -> f64 {
+    let mean = mean_idle_period_us(qps, load);
+    Exponential::new(mean).cdf(t_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_stats::dist::Distribution;
+
+    #[test]
+    fn rho_matches_load() {
+        let q = Mg1Analytic::from_qps_load(200_000.0, 0.7, 1.0);
+        assert!((q.rho() - 0.7).abs() < 1e-12);
+        assert!((q.mean_service_us - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_special_case() {
+        // With scv=1 (M/M/1), E[T] = E[S] / (1 - rho).
+        let q = Mg1Analytic::from_qps_load(1_000_000.0, 0.5, 1.0);
+        let expect = q.mean_service_us / (1.0 - 0.5);
+        assert!((q.mean_sojourn_us() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        // Deterministic service (scv=0) waits exactly half as long.
+        let mm1 = Mg1Analytic::from_qps_load(500_000.0, 0.6, 1.0);
+        let md1 = Mg1Analytic::from_qps_load(500_000.0, 0.6, 0.0);
+        assert!((md1.mean_wait_us() - 0.5 * mm1.mean_wait_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_diverges_near_saturation() {
+        let low = Mg1Analytic::from_qps_load(200_000.0, 0.5, 1.0);
+        let high = Mg1Analytic::from_qps_load(200_000.0, 0.99, 1.0);
+        assert!(high.mean_wait_us() > 50.0 * low.mean_wait_us());
+    }
+
+    #[test]
+    fn paper_idle_period_anchors() {
+        // §II-A: "200K and 1M QPS services at 50% load average idle periods
+        // of only 10µs and 2µs".
+        assert!((mean_idle_period_us(200_000.0, 0.5) - 10.0).abs() < 1e-9);
+        assert!((mean_idle_period_us(1_000_000.0, 0.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cdf_shape() {
+        // Individual idle periods last only a few µs: at 1M QPS and 70%
+        // load, the vast majority of idle periods are under 5µs.
+        assert!(idle_period_cdf(1_000_000.0, 0.7, 5.0) > 0.95);
+        // At 200K QPS and 30% load they stretch longer.
+        assert!(idle_period_cdf(200_000.0, 0.3, 5.0) < 0.3);
+        // CDF is monotone.
+        let a = idle_period_cdf(200_000.0, 0.5, 2.0);
+        let b = idle_period_cdf(200_000.0, 0.5, 8.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn idle_distribution_matches_lambda() {
+        let q = Mg1Analytic::from_qps_load(200_000.0, 0.5, 2.0);
+        assert!((q.idle_distribution().mean() - 10.0).abs() < 1e-9);
+    }
+}

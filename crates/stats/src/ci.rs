@@ -1,0 +1,188 @@
+//! Confidence intervals and the BigHouse stopping rule.
+//!
+//! §V: "We simulate the queuing system until we achieve 95% confidence
+//! intervals of 5% error in reported results."
+
+use serde::{Deserialize, Serialize};
+
+/// A point estimate with a two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate.
+    pub point: f64,
+    /// Lower bound of the interval.
+    pub low: f64,
+    /// Upper bound of the interval.
+    pub high: f64,
+    /// Confidence level in `(0, 1)`, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half of the interval width.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.high - self.low)
+    }
+
+    /// Half-width relative to the point estimate; `inf` when the point is 0.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.point == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width() / self.point.abs()
+        }
+    }
+
+    /// The BigHouse stopping criterion: true once the relative half-width is
+    /// at or below `max_relative_error` (the paper uses 0.05).
+    #[must_use]
+    pub fn converged(&self, max_relative_error: f64) -> bool {
+        self.relative_half_width() <= max_relative_error
+    }
+
+    /// Returns true if `value` lies within `[low, high]`.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low && value <= self.high
+    }
+}
+
+/// Two-sided standard-normal critical value for the given confidence level.
+///
+/// Computed by inverting Φ via bisection on a high-accuracy erf approximation,
+/// so uncommon confidence levels work too.
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let z = duplexity_stats::ci::z_value(0.95);
+/// assert!((z - 1.96).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn z_value(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let target = 0.5 + confidence / 2.0; // Φ(z) target for two-sided interval
+    let (mut lo, mut hi) = (0.0_f64, 10.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal CDF Φ(x).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (|error| < 1.5e-7), with odd symmetry.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Mean confidence interval from streaming summary statistics (CLT-based).
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `(0, 1)`.
+#[must_use]
+pub fn mean_ci(summary: &crate::summary::Summary, confidence: f64) -> ConfidenceInterval {
+    let n = summary.count().max(1) as f64;
+    let half = z_value(confidence) * summary.std_dev() / n.sqrt();
+    let point = summary.mean();
+    ConfidenceInterval {
+        point,
+        low: point - half,
+        high: point + half,
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    #[test]
+    fn z_values_match_tables() {
+        assert!((z_value(0.90) - 1.6449).abs() < 1e-3);
+        assert!((z_value(0.95) - 1.9600).abs() < 1e-3);
+        assert!((z_value(0.99) - 2.5758).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for x in [-3.0, -1.0, -0.2, 0.0, 0.5, 2.0] {
+            let lhs: f64 = normal_cdf(x) + normal_cdf(-x);
+            // Two erf evaluations, each accurate to 1.5e-7.
+            assert!((lhs - 1.0).abs() < 5e-7);
+        }
+        // The A&S coefficients sum to 1 - 1e-9, so Φ(0) carries that residual.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn interval_queries() {
+        let ci = ConfidenceInterval {
+            point: 10.0,
+            low: 9.5,
+            high: 10.5,
+            confidence: 0.95,
+        };
+        assert!((ci.half_width() - 0.5).abs() < 1e-12);
+        assert!((ci.relative_half_width() - 0.05).abs() < 1e-12);
+        assert!(ci.converged(0.05));
+        assert!(!ci.converged(0.04));
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(8.0));
+    }
+
+    #[test]
+    fn zero_point_never_converges() {
+        let ci = ConfidenceInterval {
+            point: 0.0,
+            low: -1.0,
+            high: 1.0,
+            confidence: 0.95,
+        };
+        assert!(!ci.converged(0.05));
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let mut small = Summary::new();
+        let mut big = Summary::new();
+        for i in 0..100 {
+            small.record(f64::from(i % 10));
+        }
+        for i in 0..10_000 {
+            big.record(f64::from(i % 10));
+        }
+        let ci_small = mean_ci(&small, 0.95);
+        let ci_big = mean_ci(&big, 0.95);
+        assert!(ci_big.half_width() < ci_small.half_width());
+        assert!(ci_big.contains(4.5));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fixed-bin histograms for idle-period and latency distributions.
+//!
+//! Figure 1(b) plots the cumulative distribution of idle-period durations;
+//! [`Histogram`] accumulates the simulated durations and exposes the CDF.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform-width bins over `[low, high)` plus overflow and
+/// underflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [0.5, 1.5, 1.7, 9.9, 12.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `bins == 0`.
+    #[must_use]
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low < high, "need low < high");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.low) / (self.high - self.low);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations below the histogram range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The left edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index out of range");
+        self.low + (self.high - self.low) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Empirical CDF sampled at each bin's *right* edge: element `i` is the
+    /// fraction of observations `< right_edge(i)` (underflow included).
+    ///
+    /// Returns an empty vector if no observations were recorded.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let total = self.count();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut acc = self.underflow;
+        self.bins
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total as f64
+            })
+            .collect()
+    }
+
+    /// Merges another histogram with identical binning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.low, other.low, "histogram ranges differ");
+        assert_eq!(self.high, other.high, "histogram ranges differ");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_exact() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.999);
+        h.record(1.0);
+        h.record(9.999);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.record(0.5);
+        h.record(2.0);
+        h.record(3.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn cdf_reaches_one_without_overflow() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.record(x);
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn cdf_empty_histogram() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn bin_edges_uniform() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_edge(0), 2.0);
+        assert_eq!(h.bin_edge(4), 10.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(1.0);
+        b.record(1.5);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.bins()[1], 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram ranges differ")]
+    fn merge_rejects_mismatched_ranges() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 5.0, 10);
+        a.merge(&b);
+    }
+}

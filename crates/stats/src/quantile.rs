@@ -1,0 +1,261 @@
+//! Quantile estimation for tail-latency measurement.
+//!
+//! The BigHouse methodology (§V) reports the 99th-percentile latency with a
+//! 95% confidence interval and stops simulating once the interval half-width
+//! drops below 5% of the estimate. [`QuantileEstimator`] collects samples and
+//! produces both the point estimate and the order-statistic confidence
+//! interval required for that stopping rule.
+
+use crate::ci::ConfidenceInterval;
+use serde::{Deserialize, Serialize};
+
+/// Collects samples and answers quantile queries with confidence intervals.
+///
+/// Samples are stored and sorted lazily; queries after large insert batches
+/// cost one sort.
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_stats::quantile::QuantileEstimator;
+///
+/// let mut q = QuantileEstimator::new();
+/// q.extend((1..=100).map(f64::from));
+/// assert_eq!(q.quantile(0.5), Some(50.0));
+/// assert_eq!(q.quantile(0.99), Some(99.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QuantileEstimator {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl QuantileEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty estimator with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "quantile samples must be finite");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no observations are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0 < q < 1) using the nearest-rank method, or `None`
+    /// when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// The sample mean, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Distribution-free confidence interval for the `q`-quantile at the given
+    /// confidence level, via the normal approximation to order-statistic
+    /// ranks: rank ± z·√(n·q·(1−q)).
+    ///
+    /// Returns `None` when there are too few samples for the interval to be
+    /// defined (both bounding ranks must exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)` or `confidence` outside `(0, 1)`.
+    pub fn quantile_ci(&mut self, q: f64, confidence: f64) -> Option<ConfidenceInterval> {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)"
+        );
+        let n = self.samples.len();
+        if n < 8 {
+            return None;
+        }
+        self.ensure_sorted();
+        let z = crate::ci::z_value(confidence);
+        let nf = n as f64;
+        let center = q * nf;
+        let half = z * (nf * q * (1.0 - q)).sqrt();
+        let lo_rank = (center - half).floor();
+        let hi_rank = (center + half).ceil();
+        if lo_rank < 1.0 || hi_rank > nf {
+            return None;
+        }
+        let point = self.quantile(q).expect("non-empty");
+        Some(ConfidenceInterval {
+            point,
+            low: self.samples[lo_rank as usize - 1],
+            high: self.samples[hi_rank as usize - 1],
+            confidence,
+        })
+    }
+
+    /// Returns the empirical CDF evaluated at `x`.
+    pub fn cdf(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Consumes the estimator, returning the sorted samples.
+    #[must_use]
+    pub fn into_sorted(mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        self.samples
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+}
+
+impl FromIterator<f64> for QuantileEstimator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut q = QuantileEstimator::new();
+        q.extend(iter);
+        q
+    }
+}
+
+impl Extend<f64> for QuantileEstimator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential};
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut q = QuantileEstimator::new();
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.mean(), None);
+    }
+
+    #[test]
+    fn nearest_rank_on_small_sets() {
+        let mut q: QuantileEstimator = [10.0, 20.0, 30.0, 40.0].into_iter().collect();
+        assert_eq!(q.quantile(0.5), Some(20.0));
+        assert_eq!(q.quantile(0.75), Some(30.0));
+        assert_eq!(q.quantile(0.76), Some(40.0));
+        assert_eq!(q.quantile(0.01), Some(10.0));
+    }
+
+    #[test]
+    fn p99_of_uniform_ranks() {
+        let mut q: QuantileEstimator = (1..=1000).map(f64::from).collect();
+        assert_eq!(q.quantile(0.99), Some(990.0));
+    }
+
+    #[test]
+    fn exponential_p99_matches_analytic() {
+        // p99 of Exp(mean m) = m * ln(100).
+        let d = Exponential::new(1.0);
+        let mut rng = rng_from_seed(42);
+        let mut q = QuantileEstimator::with_capacity(200_000);
+        for _ in 0..200_000 {
+            q.record(d.sample(&mut rng));
+        }
+        let p99 = q.quantile(0.99).unwrap();
+        let analytic = 100.0_f64.ln();
+        assert!(
+            (p99 - analytic).abs() / analytic < 0.03,
+            "p99 {p99} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn ci_brackets_point_estimate() {
+        let d = Exponential::new(1.0);
+        let mut rng = rng_from_seed(7);
+        let mut q = QuantileEstimator::new();
+        for _ in 0..50_000 {
+            q.record(d.sample(&mut rng));
+        }
+        let ci = q.quantile_ci(0.99, 0.95).unwrap();
+        assert!(ci.low <= ci.point && ci.point <= ci.high);
+        assert!(ci.relative_half_width() < 0.1);
+    }
+
+    #[test]
+    fn ci_none_for_tiny_samples() {
+        let mut q: QuantileEstimator = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!(q.quantile_ci(0.99, 0.95).is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut q: QuantileEstimator = [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().collect();
+        assert_eq!(q.cdf(0.0), 0.0);
+        assert_eq!(q.cdf(2.5), 0.4);
+        assert_eq!(q.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn interleaved_insert_and_query() {
+        let mut q = QuantileEstimator::new();
+        q.record(5.0);
+        assert_eq!(q.quantile(0.5), Some(5.0));
+        q.record(1.0);
+        q.record(9.0);
+        assert_eq!(q.quantile(0.5), Some(5.0));
+        assert_eq!(q.into_sorted(), vec![1.0, 5.0, 9.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Zipfian (power-law) discrete sampling.
+//!
+//! Key-value and block-cache request streams in data centers are famously
+//! skewed; a Zipf distribution over item ranks is the standard model (e.g.
+//! YCSB's default). The RSC and McRouter workload models use it so cache
+//! behaviour reflects a realistic hot set rather than uniform traffic.
+
+use crate::rng::SimRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling uses inverse-transform over a precomputed CDF (O(log n) per
+/// draw, exact).
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_stats::zipf::Zipf;
+/// use duplexity_stats::rng::rng_from_seed;
+///
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = rng_from_seed(1);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// `s = 0` degenerates to uniform; YCSB's default skew is `s = 0.99`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf, s }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the hottest item).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len(), "rank out of range");
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Fraction of probability mass held by the hottest `k` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    #[must_use]
+    pub fn head_mass(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "bad head size");
+        self.cdf[k - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.99);
+        let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(100, 0.0);
+        for k in 0..100 {
+            assert!((z.pmf(k) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_head_mass() {
+        let uniform = Zipf::new(10_000, 0.0);
+        let skewed = Zipf::new(10_000, 0.99);
+        assert!(skewed.head_mass(100) > 5.0 * uniform.head_mass(100));
+        // YCSB-style skew: top 1% of items draw a large chunk of traffic.
+        assert!(
+            skewed.head_mass(100) > 0.3,
+            "head {}",
+            skewed.head_mass(100)
+        );
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(64, 1.2);
+        let mut rng = rng_from_seed(5);
+        let mut counts = [0u32; 64];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 7, 31] {
+            let emp = f64::from(counts[k]) / f64::from(n);
+            let exp = z.pmf(k);
+            assert!(
+                (emp - exp).abs() < 0.01 + 0.1 * exp,
+                "rank {k}: emp {emp} vs pmf {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(10, 2.0);
+        let mut rng = rng_from_seed(6);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn monotone_pmf() {
+        let z = Zipf::new(50, 0.8);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+}

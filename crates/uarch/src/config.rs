@@ -1,0 +1,319 @@
+//! Microarchitecture configuration (Table I) and the latency model.
+//!
+//! The paper's Table I fixes the sizing of every structure the cycle
+//! simulator models. Latencies not stated in the paper (L1/LLC hit time, page
+//! walk, misprediction penalty) use conventional values for a 3.4GHz-class
+//! core and are collected in [`LatencyModel`] so sensitivity studies can vary
+//! them.
+
+use crate::cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Sizing of one out-of-order or in-order core (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Superscalar width (fetch/issue/commit per cycle).
+    pub width: usize,
+    /// Reorder-buffer entries (OoO mode only).
+    pub rob_entries: usize,
+    /// Physical register file entries. 144 = architectural state of 9 threads
+    /// (master + 8 fillers), per §III-B4.
+    pub prf_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Hardware thread contexts the pipeline multiplexes.
+    pub physical_contexts: usize,
+    /// Virtual contexts available to HSMT scheduling (0 = plain SMT).
+    pub virtual_contexts: usize,
+}
+
+impl CoreConfig {
+    /// Baseline/SMT/master core: 4-wide OoO, 144-entry ROB/PRF, 48-entry LQ,
+    /// 32-entry SQ (Table I).
+    #[must_use]
+    pub fn baseline_ooo() -> Self {
+        Self {
+            width: 4,
+            rob_entries: 144,
+            prf_entries: 144,
+            lq_entries: 48,
+            sq_entries: 32,
+            iq_entries: 60,
+            physical_contexts: 1,
+            virtual_contexts: 0,
+        }
+    }
+
+    /// Lender-core: 8-way in-order HSMT, 32 virtual contexts, 4-wide issue,
+    /// 128-entry architectural register file (Table I).
+    #[must_use]
+    pub fn lender() -> Self {
+        Self {
+            width: 4,
+            rob_entries: 0,
+            prf_entries: 128,
+            lq_entries: 0,
+            sq_entries: 0,
+            iq_entries: 8 * 8, // per-thread in-order queues
+            physical_contexts: 8,
+            virtual_contexts: 32,
+        }
+    }
+
+    /// Master-core: same datapath as the baseline OoO, plus the ability to
+    /// morph into the lender's 8-way InO HSMT organization.
+    #[must_use]
+    pub fn master() -> Self {
+        Self {
+            physical_contexts: 1,
+            virtual_contexts: 32,
+            ..Self::baseline_ooo()
+        }
+    }
+}
+
+/// Cycle latencies of the memory system and pipeline events.
+///
+/// Values marked "Table I" are from the paper; the rest are conventional and
+/// documented here as modelling assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// L0 filter-cache hit (assumption: next-cycle).
+    pub l0_hit: u64,
+    /// Local L1 hit (assumption: 3 cycles, typical for 64KB 2-way).
+    pub l1_hit: u64,
+    /// Extra cycles for the master-core to reach the lender-core's L1
+    /// (§III-B3: "~3 cycles higher than local cache access").
+    pub remote_l1_extra: u64,
+    /// LLC hit (assumption: 30 cycles).
+    pub llc_hit: u64,
+    /// DRAM access (Table I: 50ns; 170 cycles at 3.4GHz).
+    pub memory: u64,
+    /// TLB-miss page walk (assumption: 50 cycles).
+    pub page_walk: u64,
+    /// Branch misprediction redirect penalty (assumption: 12 cycles).
+    pub mispredict: u64,
+    /// Cycles to spill filler-thread architectural state through the L0
+    /// D-cache when the master-thread resumes (§III-B4: "less than 50").
+    pub filler_eviction: u64,
+    /// Cycles to swap a virtual context in/out of a physical HSMT context
+    /// (register save + restore through the dedicated memory region).
+    pub context_swap: u64,
+    /// Full OS/software context switch, for comparison (§I: 5-20µs; we use
+    /// 5µs at 3.4GHz).
+    pub os_context_switch: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            l0_hit: 1,
+            l1_hit: 3,
+            remote_l1_extra: 3,
+            llc_hit: 30,
+            memory: 170,
+            page_walk: 50,
+            mispredict: 12,
+            filler_eviction: 50,
+            context_swap: 64,
+            os_context_switch: 17_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of a remote (lender-L1) hit from the master-core.
+    #[must_use]
+    pub fn remote_l1_hit(&self) -> u64 {
+        self.l1_hit + self.remote_l1_extra
+    }
+}
+
+/// A complete machine description: core sizing, cache geometry, latencies,
+/// and clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Core pipeline sizing.
+    pub core: CoreConfig,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared LLC slice geometry.
+    pub llc: CacheConfig,
+    /// Event latencies.
+    pub latency: LatencyModel,
+    /// Core clock in GHz (Table II; the master-core runs at 3.25GHz due to
+    /// mode-mux cycle-time penalty).
+    pub clock_ghz: f64,
+}
+
+impl MachineConfig {
+    /// The baseline OoO machine (Table I + Table II).
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            core: CoreConfig::baseline_ooo(),
+            l1i: CacheConfig::l1(),
+            l1d: CacheConfig::l1(),
+            llc: CacheConfig::llc(),
+            latency: LatencyModel::default(),
+            clock_ghz: 3.4,
+        }
+    }
+
+    /// The lender-core machine.
+    #[must_use]
+    pub fn lender() -> Self {
+        Self {
+            core: CoreConfig::lender(),
+            clock_ghz: 3.4,
+            ..Self::baseline()
+        }
+    }
+
+    /// The master-core machine (3.25GHz after the 4% mux penalty, Table II).
+    #[must_use]
+    pub fn master() -> Self {
+        Self {
+            core: CoreConfig::master(),
+            clock_ghz: 3.25,
+            ..Self::baseline()
+        }
+    }
+
+    /// Cycles per microsecond at this machine's clock.
+    #[must_use]
+    pub fn cycles_per_us(&self) -> f64 {
+        self.clock_ghz * 1000.0
+    }
+
+    /// Converts a duration in microseconds to cycles (rounded).
+    #[must_use]
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * self.cycles_per_us()).round() as u64
+    }
+}
+
+/// Renders Table I as aligned text rows, for the report binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table1;
+
+impl Table1 {
+    /// The rows of Table I: (component, description).
+    #[must_use]
+    pub fn rows() -> Vec<(&'static str, String)> {
+        let base = CoreConfig::baseline_ooo();
+        let lender = CoreConfig::lender();
+        vec![
+            (
+                "Baseline/SMT",
+                format!(
+                    "{}-wide OoO, {}-entry ROB/PRF, {}-entry LQ, {}-entry SQ, ICOUNT fetch for SMT",
+                    base.width, base.rob_entries, base.lq_entries, base.sq_entries
+                ),
+            ),
+            (
+                "Predictors",
+                "Tournament: bimodal (16K), gshare (16K), selector (16K); 32-entry RAS; \
+                 2K-entry BTB, 64-entry I/D TLBs"
+                    .to_string(),
+            ),
+            (
+                "Lender-core",
+                format!(
+                    "{}-way InO HSMT, {} virtual contexts, {}-wide issue, {}-entry ARF, \
+                     Round-Robin fetch, gshare (8K), 2K-entry BTB, 64-entry I/D TLBs",
+                    lender.physical_contexts,
+                    lender.virtual_contexts,
+                    lender.width,
+                    lender.prf_entries
+                ),
+            ),
+            (
+                "Master-core",
+                "Transitions between single-threaded OoO and InO HSMT, uarch same as \
+                 baseline; tournament(16K)/gshare(8K), separate TLBs for the two modes, \
+                 2KB/4KB I/D write-through L0 caches"
+                    .to_string(),
+            ),
+            (
+                "L1 caches",
+                "Private 64KB I/D, 64B lines, 2-way SA".to_string(),
+            ),
+            ("LLC", "1 MB per core, 64B lines, 8-way SA".to_string()),
+            ("Memory", "50 ns access latency".to_string()),
+            ("NIC", "FDR 4x Infiniband (56Gbit/s, 90M ops/s)".to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = CoreConfig::baseline_ooo();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob_entries, 144);
+        assert_eq!(c.prf_entries, 144);
+        assert_eq!(c.lq_entries, 48);
+        assert_eq!(c.sq_entries, 32);
+    }
+
+    #[test]
+    fn lender_matches_table1() {
+        let c = CoreConfig::lender();
+        assert_eq!(c.physical_contexts, 8);
+        assert_eq!(c.virtual_contexts, 32);
+        assert_eq!(c.width, 4);
+        assert_eq!(c.prf_entries, 128);
+    }
+
+    #[test]
+    fn prf_holds_nine_architectural_contexts() {
+        // §III-B4: 144 registers = 9 threads x 16 GP registers.
+        let c = CoreConfig::baseline_ooo();
+        assert_eq!(c.prf_entries / 16, 9);
+    }
+
+    #[test]
+    fn memory_latency_is_50ns() {
+        let m = MachineConfig::baseline();
+        let cycles_per_ns = m.clock_ghz;
+        let mem_ns = m.latency.memory as f64 / cycles_per_ns;
+        assert!((mem_ns - 50.0).abs() < 1.0, "memory {mem_ns} ns");
+    }
+
+    #[test]
+    fn us_conversion() {
+        let m = MachineConfig::baseline();
+        assert_eq!(m.us_to_cycles(1.0), 3400);
+        assert_eq!(m.us_to_cycles(0.5), 1700);
+    }
+
+    #[test]
+    fn master_clock_reflects_mux_penalty() {
+        // Table II: master at 3.25GHz vs baseline 3.4GHz (~4% penalty).
+        let penalty = 1.0 - MachineConfig::master().clock_ghz / MachineConfig::baseline().clock_ghz;
+        assert!(penalty > 0.03 && penalty < 0.06, "penalty {penalty}");
+    }
+
+    #[test]
+    fn remote_l1_adds_three_cycles() {
+        let l = LatencyModel::default();
+        assert_eq!(l.remote_l1_hit(), l.l1_hit + 3);
+    }
+
+    #[test]
+    fn table1_has_all_rows() {
+        let rows = Table1::rows();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|(k, _)| *k == "NIC"));
+    }
+}

@@ -1,0 +1,298 @@
+//! McRouter: consistent-hash routing of key-value operations (§V).
+//!
+//! Re-implements the mid-tier routing microservice: a consistent-hash ring
+//! \[27, 28\] with 100 leaf servers and 160 virtual nodes each. A request
+//! parses the KV operation, hashes the key (FNV-1a, computed for real),
+//! binary-searches the ring, and synchronously waits for the leaf — a
+//! single-sided RDMA KV store that takes 3–5µs per operation \[29\].
+
+use crate::trace::TraceBuilder;
+use duplexity_cpu::op::{MicroOp, RequestKernel};
+use duplexity_stats::dist::{Distribution, Uniform};
+use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
+use rand::RngExt;
+
+/// Number of leaf KV servers (§V).
+pub const LEAVES: usize = 100;
+/// Virtual nodes per leaf on the ring.
+pub const VNODES_PER_LEAF: usize = 160;
+
+/// Virtual base of the ring array.
+const RING_BASE: u64 = 0xA000_0000;
+/// Virtual base of the request buffer.
+const REQ_BASE: u64 = 0xB000_0000;
+/// Virtual base of the reply buffer.
+const REPLY_BASE: u64 = 0xB800_0000;
+
+/// The kind of key-value operation being routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read: smaller leaf latency.
+    Get,
+    /// Write: larger leaf latency.
+    Set,
+}
+
+/// A consistent-hash ring over `LEAVES` leaves.
+#[derive(Debug, Clone)]
+pub struct ConsistentRing {
+    /// Sorted (hash, leaf) points.
+    points: Vec<(u64, u16)>,
+}
+
+impl ConsistentRing {
+    /// Builds the ring with `leaves * vnodes` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves == 0` or `vnodes == 0`.
+    #[must_use]
+    pub fn new(leaves: usize, vnodes: usize) -> Self {
+        assert!(leaves > 0 && vnodes > 0, "ring needs leaves and vnodes");
+        let mut points = Vec::with_capacity(leaves * vnodes);
+        for leaf in 0..leaves {
+            for v in 0..vnodes {
+                let h = fnv1a(&[leaf as u8, (leaf >> 8) as u8, v as u8, (v >> 8) as u8, 0xAB]);
+                // Finalize with an avalanche mix: FNV over short structured
+                // inputs leaves the high bits poorly distributed.
+                points.push((mix64(h), leaf as u16));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Self { points }
+    }
+
+    /// Routes `key_hash` to a leaf: the first ring point clockwise from the
+    /// hash. Returns (leaf, binary-search steps taken).
+    #[must_use]
+    pub fn route(&self, key_hash: u64) -> (u16, usize) {
+        let idx = self.points.partition_point(|&(h, _)| h < key_hash);
+        let steps = (usize::BITS - self.points.len().leading_zeros()) as usize;
+        let leaf = if idx == self.points.len() {
+            self.points[0].1
+        } else {
+            self.points[idx].1
+        };
+        (leaf, steps)
+    }
+
+    /// Number of ring points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the ring has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// SplitMix64 finalizer: avalanches all input bits across the output.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// The McRouter microservice kernel.
+#[derive(Debug)]
+pub struct McRouterKernel {
+    ring: ConsistentRing,
+    leaf_latency: Uniform,
+    /// Iterations of the protocol-processing loop (tunes the ~3µs routing
+    /// compute).
+    route_iters: usize,
+    key_rng: SimRng,
+}
+
+impl McRouterKernel {
+    /// Builds the router with the paper's 100-leaf ring.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            ring: ConsistentRing::new(LEAVES, VNODES_PER_LEAF),
+            leaf_latency: Uniform::new(3.0, 5.0),
+            route_iters: 1500,
+            key_rng: rng_from_seed(derive_stream(seed, 0x3C12)),
+        }
+    }
+
+    /// The ring (for tests).
+    #[must_use]
+    pub fn ring(&self) -> &ConsistentRing {
+        &self.ring
+    }
+}
+
+impl RequestKernel for McRouterKernel {
+    fn generate(&mut self, rng: &mut SimRng, out: &mut Vec<MicroOp>) {
+        let mut tb = TraceBuilder::new(out, 0x50_0000, 24 * 1024);
+
+        // Random key + op mix (90% GET / 10% SET, memcached-like).
+        let key_len = self.key_rng.random_range(8usize..64);
+        let key: Vec<u8> = (0..key_len).map(|_| self.key_rng.random()).collect();
+        let op = if self.key_rng.random::<f64>() < 0.9 {
+            KvOp::Get
+        } else {
+            KvOp::Set
+        };
+
+        // Parse the request buffer: per-16B chunk load + checks.
+        let mut carry = tb.alu();
+        for chunk in 0..(key_len as u64).div_ceil(16).max(1) {
+            let r = tb.load(REQ_BASE + chunk * 64);
+            carry = tb.alu_on(r);
+            tb.branch(20, chunk % 2 == 0); // field-delimiter checks
+        }
+        tb.branch(21, op == KvOp::Get);
+
+        // Hash the key for real; trace the byte loop (unrolled x8: one
+        // chained multiply per 8 bytes).
+        let h = fnv1a(&key);
+        for _ in 0..key_len.div_ceil(8) {
+            let q = tb.alu_on(carry);
+            carry = tb.mul(q, carry);
+        }
+
+        // Binary-search the ring: dependent loads, one per step, each with a
+        // real comparison branch.
+        let (leaf, steps) = self.ring.route(h);
+        let mut probe = carry;
+        let mut lo = 0u64;
+        let mut hi = self.ring.len() as u64;
+        for s in 0..steps {
+            let mid = (lo + hi) / 2;
+            probe = tb.load_dependent(RING_BASE + mid * 16, probe);
+            let go_right = (h & (1 << s)) != 0; // data-dependent direction
+            tb.branch(30 + (s % 8) as u32, go_right);
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+
+        // Route bookkeeping + connection state (the rest of the ~3µs):
+        // pointer walks over per-leaf connection structures.
+        let conn = RING_BASE + 0x10_0000 + u64::from(leaf) * 512;
+        let mut ptr = tb.load(conn);
+        for i in 0..self.route_iters {
+            ptr = tb.load_dependent(conn + ((i as u64 * 29) % 8) * 64, ptr);
+            ptr = tb.alu_on(ptr);
+        }
+
+        // Synchronous leaf wait: 3–5µs single-sided RDMA KV operation [29].
+        let reply = tb.remote_after(self.leaf_latency.sample(rng), ptr);
+
+        // Relay the reply.
+        let mut c = tb.alu_on(reply);
+        for line in 0..8u64 {
+            c = tb.load_dependent(REPLY_BASE + line * 64, c);
+            tb.store(REPLY_BASE + 0x1000 + line * 64, c);
+        }
+        tb.alu_chain(c, 32);
+    }
+
+    fn nominal_service_us(&self) -> f64 {
+        7.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_cpu::op::Op;
+
+    #[test]
+    fn ring_routes_deterministically() {
+        let ring = ConsistentRing::new(100, 160);
+        let (a, _) = ring.route(12345);
+        let (b, _) = ring.route(12345);
+        assert_eq!(a, b);
+        assert!(usize::from(a) < 100);
+    }
+
+    #[test]
+    fn ring_wraps_past_last_point() {
+        let ring = ConsistentRing::new(4, 4);
+        let (leaf, _) = ring.route(u64::MAX);
+        assert!(usize::from(leaf) < 4);
+    }
+
+    #[test]
+    fn ring_balances_load() {
+        // With 160 vnodes per leaf, routing random keys is near-uniform.
+        let ring = ConsistentRing::new(100, 160);
+        let mut counts = [0u32; 100];
+        let mut rng = rng_from_seed(1);
+        let n = 100_000;
+        for _ in 0..n {
+            let (leaf, _) = ring.route(rng.random());
+            counts[usize::from(leaf)] += 1;
+        }
+        let expect = n as f64 / 100.0;
+        for (leaf, &c) in counts.iter().enumerate() {
+            assert!(
+                (f64::from(c) - expect).abs() / expect < 0.35,
+                "leaf {leaf} got {c} of expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(&[]), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn kernel_emits_one_leaf_wait_in_3_to_5_us() {
+        let mut k = McRouterKernel::new(2);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..20 {
+            let mut out = Vec::new();
+            k.generate(&mut rng, &mut out);
+            let remotes: Vec<f64> = out
+                .iter()
+                .filter_map(|o| match o.op {
+                    Op::RemoteLoad { latency_us } => Some(latency_us),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(remotes.len(), 1);
+            assert!((3.0..5.0).contains(&remotes[0]), "leaf wait {}", remotes[0]);
+        }
+    }
+
+    #[test]
+    fn trace_includes_ring_search_loads() {
+        let mut k = McRouterKernel::new(4);
+        let mut rng = rng_from_seed(5);
+        let mut out = Vec::new();
+        k.generate(&mut rng, &mut out);
+        let ring_loads = out
+            .iter()
+            .filter(|o| {
+                matches!(o.op, Op::Load { addr } if (RING_BASE..RING_BASE + 0x10_0000)
+                    .contains(&addr))
+            })
+            .count();
+        assert!(ring_loads >= 10, "binary search loads: {ring_loads}");
+    }
+}

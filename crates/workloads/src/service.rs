@@ -1,0 +1,202 @@
+//! Request-granularity service-time models (the BigHouse inputs).
+//!
+//! §V: "We measure IPC in gem5 and use it to determine the service rate of
+//! an FCFS M/G/1 queuing system. We then simulate the high-level behavior of
+//! the queue at request (rather than instruction) granularity." A request's
+//! service time has two parts: on-core **compute** (which designs slow down
+//! or speed up — captured by an IPC scaling factor) and µs-scale **stalls**
+//! (whose duration is design-independent, but whose *cycles* different
+//! designs waste or fill).
+
+use duplexity_stats::dist::{Deterministic, DynDistribution, Exponential, LogNormal, Uniform};
+use duplexity_stats::rng::SimRng;
+
+/// A microservice's per-request service-time structure, in microseconds.
+#[derive(Debug)]
+pub struct ServiceModel {
+    compute: DynDistribution,
+    stall: Option<DynDistribution>,
+}
+
+impl ServiceModel {
+    /// Builds a model from compute and optional stall distributions.
+    #[must_use]
+    pub fn new(compute: DynDistribution, stall: Option<DynDistribution>) -> Self {
+        Self { compute, stall }
+    }
+
+    /// FLANN-HA: ~10µs LSH lookup + 1µs-average RDMA read (§V).
+    #[must_use]
+    pub fn flann_ha() -> Self {
+        Self::new(
+            Box::new(LogNormal::from_mean_scv(10.0, 0.1)),
+            Some(Box::new(Exponential::new(1.0))),
+        )
+    }
+
+    /// FLANN-LL: ~1µs lookup + 1µs-average RDMA read (§V).
+    #[must_use]
+    pub fn flann_ll() -> Self {
+        Self::new(
+            Box::new(LogNormal::from_mean_scv(1.0, 0.1)),
+            Some(Box::new(Exponential::new(1.0))),
+        )
+    }
+
+    /// RSC: 3µs lookup + 4µs copy of compute, 8µs-average Optane stall (§V).
+    #[must_use]
+    pub fn rsc() -> Self {
+        Self::new(
+            Box::new(LogNormal::from_mean_scv(7.0, 0.05)),
+            Some(Box::new(Exponential::new(8.0))),
+        )
+    }
+
+    /// McRouter: 3µs routing compute + 3–5µs synchronous leaf wait (§V).
+    #[must_use]
+    pub fn mcrouter() -> Self {
+        Self::new(
+            Box::new(Deterministic::new(3.0)),
+            Some(Box::new(Uniform::new(3.0, 5.0))),
+        )
+    }
+
+    /// WordStem: ~4µs pure compute, no µs-scale stalls (§V).
+    #[must_use]
+    pub fn wordstem() -> Self {
+        Self::new(Box::new(LogNormal::from_mean_scv(4.0, 0.15)), None)
+    }
+
+    /// Samples (compute_us, stall_us) for one request.
+    pub fn sample_parts(&self, rng: &mut SimRng) -> (f64, f64) {
+        let c = self.compute.sample(rng);
+        let s = self.stall.as_ref().map_or(0.0, |d| d.sample(rng));
+        (c, s)
+    }
+
+    /// Samples the total service time for one request.
+    pub fn sample_total(&self, rng: &mut SimRng) -> f64 {
+        let (c, s) = self.sample_parts(rng);
+        c + s
+    }
+
+    /// Mean on-core compute per request, µs.
+    #[must_use]
+    pub fn mean_compute_us(&self) -> f64 {
+        self.compute.mean()
+    }
+
+    /// Mean µs-scale stall per request, µs.
+    #[must_use]
+    pub fn mean_stall_us(&self) -> f64 {
+        self.stall.as_ref().map_or(0.0, |d| d.mean())
+    }
+
+    /// Mean total service time, µs.
+    #[must_use]
+    pub fn mean_total_us(&self) -> f64 {
+        self.mean_compute_us() + self.mean_stall_us()
+    }
+
+    /// Fraction of a request's service time spent stalled — the "hole"
+    /// Duplexity fills.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let t = self.mean_total_us();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.mean_stall_us() / t
+        }
+    }
+
+    /// Returns a copy of this model with compute scaled by `factor`
+    /// (an IPC slowdown from the cycle simulator: >1 = slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn scale_compute(&self, factor: f64) -> ScaledServiceModel<'_> {
+        assert!(factor > 0.0, "scale factor must be positive");
+        ScaledServiceModel {
+            inner: self,
+            factor,
+        }
+    }
+}
+
+/// A view of a [`ServiceModel`] with its compute part scaled by an IPC
+/// slowdown factor.
+#[derive(Debug)]
+pub struct ScaledServiceModel<'a> {
+    inner: &'a ServiceModel,
+    factor: f64,
+}
+
+impl ScaledServiceModel<'_> {
+    /// Samples (compute_us, stall_us) with the compute scaled.
+    pub fn sample_parts(&self, rng: &mut SimRng) -> (f64, f64) {
+        let (c, s) = self.inner.sample_parts(rng);
+        (c * self.factor, s)
+    }
+
+    /// Mean total service time with scaling, µs.
+    #[must_use]
+    pub fn mean_total_us(&self) -> f64 {
+        self.inner.mean_compute_us() * self.factor + self.inner.mean_stall_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_stats::rng::rng_from_seed;
+
+    #[test]
+    fn paper_means() {
+        assert!((ServiceModel::flann_ha().mean_total_us() - 11.0).abs() < 1e-9);
+        assert!((ServiceModel::flann_ll().mean_total_us() - 2.0).abs() < 1e-9);
+        assert!((ServiceModel::rsc().mean_total_us() - 15.0).abs() < 1e-9);
+        assert!((ServiceModel::mcrouter().mean_total_us() - 7.0).abs() < 1e-9);
+        assert!((ServiceModel::wordstem().mean_total_us() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_fractions() {
+        assert_eq!(ServiceModel::wordstem().stall_fraction(), 0.0);
+        let mc = ServiceModel::mcrouter().stall_fraction();
+        assert!(
+            (mc - 4.0 / 7.0).abs() < 1e-9,
+            "McRouter stall fraction {mc}"
+        );
+        assert!(ServiceModel::rsc().stall_fraction() > 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let m = ServiceModel::rsc();
+        let mut rng = rng_from_seed(1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| m.sample_total(&mut rng)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 15.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn scaling_affects_compute_only() {
+        let m = ServiceModel::mcrouter();
+        let s = m.scale_compute(2.0);
+        assert!((s.mean_total_us() - 10.0).abs() < 1e-9); // 3*2 + 4
+        let mut rng = rng_from_seed(2);
+        let (c, st) = s.sample_parts(&mut rng);
+        assert!((c - 6.0).abs() < 1e-9);
+        assert!((3.0..5.0).contains(&st));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn rejects_bad_scale() {
+        let _ = ServiceModel::wordstem().scale_compute(0.0);
+    }
+}

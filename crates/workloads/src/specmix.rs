@@ -1,0 +1,265 @@
+//! SPEC-like synthetic CPU kernels for the Figure 2(a) study.
+//!
+//! Figure 2(a) compares the throughput of multi-threaded SPEC workload mixes
+//! under in-order vs out-of-order issue as thread count grows; the paper's
+//! point is that the gap vanishes around 8 threads. What drives that result
+//! is the *profile diversity* of the mix — ILP-rich code benefits from OoO,
+//! pointer chases and branchy code do not — so we provide four synthetic
+//! kernels spanning those profiles and mix them round-robin, as SPEC-rate
+//! experiments do.
+
+use duplexity_cpu::op::{InstructionStream, LoopedTrace, MicroOp, Op, NO_REG};
+use duplexity_stats::rng::{derive_stream, rng_from_seed};
+use rand::RngExt;
+
+/// The synthetic kernel profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKernel {
+    /// High-ILP arithmetic (independent int/FP ops, cached loads).
+    Ilp,
+    /// Serial pointer chasing over an L1-resident region.
+    PointerChase,
+    /// Data-dependent branches with partial predictability.
+    Branchy,
+    /// Streaming loads over a multi-MB array.
+    Streamer,
+}
+
+impl SpecKernel {
+    /// The four profiles in mix order.
+    pub const ALL: [SpecKernel; 4] = [
+        SpecKernel::Ilp,
+        SpecKernel::PointerChase,
+        SpecKernel::Branchy,
+        SpecKernel::Streamer,
+    ];
+
+    /// Builds the looping trace for this kernel.
+    #[must_use]
+    pub fn trace(self, thread: usize, seed: u64) -> Vec<MicroOp> {
+        // Stagger each thread's set alignment (odd multiple of the line
+        // size): distinct processes do not alias into identical cache sets.
+        let base = 0x1_0000_0000 + 0x1000_0000 * thread as u64 + 4288 * thread as u64;
+        let mut rng = rng_from_seed(derive_stream(seed, 0x57EC + thread as u64));
+        let mut ops = Vec::with_capacity(1024);
+        let mut pc = base;
+        let push = |ops: &mut Vec<MicroOp>, op: MicroOp| {
+            ops.push(op);
+        };
+        match self {
+            SpecKernel::Ilp => {
+                // load -> consume -> consume triads interleaved with
+                // independent FP work: an OoO window overlaps the load
+                // latencies; in-order issue stalls at each first consumer.
+                for i in 0..128u64 {
+                    let reg = (i % 6) as u8;
+                    push(
+                        &mut ops,
+                        MicroOp::new(
+                            pc,
+                            Op::Load {
+                                addr: base + 0x10_000 + (i * 64) % 2048,
+                            },
+                        )
+                        .with_dst(reg),
+                    );
+                    pc += 4;
+                    push(
+                        &mut ops,
+                        MicroOp::new(pc, Op::IntMul)
+                            .with_srcs(reg, (reg + 1) % 6)
+                            .with_dst(6),
+                    );
+                    pc += 4;
+                    push(
+                        &mut ops,
+                        MicroOp::new(pc, Op::IntAlu)
+                            .with_srcs(6, NO_REG)
+                            .with_dst(7),
+                    );
+                    pc += 4;
+                    push(&mut ops, MicroOp::new(pc, Op::FpAlu).with_dst(8));
+                    pc += 4;
+                }
+            }
+            SpecKernel::PointerChase => {
+                // A 16KB ring of pointers: every load's address depends on
+                // the previous load (IPC ~ 1/l1_hit regardless of issue
+                // policy).
+                for i in 0..128u64 {
+                    push(
+                        &mut ops,
+                        MicroOp::new(
+                            pc,
+                            Op::Load {
+                                addr: base + 0x20_000 + (i * 64) % 2048,
+                            },
+                        )
+                        .with_srcs(0, NO_REG)
+                        .with_dst(0),
+                    );
+                    pc += 4;
+                    push(
+                        &mut ops,
+                        MicroOp::new(pc, Op::IntAlu)
+                            .with_srcs(0, NO_REG)
+                            .with_dst(0),
+                    );
+                    pc += 4;
+                }
+            }
+            SpecKernel::Branchy => {
+                for i in 0..384u64 {
+                    let reg = (i % 8) as u8;
+                    push(&mut ops, MicroOp::new(pc, Op::IntAlu).with_dst(reg));
+                    pc += 4;
+                    if i % 3 == 0 {
+                        // 70% biased one way, 30% random: partially
+                        // predictable, like integer SPEC.
+                        let taken = rng.random::<f64>() < 0.7 || rng.random::<bool>();
+                        push(
+                            &mut ops,
+                            MicroOp::new(
+                                pc,
+                                Op::Branch {
+                                    taken,
+                                    target: pc + 32,
+                                },
+                            ),
+                        );
+                        pc += 4;
+                    }
+                }
+            }
+            SpecKernel::Streamer => {
+                for i in 0..256u64 {
+                    let reg = (i % 10) as u8;
+                    if i % 2 == 0 {
+                        // Hot 2KB buffer with a long-stride streaming access
+                        // every 8th load (2MB footprint: L1/LLC misses that
+                        // OoO can overlap but in-order issue cannot).
+                        let addr = if i % 16 == 14 {
+                            base + 0x100_0000 + (i * 64 * 67) % 0x20_0000
+                        } else {
+                            base + 0x30_000 + (i * 64) % 2048
+                        };
+                        push(&mut ops, MicroOp::new(pc, Op::Load { addr }).with_dst(reg));
+                    } else {
+                        // Consume the just-loaded value: in-order issue eats
+                        // the full miss latency; OoO overlaps several.
+                        push(
+                            &mut ops,
+                            MicroOp::new(pc, Op::IntAlu)
+                                .with_srcs(((i + 9) % 10) as u8, NO_REG)
+                                .with_dst(reg),
+                        );
+                    }
+                    pc += 4;
+                }
+            }
+        }
+        ops
+    }
+}
+
+/// Builds the instruction stream for thread `i` of a SPEC-like rate mix.
+///
+/// Every thread interleaves all four kernel profiles (concatenated into one
+/// loop), so threads are statistically identical and throughput scaling with
+/// thread count is not confounded by mix composition.
+#[must_use]
+pub fn mix_stream(thread: usize, seed: u64) -> Box<dyn InstructionStream> {
+    let mut ops = Vec::new();
+    for kernel in SpecKernel::ALL {
+        ops.extend(kernel.trace(thread, seed));
+    }
+    Box::new(LoopedTrace::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_stats::rng::rng_from_seed;
+
+    #[test]
+    fn traces_are_nonempty_and_distinct() {
+        for k in SpecKernel::ALL {
+            let t = k.trace(0, 1);
+            assert!(!t.is_empty(), "{k:?}");
+        }
+        let a = SpecKernel::Ilp.trace(0, 1);
+        let b = SpecKernel::PointerChase.trace(0, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pointer_chase_is_fully_serial() {
+        let t = SpecKernel::PointerChase.trace(0, 1);
+        for op in &t {
+            if matches!(op.op, Op::Load { .. }) {
+                assert_eq!(op.srcs[0], 0, "chase loads must depend on reg 0");
+            }
+        }
+    }
+
+    #[test]
+    fn branchy_contains_branches() {
+        let t = SpecKernel::Branchy.trace(0, 2);
+        let branches = t
+            .iter()
+            .filter(|o| matches!(o.op, Op::Branch { .. }))
+            .count();
+        assert!(branches > 64, "branches {branches}");
+    }
+
+    #[test]
+    fn streamer_has_large_footprint() {
+        let t = SpecKernel::Streamer.trace(0, 3);
+        let addrs: Vec<u64> = t
+            .iter()
+            .filter_map(|o| match o.op {
+                Op::Load { addr } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        let min = addrs.iter().min().unwrap();
+        let max = addrs.iter().max().unwrap();
+        assert!(max - min > 1_000_000, "footprint {}", max - min);
+    }
+
+    #[test]
+    fn mix_streams_interleave_all_profiles() {
+        let mut s = mix_stream(5, 7);
+        let mut rng = rng_from_seed(1);
+        let mut branches = 0;
+        let mut loads = 0;
+        for now in 0..4000 {
+            match s.next(now, &mut rng) {
+                duplexity_cpu::op::Fetched::Op(op) => match op.op {
+                    Op::Branch { .. } => branches += 1,
+                    Op::Load { .. } => loads += 1,
+                    _ => {}
+                },
+                other => panic!("mix stream must be infinite, got {other:?}"),
+            }
+        }
+        // The concatenated loop contains both branchy and memory phases.
+        assert!(branches > 50, "branches {branches}");
+        assert!(loads > 300, "loads {loads}");
+    }
+
+    #[test]
+    fn threads_use_disjoint_address_spaces() {
+        let a = SpecKernel::Streamer.trace(0, 1);
+        let b = SpecKernel::Streamer.trace(1, 1);
+        let addr = |ops: &[MicroOp]| -> u64 {
+            ops.iter()
+                .find_map(|o| match o.op {
+                    Op::Load { addr } => Some(addr),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(addr(&b) > addr(&a) + 0x100_0000);
+    }
+}

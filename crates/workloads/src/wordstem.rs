@@ -1,0 +1,515 @@
+//! WordStem: the Porter stemming algorithm (§V).
+//!
+//! A complete implementation of Porter's 1980 suffix-stripping algorithm
+//! \[113\] — steps 1a through 5b with the measure/vowel/cvc conditions — used
+//! as a query-rewriting leaf microservice. It is stateless and incurs **no
+//! µs-scale stalls**: core under-utilization arises only from inter-request
+//! idle periods, which is exactly why the paper includes it.
+//!
+//! Each request stems a batch of synthetic query words (built from common
+//! English roots and suffixes) for an average of ~4µs of compute; the trace
+//! records the word-buffer loads and the *actual* outcome of every suffix
+//! rule's comparison, so branch predictors see the algorithm's real control
+//! flow.
+
+use crate::trace::TraceBuilder;
+use duplexity_cpu::op::{MicroOp, RequestKernel};
+use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
+use rand::RngExt;
+
+/// Virtual base of the word buffer.
+const WORD_BASE: u64 = 0xC000_0000;
+
+/// Stems `word` with Porter's algorithm, returning the stem.
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_workloads::wordstem::stem;
+///
+/// assert_eq!(stem("caresses"), "caress");
+/// assert_eq!(stem("motoring"), "motor");
+/// assert_eq!(stem("relational"), "relat");
+/// ```
+#[must_use]
+pub fn stem(word: &str) -> String {
+    let mut sink = Vec::new();
+    let mut tb = TraceBuilder::new(&mut sink, WORD_BASE, 4096);
+    stem_traced(&mut tb, word)
+}
+
+/// Stems `word`, emitting the algorithm's trace through `tb`.
+#[must_use]
+pub fn stem_traced(tb: &mut TraceBuilder<'_>, word: &str) -> String {
+    let mut w: Vec<u8> = word.to_ascii_lowercase().into_bytes();
+    if w.len() <= 2 {
+        tb.branch(400, true); // too short to stem
+        return String::from_utf8(w).expect("ascii");
+    }
+    tb.branch(400, false);
+    // Touch the word buffer (one line per 64 bytes, i.e. one line).
+    tb.load(WORD_BASE + (w.len() as u64 / 64) * 64);
+
+    step1a(tb, &mut w);
+    step1b(tb, &mut w);
+    step1c(tb, &mut w);
+    step2(tb, &mut w);
+    step3(tb, &mut w);
+    step4(tb, &mut w);
+    step5a(tb, &mut w);
+    step5b(tb, &mut w);
+    String::from_utf8(w).expect("ascii")
+}
+
+/// Is `w[i]` a consonant under Porter's definition ('y' after a consonant is
+/// a vowel)?
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `w[..len]`: the number of VC sequences in
+/// `[C](VC)^m[V]`.
+fn measure(tb: &mut TraceBuilder<'_>, w: &[u8], len: usize) -> usize {
+    // Count transitions vowel->consonant; a linear scan.
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..len {
+        let v = !is_consonant(w, i);
+        if !v && prev_vowel {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    let seed = tb.alu();
+    tb.alu_chain(seed, len.div_ceil(2).max(1));
+    m
+}
+
+/// Does `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// Does `w[..len]` end in a double consonant?
+fn double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// Does `w[..len]` end consonant-vowel-consonant, with the final consonant
+/// not w, x, or y?
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    len >= 3
+        && is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+/// Does `w` end with `suffix`? Charged as a load + compare in the trace.
+fn ends_with(tb: &mut TraceBuilder<'_>, site: u32, w: &[u8], suffix: &[u8]) -> bool {
+    let r = tb.load(WORD_BASE + 64);
+    tb.alu_on(r);
+    let matched = w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix;
+    tb.branch(site, matched);
+    matched
+}
+
+fn replace_suffix(w: &mut Vec<u8>, old_len: usize, new: &[u8]) {
+    let keep = w.len() - old_len;
+    w.truncate(keep);
+    w.extend_from_slice(new);
+}
+
+fn step1a(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    if ends_with(tb, 410, w, b"sses") {
+        replace_suffix(w, 4, b"ss");
+    } else if ends_with(tb, 411, w, b"ies") {
+        replace_suffix(w, 3, b"i");
+    } else if ends_with(tb, 412, w, b"ss") {
+        // keep
+    } else if ends_with(tb, 413, w, b"s") {
+        replace_suffix(w, 1, b"");
+    }
+}
+
+fn step1b(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    if ends_with(tb, 420, w, b"eed") {
+        if measure(tb, w, w.len() - 3) > 0 {
+            replace_suffix(w, 3, b"ee");
+        }
+        return;
+    }
+    let stripped = if ends_with(tb, 421, w, b"ed") && has_vowel(w, w.len() - 2) {
+        replace_suffix(w, 2, b"");
+        true
+    } else if ends_with(tb, 422, w, b"ing") && has_vowel(w, w.len().saturating_sub(3)) {
+        replace_suffix(w, 3, b"");
+        true
+    } else {
+        false
+    };
+    tb.branch(423, stripped);
+    if stripped {
+        if ends_with(tb, 424, w, b"at")
+            || ends_with(tb, 425, w, b"bl")
+            || ends_with(tb, 426, w, b"iz")
+        {
+            w.push(b'e');
+        } else if double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            tb.branch(427, true);
+            w.pop();
+        } else if measure(tb, w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            tb.branch(428, true);
+            w.push(b'e');
+        } else {
+            tb.branch(429, false);
+        }
+    }
+}
+
+fn step1c(tb: &mut TraceBuilder<'_>, w: &mut [u8]) {
+    let n = w.len();
+    if n >= 2 && w[n - 1] == b'y' && has_vowel(w, n - 1) {
+        tb.branch(430, true);
+        w[n - 1] = b'i';
+    } else {
+        tb.branch(430, false);
+    }
+}
+
+/// (m > condition) suffix -> replacement rule table application.
+fn apply_rules(
+    tb: &mut TraceBuilder<'_>,
+    w: &mut Vec<u8>,
+    site_base: u32,
+    min_measure: usize,
+    rules: &[(&[u8], &[u8])],
+) {
+    for (i, (suffix, repl)) in rules.iter().enumerate() {
+        if ends_with(tb, site_base + i as u32, w, suffix) {
+            if measure(tb, w, w.len() - suffix.len()) >= min_measure {
+                replace_suffix(w, suffix.len(), repl);
+            }
+            return;
+        }
+    }
+}
+
+fn step2(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    apply_rules(
+        tb,
+        w,
+        440,
+        1,
+        &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ],
+    );
+}
+
+fn step3(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    apply_rules(
+        tb,
+        w,
+        470,
+        1,
+        &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ],
+    );
+}
+
+fn step4(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    const SUFFIXES: [&[u8]; 18] = [
+        b"ement", b"ance", b"ence", b"able", b"ible", b"ment", b"ant", b"ent", b"ism", b"ate",
+        b"iti", b"ous", b"ive", b"ize", b"ion", b"al", b"er", b"ic",
+    ];
+    for (i, suffix) in SUFFIXES.iter().enumerate() {
+        if ends_with(tb, 480 + i as u32, w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            let ok = measure(tb, w, stem_len) > 1
+                && (*suffix != b"ion" || (stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't')));
+            tb.branch(499, ok);
+            if ok {
+                replace_suffix(w, suffix.len(), b"");
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    if ends_with(tb, 500, w, b"e") {
+        let m = measure(tb, w, w.len() - 1);
+        if m > 1 || (m == 1 && !ends_cvc(w, w.len() - 1)) {
+            w.pop();
+        }
+    }
+}
+
+fn step5b(tb: &mut TraceBuilder<'_>, w: &mut Vec<u8>) {
+    let n = w.len();
+    let cond = n >= 2 && w[n - 1] == b'l' && double_consonant(w, n) && measure(tb, w, n) > 1;
+    tb.branch(501, cond);
+    if cond {
+        w.pop();
+    }
+}
+
+/// Generates plausible query words: common roots with inflection suffixes.
+#[derive(Debug)]
+pub struct WordGenerator {
+    rng: SimRng,
+}
+
+const ROOTS: [&str; 24] = [
+    "motor",
+    "relate",
+    "connect",
+    "process",
+    "general",
+    "operate",
+    "consider",
+    "hope",
+    "cave",
+    "plaster",
+    "condition",
+    "rate",
+    "valence",
+    "trouble",
+    "size",
+    "fall",
+    "file",
+    "adjust",
+    "predicate",
+    "triplicate",
+    "depend",
+    "activate",
+    "demonstrate",
+    "communicate",
+];
+const SUFFIXES: [&str; 12] = [
+    "", "s", "es", "ed", "ing", "ational", "fulness", "ization", "iveness", "ement", "ly", "al",
+];
+
+impl WordGenerator {
+    /// Creates a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: rng_from_seed(derive_stream(seed, 0x57E4)),
+        }
+    }
+
+    /// Produces the next word.
+    pub fn next_word(&mut self) -> String {
+        let root = ROOTS[self.rng.random_range(0..ROOTS.len())];
+        let suffix = SUFFIXES[self.rng.random_range(0..SUFFIXES.len())];
+        format!("{root}{suffix}")
+    }
+}
+
+/// The WordStem microservice kernel: stems a batch of words per request.
+#[derive(Debug)]
+pub struct WordStemKernel {
+    words: WordGenerator,
+    /// Words stemmed per request (tunes the ~4µs service time).
+    batch: usize,
+}
+
+impl WordStemKernel {
+    /// Builds the kernel.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            words: WordGenerator::new(seed),
+            batch: 144,
+        }
+    }
+}
+
+impl RequestKernel for WordStemKernel {
+    fn generate(&mut self, _rng: &mut SimRng, out: &mut Vec<MicroOp>) {
+        let mut tb = TraceBuilder::new(out, 0x58_0000, 8 * 1024);
+        // Parse the query.
+        tb.alu_block(200);
+        let mut acc = tb.alu();
+        for _ in 0..self.batch {
+            let word = self.words.next_word();
+            let stemmed = stem_traced(&mut tb, &word);
+            // Append the stem to the rewritten query.
+            let r = tb.alu_on(acc);
+            tb.store(WORD_BASE + 0x1000 + stemmed.len() as u64, r);
+            acc = r;
+        }
+        tb.alu_chain(acc, 64); // serialize the rewritten query
+    }
+
+    fn nominal_service_us(&self) -> f64 {
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_cpu::op::Op;
+
+    #[test]
+    fn porter_canonical_examples() {
+        // From Porter (1980).
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("adoption", "adopt"),
+            ("activate", "activ"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(stem(input), expect, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_many_words() {
+        let mut gen = WordGenerator::new(9);
+        for _ in 0..200 {
+            let w = gen.next_word();
+            let once = stem(&w);
+            let twice = stem(&once);
+            // Porter is not strictly idempotent in general, but for this
+            // vocabulary double-stemming must at least not grow the word.
+            assert!(twice.len() <= once.len(), "{w}: {once} -> {twice}");
+        }
+    }
+
+    #[test]
+    fn kernel_has_no_remote_ops() {
+        // WordStem is the no-stall microservice: idleness only (§V).
+        let mut k = WordStemKernel::new(1);
+        let mut rng = rng_from_seed(2);
+        let mut out = Vec::new();
+        k.generate(&mut rng, &mut out);
+        assert!(out.iter().all(|o| !matches!(o.op, Op::RemoteLoad { .. })));
+        assert!(out.len() > 3000, "trace too small: {}", out.len());
+    }
+
+    #[test]
+    fn kernel_traces_are_branchy() {
+        let mut k = WordStemKernel::new(3);
+        let mut rng = rng_from_seed(4);
+        let mut out = Vec::new();
+        k.generate(&mut rng, &mut out);
+        let branches = out
+            .iter()
+            .filter(|o| matches!(o.op, Op::Branch { .. }))
+            .count();
+        assert!(
+            branches as f64 / out.len() as f64 > 0.1,
+            "branch fraction too low: {branches}/{}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn measure_examples() {
+        // m("tr") = 0, m("trouble" minus e) like "troubl" = 1, m("private")...
+        let mut sink = Vec::new();
+        let mut tb = TraceBuilder::new(&mut sink, 0, 1024);
+        assert_eq!(measure(&mut tb, b"tr", 2), 0);
+        assert_eq!(measure(&mut tb, b"ee", 2), 0);
+        assert_eq!(measure(&mut tb, b"tree", 4), 0);
+        assert_eq!(measure(&mut tb, b"trouble", 6), 1);
+        assert_eq!(measure(&mut tb, b"oaten", 5), 2);
+        assert_eq!(measure(&mut tb, b"orrery", 6), 2);
+    }
+
+    #[test]
+    fn consonant_y_rules() {
+        // toy: y preceded by vowel => consonant; syzygy: y after s => vowel.
+        assert!(is_consonant(b"toy", 2));
+        assert!(!is_consonant(b"syzygy", 1));
+    }
+}

@@ -1,0 +1,87 @@
+//! Calibration: each microservice kernel's *measured* service time on the
+//! baseline 4-wide OoO core must land near the paper's §V numbers, so the
+//! cycle-level and request-level simulators agree about what a request
+//! costs.
+
+use duplexity_cpu::memsys::MemSys;
+use duplexity_cpu::ooo::{FetchPolicy, OooEngine, ThreadClass};
+use duplexity_cpu::request::RequestStream;
+use duplexity_stats::rng::rng_from_seed;
+use duplexity_uarch::config::{CoreConfig, LatencyModel, MachineConfig};
+use duplexity_workloads::Workload;
+
+/// Measures the mean saturated service time (fetch-to-retire) of `w` on the
+/// baseline core, in microseconds.
+fn measured_service_us(w: Workload, requests: u64) -> f64 {
+    let machine = MachineConfig::baseline();
+    let cycles_per_us = machine.cycles_per_us();
+    let mut engine = OooEngine::new(
+        CoreConfig::baseline_ooo(),
+        FetchPolicy::Icount,
+        cycles_per_us,
+    );
+    let stream = RequestStream::saturated(w.kernel(42)).with_max_requests(requests);
+    engine.add_thread(Box::new(stream), ThreadClass::Primary);
+    let mut mem = MemSys::table1(LatencyModel::default());
+    let mut rng = rng_from_seed(7);
+    let mut now = 0u64;
+    while !engine.all_done() && now < 200_000_000 {
+        engine.step(now, &mut mem, &mut rng);
+        now += 1;
+    }
+    assert!(engine.all_done(), "{w}: did not finish in budget");
+    // Saturated back-to-back requests: cycles per request = total / count.
+    now as f64 / requests as f64 / cycles_per_us
+}
+
+#[test]
+fn flann_ll_service_is_on_the_order_of_2us() {
+    let s = measured_service_us(Workload::FlannLl, 40);
+    assert!(
+        (0.8..5.0).contains(&s),
+        "FLANN-LL measured {s}µs, expected ~2µs"
+    );
+}
+
+#[test]
+fn flann_ha_service_is_on_the_order_of_11us() {
+    let s = measured_service_us(Workload::FlannHa, 20);
+    assert!(
+        (5.0..22.0).contains(&s),
+        "FLANN-HA measured {s}µs, expected ~11µs"
+    );
+}
+
+#[test]
+fn rsc_service_is_on_the_order_of_15us() {
+    let s = measured_service_us(Workload::Rsc, 20);
+    assert!(
+        (8.0..28.0).contains(&s),
+        "RSC measured {s}µs, expected ~15µs"
+    );
+}
+
+#[test]
+fn mcrouter_service_is_on_the_order_of_7us() {
+    let s = measured_service_us(Workload::McRouter, 30);
+    assert!(
+        (3.5..14.0).contains(&s),
+        "McRouter measured {s}µs, expected ~7µs"
+    );
+}
+
+#[test]
+fn wordstem_service_is_on_the_order_of_4us() {
+    let s = measured_service_us(Workload::WordStem, 30);
+    assert!(
+        (1.5..8.0).contains(&s),
+        "WordStem measured {s}µs, expected ~4µs"
+    );
+}
+
+#[test]
+fn ha_is_slower_than_ll() {
+    let ha = measured_service_us(Workload::FlannHa, 12);
+    let ll = measured_service_us(Workload::FlannLl, 12);
+    assert!(ha > 3.0 * ll, "HA {ha}µs vs LL {ll}µs");
+}

@@ -1,0 +1,63 @@
+//! Capacity planning with Duplexity's analytic models.
+//!
+//! Answers three provisioning questions an operator would ask, using the
+//! paper's own models:
+//!
+//! 1. How many virtual contexts does a dyad need for a given stall profile?
+//!    (the Figure 2(b) binomial model, §III-A)
+//! 2. How long are the idle holes my microservice will have at a given load?
+//!    (the M/G/1 idle-period law, §II-A)
+//! 3. How many dyads can share one InfiniBand port? (the §VIII NIC budget)
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use duplexity_net::NicModel;
+use duplexity_queueing::mg1::{idle_period_cdf, mean_idle_period_us};
+use duplexity_stats::binomial::required_virtual_contexts;
+
+fn main() {
+    println!("== Virtual-context provisioning (Fig 2(b) model) ==");
+    println!("target: keep 8 physical contexts >=90% occupied\n");
+    for stall_p in [0.1, 0.25, 0.5, 0.7] {
+        match required_virtual_contexts(8, stall_p, 0.9, 128) {
+            Some(n) => println!(
+                "  threads stalled {:>3.0}% of the time -> {n} virtual contexts",
+                stall_p * 100.0
+            ),
+            None => println!(
+                "  threads stalled {:>3.0}% of the time -> not reachable",
+                stall_p * 100.0
+            ),
+        }
+    }
+
+    println!("\n== Idle-period structure (M/G/1, §II-A) ==");
+    for (qps, label) in [(200_000.0, "200K QPS"), (1_000_000.0, "1M QPS")] {
+        for load in [0.3, 0.5, 0.7] {
+            println!(
+                "  {label} @ {:>2.0}% load: mean idle {:>5.1}µs, P(idle <= 5µs) = {:.2}",
+                load * 100.0,
+                mean_idle_period_us(qps, load),
+                idle_period_cdf(qps, load, 5.0)
+            );
+        }
+    }
+    println!("  -> idle holes are microseconds long even when the server is half idle.");
+
+    println!("\n== NIC budget (FDR 4x InfiniBand, §VIII) ==");
+    let nic = NicModel::fdr_4x();
+    for dyad_mops in [1.0, 3.0, 6.4] {
+        let ops = dyad_mops * 1e6;
+        println!(
+            "  dyad issuing {dyad_mops:>4.1}M remote ops/s: {:>5.2}% of one port, {} dyads/port",
+            nic.utilization(ops, 64.0) * 100.0,
+            nic.sources_per_port(ops, 64.0)
+        );
+    }
+    println!(
+        "  single-cache-line traffic is IOPS-limited: {}",
+        nic.iops_limited(64.0)
+    );
+}

@@ -1,0 +1,52 @@
+//! Tail-latency study: McRouter p99 across designs and loads.
+//!
+//! Follows the paper's two-level methodology end to end: the cycle simulator
+//! measures each design's service-time inflation, and a BigHouse-style
+//! M/G/1 simulation turns that into 99th-percentile latencies at 30/50/70%
+//! load — the Figure 5(d) story for one microservice.
+//!
+//! ```text
+//! cargo run --release --example mcrouter_tail_latency
+//! ```
+
+use duplexity::experiments::fig5::{run_fig5, Fig5Options};
+use duplexity::{Design, Workload};
+use duplexity_queueing::des::Mg1Options;
+
+fn main() {
+    let opts = Fig5Options {
+        loads: vec![0.3, 0.5, 0.7],
+        workloads: vec![Workload::McRouter],
+        designs: vec![
+            Design::Baseline,
+            Design::Smt,
+            Design::SmtPlus,
+            Design::Duplexity,
+        ],
+        horizon_cycles: 2_500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 400_000,
+            ..Mg1Options::default()
+        },
+    };
+    println!("McRouter p99 latency (µs) by design and load:\n");
+    let cells = run_fig5(&opts);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "design", "load", "p99 µs", "p99 norm", "iso-p99 norm", "slowdown"
+    );
+    for c in &cells {
+        println!(
+            "{:<12} {:>9.0}% {:>10.2} {:>10.2} {:>12.2} {:>10.2}",
+            c.design.name(),
+            c.load * 100.0,
+            c.p99_us,
+            c.p99_norm,
+            c.iso_p99_norm,
+            c.service_slowdown
+        );
+    }
+    println!("\np99 norm < 1 means better than the baseline at the same load;");
+    println!("iso-p99 norm compares at equal cost (load scaled by performance density).");
+}

@@ -1,0 +1,18 @@
+//! Workspace umbrella for the Duplexity reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`) have a single
+//! dependency. Library users should depend on the individual crates —
+//! start with [`duplexity`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use duplexity;
+pub use duplexity_cpu;
+pub use duplexity_net;
+pub use duplexity_power;
+pub use duplexity_queueing;
+pub use duplexity_stats;
+pub use duplexity_uarch;
+pub use duplexity_workloads;

@@ -1,0 +1,136 @@
+//! Property-based tests over the workspace's core invariants.
+
+use duplexity_cpu::op::{Fetched, InstructionStream, LoopedTrace, MicroOp, Op, NO_REG};
+use duplexity_queueing::closed_loop::closed_loop_utilization;
+use duplexity_queueing::des::{simulate_mg1_dist, Mg1Options};
+use duplexity_queueing::mg1::Mg1Analytic;
+use duplexity_stats::binomial::Binomial;
+use duplexity_stats::dist::{Distribution, Exponential, Hyperexponential};
+use duplexity_stats::quantile::QuantileEstimator;
+use duplexity_stats::rng::rng_from_seed;
+use duplexity_stats::summary::Summary;
+use duplexity_uarch::cache::{AccessKind, Cache, CacheConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Closed-loop utilization is always the exact compute share.
+    #[test]
+    fn closed_loop_is_exact_share(compute in 0.01f64..100.0, stall in 0.0f64..100.0) {
+        let u = closed_loop_utilization(compute, stall);
+        prop_assert!((u - compute / (compute + stall)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    /// Binomial CDF and survival function always complement each other.
+    #[test]
+    fn binomial_complement(n in 1u32..200, p in 0.0f64..1.0, k in 1u32..200) {
+        prop_assume!(k <= n);
+        let b = Binomial::new(n, p);
+        let total = b.cdf(k - 1) + b.sf_at_least(k);
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// A hyperexponential two-moment fit reproduces its targets.
+    #[test]
+    fn hyperexp_fit_is_faithful(mean in 0.1f64..100.0, scv in 1.0f64..20.0) {
+        let d = Hyperexponential::from_mean_scv(mean, scv);
+        prop_assert!((d.mean() - mean).abs() / mean < 1e-9);
+        prop_assert!((d.scv().unwrap() - scv).abs() / scv < 1e-9);
+    }
+
+    /// Exponential samples are non-negative and hit their mean.
+    #[test]
+    fn exponential_sampling(mean in 0.1f64..50.0, seed in 0u64..1000) {
+        let d = Exponential::new(mean);
+        let mut rng = rng_from_seed(seed);
+        let mut s = Summary::new();
+        for _ in 0..2000 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= 0.0);
+            s.record(x);
+        }
+        prop_assert!((s.mean() - mean).abs() / mean < 0.2);
+    }
+
+    /// Quantiles are monotone in the quantile parameter.
+    #[test]
+    fn quantiles_monotone(values in prop::collection::vec(0.0f64..1e6, 10..200)) {
+        let mut q: QuantileEstimator = values.into_iter().collect();
+        let p50 = q.quantile(0.5).unwrap();
+        let p90 = q.quantile(0.9).unwrap();
+        let p99 = q.quantile(0.99).unwrap();
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+    }
+
+    /// Cache residency never exceeds capacity, and a just-accessed line is
+    /// always resident.
+    #[test]
+    fn cache_capacity_invariant(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            write_through: false,
+        });
+        for &a in &addrs {
+            c.access(a, AccessKind::Read);
+            prop_assert!(c.probe(a), "just-accessed line must be resident");
+            prop_assert!(c.resident_lines() <= c.total_lines());
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+    }
+
+    /// M/G/1 simulation utilization tracks the offered load for any stable
+    /// hyperexponential service.
+    #[test]
+    fn mg1_utilization_tracks_rho(load in 0.1f64..0.8, scv in 1.0f64..8.0) {
+        let service = Hyperexponential::from_mean_scv(2.0, scv);
+        let opts = Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            seed: 9,
+            ..Mg1Options::default()
+        };
+        let r = simulate_mg1_dist(load / 2.0, &service, &opts);
+        prop_assert!((r.utilization - load).abs() < 0.08,
+            "load {} util {}", load, r.utilization);
+        // And the mean sojourn is at least the mean service.
+        prop_assert!(r.mean_sojourn_us >= 1.5);
+    }
+
+    /// Pollaczek–Khinchine: mean wait grows with service variability.
+    #[test]
+    fn pk_wait_grows_with_scv(load in 0.2f64..0.9, scv_lo in 0.0f64..2.0, extra in 0.1f64..5.0) {
+        let a = Mg1Analytic { lambda_per_us: load / 4.0, mean_service_us: 4.0, service_scv: scv_lo };
+        let b = Mg1Analytic {
+            lambda_per_us: load / 4.0,
+            mean_service_us: 4.0,
+            service_scv: scv_lo + extra,
+        };
+        prop_assert!(b.mean_wait_us() > a.mean_wait_us());
+    }
+
+    /// Looped traces replay identically regardless of the clock values the
+    /// engine hands them.
+    #[test]
+    fn looped_trace_is_clock_invariant(nows in prop::collection::vec(0u64..1_000_000, 16)) {
+        let ops = vec![
+            MicroOp::new(0, Op::IntAlu).with_dst(1),
+            MicroOp::new(4, Op::Load { addr: 64 }).with_srcs(1, NO_REG),
+        ];
+        let mut a = LoopedTrace::new(ops.clone());
+        let mut b = LoopedTrace::new(ops);
+        let mut rng1 = rng_from_seed(1);
+        let mut rng2 = rng_from_seed(2);
+        for &now in &nows {
+            let x = a.next(now, &mut rng1);
+            let y = b.next(0, &mut rng2);
+            match (x, y) {
+                (Fetched::Op(p), Fetched::Op(q)) => prop_assert_eq!(p, q),
+                _ => prop_assert!(false, "looped traces always yield ops"),
+            }
+        }
+    }
+}
