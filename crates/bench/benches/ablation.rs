@@ -11,6 +11,7 @@
 //! * **morph threshold** — the minimum hole size worth morphing for.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use duplexity::ExecPool;
 use duplexity_cpu::dyad::{DyadConfig, DyadSim};
 use duplexity_cpu::request::RequestStream;
 use duplexity_stats::rng::rng_from_seed;
@@ -38,19 +39,20 @@ fn run_dyad(cfg: DyadConfig, contexts: usize, horizon: u64) -> duplexity_cpu::dy
 
 fn ablate_eviction_latency(c: &mut Criterion) {
     println!("Ablation: filler-eviction latency vs master mean request latency");
-    for evict in [50u64, 250, 1000, 4000] {
+    let evicts = [50u64, 250, 1000, 4000];
+    let rows = ExecPool::from_env().run("ablation/evict", evicts.len(), |i| {
         let cfg = DyadConfig {
-            morph_out_cycles: evict,
+            morph_out_cycles: evicts[i],
             ..DyadConfig::duplexity()
         };
         let m = run_dyad(cfg, 32, 1_500_000);
         let mean = m.request_latencies_cycles.iter().sum::<u64>() as f64
             / m.request_latencies_cycles.len().max(1) as f64
             / cfg.machine.cycles_per_us();
-        println!(
-            "  evict {evict:>5} cycles: mean latency {mean:.2}µs, util {:.3}",
-            m.master_core_utilization(4)
-        );
+        (mean, m.master_core_utilization(4))
+    });
+    for (&evict, (mean, util)) in evicts.iter().zip(rows) {
+        println!("  evict {evict:>5} cycles: mean latency {mean:.2}µs, util {util:.3}");
     }
     c.bench_function("ablation_eviction_latency", |b| {
         b.iter(|| {
@@ -65,13 +67,13 @@ fn ablate_eviction_latency(c: &mut Criterion) {
 
 fn ablate_virtual_contexts(c: &mut Criterion) {
     println!("Ablation: virtual contexts per dyad vs master-core utilization");
-    for contexts in [8usize, 16, 24, 32] {
-        let m = run_dyad(DyadConfig::duplexity(), contexts, 1_500_000);
-        println!(
-            "  {contexts:>2} contexts: util {:.3}, filler ops {}",
-            m.master_core_utilization(4),
-            m.filler_retired_on_master
-        );
+    let counts = [8usize, 16, 24, 32];
+    let rows = ExecPool::from_env().run("ablation/contexts", counts.len(), |i| {
+        let m = run_dyad(DyadConfig::duplexity(), counts[i], 1_500_000);
+        (m.master_core_utilization(4), m.filler_retired_on_master)
+    });
+    for (&contexts, (util, fillers)) in counts.iter().zip(rows) {
+        println!("  {contexts:>2} contexts: util {util:.3}, filler ops {fillers}");
     }
     c.bench_function("ablation_virtual_contexts", |b| {
         b.iter(|| black_box(run_dyad(DyadConfig::duplexity(), 8, 150_000)))
@@ -80,17 +82,17 @@ fn ablate_virtual_contexts(c: &mut Criterion) {
 
 fn ablate_morph_threshold(c: &mut Criterion) {
     println!("Ablation: minimum morph gain (cycles) vs utilization and morph count");
-    for min_gain in [250u64, 500, 2000, 8000] {
+    let gains = [250u64, 500, 2000, 8000];
+    let rows = ExecPool::from_env().run("ablation/morph-gain", gains.len(), |i| {
         let cfg = DyadConfig {
-            min_morph_gain_cycles: min_gain,
+            min_morph_gain_cycles: gains[i],
             ..DyadConfig::duplexity()
         };
         let m = run_dyad(cfg, 32, 1_500_000);
-        println!(
-            "  min gain {min_gain:>5}: util {:.3}, morphs {}",
-            m.master_core_utilization(4),
-            m.morphs
-        );
+        (m.master_core_utilization(4), m.morphs)
+    });
+    for (&min_gain, (util, morphs)) in gains.iter().zip(rows) {
+        println!("  min gain {min_gain:>5}: util {util:.3}, morphs {morphs}");
     }
     c.bench_function("ablation_morph_threshold", |b| {
         b.iter(|| {
@@ -105,17 +107,17 @@ fn ablate_morph_threshold(c: &mut Criterion) {
 
 fn ablate_detection_latency(c: &mut Criterion) {
     println!("Ablation: stall-demarcation latency (§IV) vs filler throughput");
-    for delay in [0u64, 100, 1000, 3400] {
+    let delays = [0u64, 100, 1000, 3400];
+    let rows = ExecPool::from_env().run("ablation/detect", delays.len(), |i| {
         let cfg = DyadConfig {
-            stall_detection_delay: delay,
+            stall_detection_delay: delays[i],
             ..DyadConfig::duplexity()
         };
         let m = run_dyad(cfg, 32, 1_500_000);
-        println!(
-            "  detect {delay:>5} cycles: util {:.3}, filler ops {}",
-            m.master_core_utilization(4),
-            m.filler_retired_on_master
-        );
+        (m.master_core_utilization(4), m.filler_retired_on_master)
+    });
+    for (&delay, (util, fillers)) in delays.iter().zip(rows) {
+        println!("  detect {delay:>5} cycles: util {util:.3}, filler ops {fillers}");
     }
     c.bench_function("ablation_detection_latency", |b| {
         b.iter(|| {

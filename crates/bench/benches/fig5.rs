@@ -15,7 +15,16 @@ use std::sync::OnceLock;
 
 fn cells() -> &'static [Fig5Cell] {
     static CELLS: OnceLock<Vec<Fig5Cell>> = OnceLock::new();
-    CELLS.get_or_init(|| run_fig5(&Fidelity::Bench.fig5_options(42)))
+    CELLS.get_or_init(|| {
+        // threads: 0 → DUPLEXITY_THREADS / available parallelism; the cells
+        // are bit-identical for every worker count.
+        let opts = Fidelity::Bench.fig5_options(42);
+        println!(
+            "computing the bench-sized Figure 5 grid on {} worker thread(s)",
+            duplexity::ExecPool::new(opts.threads).threads()
+        );
+        run_fig5(&opts)
+    })
 }
 
 fn bench_fig5a(c: &mut Criterion) {

@@ -1,13 +1,17 @@
 //! Regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! report [--quick] [--seed N] [--json DIR] [--fig1a] [--fig1b] [--fig1c]
-//!        [--fig2a] [--fig2b] [--table1] [--table2] [--fig5] [--fig6] [--all]
+//! report [--quick] [--seed N] [--threads N] [--json DIR] [--fig1a] [--fig1b]
+//!        [--fig1c] [--fig2a] [--fig2b] [--table1] [--table2] [--fig5]
+//!        [--fig6] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
 //! reduces simulation horizons for a faster pass. `--json DIR` additionally
-//! writes each artifact as machine-readable JSON into `DIR`.
+//! writes each artifact as machine-readable JSON into `DIR`. `--threads N`
+//! (default: `DUPLEXITY_THREADS`, then available parallelism) sets the
+//! worker count for the Figure 5/6 grids — the output is bit-identical for
+//! every value, only the wall time changes.
 
 use duplexity::experiments::{fig1, fig2, fig5, fig6, tables};
 use duplexity::report as render;
@@ -41,6 +45,12 @@ fn main() {
     } else {
         Fidelity::Full
     };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
     let json_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--json")
@@ -69,7 +79,11 @@ fn main() {
     let all = has("--all") || !args.iter().any(|a| figure_flags.contains(&a.as_str()));
     let want = |flag: &str| all || has(flag);
 
-    println!("Duplexity reproduction report (seed {seed}, {fidelity:?} fidelity)\n");
+    let pool_threads = duplexity::ExecPool::new(threads).threads();
+    println!(
+        "Duplexity reproduction report (seed {seed}, {fidelity:?} fidelity, {pool_threads} worker thread{})\n",
+        if pool_threads == 1 { "" } else { "s" }
+    );
 
     if want("--table1") {
         println!("Table I: microarchitecture details");
@@ -124,6 +138,7 @@ fn main() {
     if want("--extensions") {
         eprintln!("running the extension-design comparison...");
         let mut opts = fidelity.fig5_options(seed);
+        opts.threads = threads;
         opts.designs = duplexity::Design::ALL_WITH_EXTENSIONS.to_vec();
         opts.workloads = vec![duplexity::Workload::McRouter];
         opts.loads = vec![0.5];
@@ -145,7 +160,8 @@ fn main() {
 
     if want("--fig5") || want("--fig6") {
         eprintln!("running the Figure 5 grid (this is the long part)...");
-        let opts = fidelity.fig5_options(seed);
+        let mut opts = fidelity.fig5_options(seed);
+        opts.threads = threads;
         let cells = fig5::run_fig5(&opts);
         println!(
             "{}",

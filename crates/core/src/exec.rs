@@ -1,0 +1,239 @@
+//! Parallel experiment-execution engine.
+//!
+//! Every experiment driver in this crate evaluates a grid of independent
+//! *cells* — one cycle/queueing simulation per (design × workload × load)
+//! point — and each cell derives its RNG streams from the experiment seed
+//! plus its own grid coordinates (via [`duplexity_stats::rng::derive_stream`]).
+//! Because no cell reads another cell's random state, the grid can be
+//! evaluated in any order, on any number of worker threads, and produce
+//! **bit-identical** results; all cross-cell arithmetic (normalization
+//! against the baseline design) happens in a deterministic post-pass on the
+//! collected results.
+//!
+//! [`ExecPool`] is the scheduler behind that contract: a scoped-thread
+//! work-stealing runner built only on `std` (`std::thread::scope` plus an
+//! atomic work index — no external dependency, since the crates registry is
+//! unreachable in some build environments). Results are written into
+//! index-addressed slots, so completion order never affects output order.
+//!
+//! ## Thread-count selection
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. an explicit `threads` field on the experiment options
+//!    ([`crate::experiments::fig5::Fig5Options::threads`],
+//!    [`crate::experiments::sweep::SweepOptions::threads`]) when non-zero;
+//! 2. the `DUPLEXITY_THREADS` environment variable when set to a positive
+//!    integer;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ## Progress reporting
+//!
+//! When enabled, the pool emits one stderr line per completed cell with the
+//! cell's wall time and the cumulative completion rate:
+//!
+//! ```text
+//! [fig5/cells] cell 7 done in 412.0 ms (8/45, 2.31 cells/s)
+//! ```
+//!
+//! Progress defaults to on when stderr is a terminal and off otherwise
+//! (so `cargo test` output stays quiet); `DUPLEXITY_PROGRESS=1` /
+//! `DUPLEXITY_PROGRESS=0` force it either way.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Resolves the default worker count: `DUPLEXITY_THREADS` when it parses as
+/// a positive integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    match std::env::var("DUPLEXITY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Resolves the default progress setting: `DUPLEXITY_PROGRESS` when set
+/// (anything but `0`/empty enables), otherwise whether stderr is a terminal.
+#[must_use]
+pub fn default_progress() -> bool {
+    match std::env::var("DUPLEXITY_PROGRESS") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => std::io::stderr().is_terminal(),
+    }
+}
+
+/// A scoped-thread work-stealing cell runner.
+///
+/// See the [module docs](self) for the determinism contract and the
+/// thread-count/progress resolution rules.
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    threads: usize,
+    progress: bool,
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ExecPool {
+    /// Creates a pool with `threads` workers; `0` means "resolve from the
+    /// environment" ([`default_threads`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: if threads == 0 {
+                default_threads()
+            } else {
+                threads
+            },
+            progress: default_progress(),
+        }
+    }
+
+    /// Creates a pool entirely from the environment (`DUPLEXITY_THREADS`,
+    /// `DUPLEXITY_PROGRESS`).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(0)
+    }
+
+    /// Overrides progress reporting.
+    #[must_use]
+    pub fn with_progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The worker count this pool will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(0..n)` across the pool's workers and returns the results
+    /// **in index order**, regardless of which worker finished which cell
+    /// when.
+    ///
+    /// `f` must be a pure function of its index (plus captured immutable
+    /// state): with that property the output is bit-identical for every
+    /// worker count, which the experiment drivers rely on. With one worker
+    /// (or `n <= 1`) the cells run inline on the calling thread — this *is*
+    /// the serial path, not a simulation of it.
+    ///
+    /// `label` names the grid in progress lines.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any cell.
+    pub fn run<T, F>(&self, label: &str, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let done = AtomicUsize::new(0);
+        let progress = |i: usize, cell_ms: f64| {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress {
+                #[allow(clippy::cast_precision_loss)]
+                let rate = d as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                eprintln!(
+                    "[{label}] cell {i} done in {cell_ms:.1} ms ({d}/{n}, {rate:.2} cells/s)"
+                );
+            }
+        };
+
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let v = f(i);
+                    progress(i, t0.elapsed().as_secs_f64() * 1e3);
+                    v
+                })
+                .collect();
+        }
+
+        // Index-addressed result slots plus an atomic work index: workers
+        // claim the next unclaimed cell until the grid is exhausted, so a
+        // slow cell never stalls the others (work stealing by construction).
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let v = f(i);
+                    let cell_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    slots.lock().expect("result slots poisoned")[i] = Some(v);
+                    progress(i, cell_ms);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|s| s.expect("every claimed cell stores a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_across_worker_counts() {
+        let f = |i: usize| i * i;
+        let expect: Vec<usize> = (0..23).map(f).collect();
+        for threads in [1, 2, 4, 32] {
+            let pool = ExecPool::new(threads).with_progress(false);
+            assert_eq!(pool.run("test/squares", 23, f), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let pool = ExecPool::new(4).with_progress(false);
+        let out: Vec<u8> = pool.run("test/empty", 0, |_| unreachable!("no cells"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let pool = ExecPool::new(16).with_progress(false);
+        assert_eq!(pool.run("test/tiny", 2, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        assert!(ExecPool::new(0).threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn captured_state_is_shared_immutably() {
+        let weights = [3.0f64, 1.5, 0.25, 8.0];
+        let pool = ExecPool::new(2).with_progress(false);
+        let out = pool.run("test/weights", weights.len(), |i| weights[i] * 2.0);
+        assert_eq!(out, vec![6.0, 3.0, 0.5, 16.0]);
+    }
+}

@@ -17,6 +17,7 @@
 //! * **(f)** batch-thread system throughput STP = Σᵢ IPCᵢ(shared) /
 //!   IPCᵢ(alone) \[123\], normalized.
 
+use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::{Design, DesignMetrics};
 use duplexity_cpu::inorder::InoEngine;
@@ -45,6 +46,10 @@ pub struct Fig5Options {
     pub seed: u64,
     /// Queueing-simulation controls.
     pub queue: Mg1Options,
+    /// Worker threads for the cell grid; `0` resolves `DUPLEXITY_THREADS` /
+    /// available parallelism (see [`crate::exec`]). Results are bit-identical
+    /// for every value.
+    pub threads: usize,
 }
 
 impl Default for Fig5Options {
@@ -56,6 +61,7 @@ impl Default for Fig5Options {
             horizon_cycles: 6_000_000,
             seed: 42,
             queue: Mg1Options::default(),
+            threads: 0,
         }
     }
 }
@@ -174,17 +180,36 @@ pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
         "empty grid"
     );
 
+    let pool = ExecPool::new(opts.threads);
     let lender_ref = lender_reference(opts.horizon_cycles / 2, opts.seed);
 
     // Pass 1: per-(workload, design) service-time slowdowns from dedicated
     // saturated runs — the analogue of the paper's "measure IPC in gem5 and
     // use it to determine the service rate" (§V). Saturated runs yield many
-    // requests with no queueing-delay contamination.
+    // requests with no queueing-delay contamination. Each calibration cell
+    // seeds itself from the experiment seed alone, so the grid parallelizes
+    // with bit-identical results; the baseline ratio is taken in a
+    // deterministic combine step below.
+    let pairs: Vec<(Workload, Design)> = opts
+        .workloads
+        .iter()
+        .flat_map(|&w| opts.designs.iter().map(move |&d| (w, d)))
+        .collect();
+    let services = pool.run("fig5/calibrate", pairs.len(), |i| {
+        let (workload, design) = pairs[i];
+        saturated_service_us(design, workload, opts)
+    });
+    let service_of = |workload: Workload, design: Design| -> Option<f64> {
+        pairs
+            .iter()
+            .position(|&(w, d)| w == workload && d == design)
+            .and_then(|i| services[i])
+    };
     let mut slowdowns: Vec<(Workload, Design, f64)> = Vec::new();
     for &workload in &opts.workloads {
-        let base = saturated_service_us(Design::Baseline, workload, opts);
+        let base = service_of(workload, Design::Baseline);
         for &design in &opts.designs {
-            let mine = saturated_service_us(design, workload, opts);
+            let mine = service_of(workload, design);
             let stall = workload.service_model().mean_stall_us();
             let slowdown = match (base, mine) {
                 (Some(b), Some(m)) => {
@@ -199,42 +224,65 @@ pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
         }
     }
 
-    // Pass 2: cycle simulations of the full grid.
-    let mut raw: Vec<RawCell> = Vec::new();
-    for &workload in &opts.workloads {
-        for &load in &opts.loads {
-            for &design in &opts.designs {
-                let metrics = ServerSim::new(design, workload)
-                    .load(load)
-                    .horizon_cycles(opts.horizon_cycles)
-                    .seed(opts.seed)
-                    .run();
-                let mut cell = build_raw(design, workload, load, metrics, &lender_ref);
-                cell.slowdown = slowdowns
-                    .iter()
-                    .find(|(w, d, _)| *w == workload && *d == design)
-                    .map_or(1.0, |(_, _, s)| *s);
-                raw.push(cell);
-            }
-        }
-    }
+    // Pass 2: cycle simulations of the full grid. Every cell's ServerSim
+    // derives its streams from (seed, design, workload, load) internally, so
+    // scheduling order cannot perturb the metrics.
+    let grid: Vec<(Workload, f64, Design)> = opts
+        .workloads
+        .iter()
+        .flat_map(|&w| {
+            opts.loads
+                .iter()
+                .flat_map(move |&l| opts.designs.iter().map(move |&d| (w, l, d)))
+        })
+        .collect();
+    let raw: Vec<RawCell> = pool.run("fig5/cells", grid.len(), |i| {
+        let (workload, load, design) = grid[i];
+        let metrics = ServerSim::new(design, workload)
+            .load(load)
+            .horizon_cycles(opts.horizon_cycles)
+            .seed(opts.seed)
+            .run();
+        let mut cell = build_raw(design, workload, load, metrics, &lender_ref);
+        cell.slowdown = slowdowns
+            .iter()
+            .find(|(w, d, _)| *w == workload && *d == design)
+            .map_or(1.0, |(_, _, s)| *s);
+        cell
+    });
 
-    // Pass 3: queueing simulations + normalization.
-    let mut cells = Vec::with_capacity(raw.len());
-    for c in &raw {
+    // Pass 3: queueing simulations, parallel per cell. Each tail run builds
+    // a fresh RNG from (seed, workload, load), so a cell's own tail and its
+    // iso-throughput tail are pure functions of the raw grid. The baseline's
+    // density_norm is exactly 1.0 (x/x), so its `tails` entry doubles as
+    // both normalization denominators — the same values the serial code
+    // recomputed per cell.
+    let tails = pool.run("fig5/tails", raw.len(), |i| {
+        let c = &raw[i];
         let baseline = raw
             .iter()
             .find(|b| b.workload == c.workload && b.load == c.load && b.design == Design::Baseline)
             .expect("baseline cell exists");
-
         let density_norm = c.density / baseline.density.max(f64::MIN_POSITIVE);
-        let base_density_norm = 1.0;
-        let _ = base_density_norm;
-
         let (p99, saturated) = tail_latency(c, 1.0, opts);
-        let (base_p99, _) = tail_latency(baseline, 1.0, opts);
         let (iso_p99, iso_sat) = tail_latency(c, density_norm, opts);
-        let (base_iso_p99, _) = tail_latency(baseline, 1.0, opts);
+        (density_norm, p99, saturated, iso_p99, iso_sat)
+    });
+
+    // Deterministic post-pass: normalization against the baseline cell.
+    let mut cells = Vec::with_capacity(raw.len());
+    for (c, &(density_norm, p99, saturated, iso_p99, iso_sat)) in raw.iter().zip(&tails) {
+        let base_idx = raw
+            .iter()
+            .position(|b| {
+                b.workload == c.workload && b.load == c.load && b.design == Design::Baseline
+            })
+            .expect("baseline cell exists");
+        let baseline = &raw[base_idx];
+        // Both denominators are the baseline's tail at unscaled arrival rate
+        // (the serial code invoked `tail_latency(baseline, 1.0)` twice).
+        let base_p99 = tails[base_idx].1;
+        let base_iso_p99 = base_p99;
 
         cells.push(Fig5Cell {
             design: c.design,
@@ -396,6 +444,7 @@ mod tests {
                 warmup: 1_000,
                 ..Mg1Options::default()
             },
+            threads: 0,
         }
     }
 

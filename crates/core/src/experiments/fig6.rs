@@ -1,6 +1,6 @@
 //! Figure 6: interconnect (NIC IOPS) utilization per dyad (§VIII).
 
-use super::fig5::Fig5Cell;
+use super::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity_cpu::designs::Design;
 use duplexity_net::NicModel;
 use duplexity_workloads::Workload;
@@ -41,6 +41,17 @@ pub fn fig6(cells: &[Fig5Cell]) -> Vec<Fig6Cell> {
         .collect()
 }
 
+/// Runs the Figure 5 grid (on the parallel engine configured by
+/// `opts.threads`) and derives Figure 6 from it in one call.
+///
+/// # Panics
+///
+/// Propagates [`run_fig5`]'s panics (missing baseline, empty grid).
+#[must_use]
+pub fn run_fig6(opts: &Fig5Options) -> Vec<Fig6Cell> {
+    fig6(&run_fig5(opts))
+}
+
 /// The §VIII headline: how many dyads of the *worst-case* cell can share one
 /// FDR port.
 #[must_use]
@@ -71,6 +82,7 @@ mod tests {
                 max_samples: 60_000,
                 ..Mg1Options::default()
             },
+            threads: 0,
         };
         let f5 = run_fig5(&opts);
         let f6 = fig6(&f5);

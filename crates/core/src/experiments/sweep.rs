@@ -7,6 +7,7 @@
 //! each design's **SLO capacity** — the highest load whose p99 stays within
 //! budget.
 
+use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
 use duplexity_queueing::des::{simulate_mg1, Mg1Options};
@@ -29,6 +30,10 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Queueing controls.
     pub queue: Mg1Options,
+    /// Worker threads for calibrations and sweep points; `0` resolves
+    /// `DUPLEXITY_THREADS` / available parallelism (see [`crate::exec`]).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for SweepOptions {
@@ -43,6 +48,7 @@ impl Default for SweepOptions {
                 max_samples: 300_000,
                 ..Mg1Options::default()
             },
+            threads: 0,
         }
     }
 }
@@ -83,6 +89,8 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
     let nominal = opts.workload.nominal_service_us();
     let stall = model.mean_stall_us();
 
+    let pool = ExecPool::new(opts.threads);
+
     let saturated_service = |design: Design| -> Option<f64> {
         let m = ServerSim::new(design, opts.workload)
             .saturated()
@@ -94,48 +102,65 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
         }
         Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
     };
-    let base_service = saturated_service(Design::Baseline);
 
-    let mut out = Vec::with_capacity(opts.designs.len() * opts.loads.len());
-    for &design in &opts.designs {
-        let slowdown = match (base_service, saturated_service(design)) {
+    // Calibrations are independent cycle simulations — one per design — so
+    // they run on the pool; the baseline's slot is the slowdown reference.
+    let services = pool.run("sweep/calibrate", opts.designs.len(), |i| {
+        saturated_service(opts.designs[i])
+    });
+    let base_service = opts
+        .designs
+        .iter()
+        .position(|&d| d == Design::Baseline)
+        .and_then(|i| services[i]);
+    let slowdowns: Vec<f64> = services
+        .iter()
+        .map(|mine| match (base_service, *mine) {
             (Some(b), Some(m)) => {
                 let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
                 (mc / bc).clamp(1.0, 6.0)
             }
             _ => 1.0,
-        };
-        let scaled = model.scale_compute(slowdown);
-        for &load in &opts.loads {
-            let lambda = load / nominal;
-            let scaled_mean = model.mean_compute_us() * slowdown + stall;
-            if lambda * scaled_mean >= 0.95 {
-                out.push(SweepPoint {
-                    design,
-                    load,
-                    p99_us: f64::INFINITY,
-                    mean_us: f64::INFINITY,
-                    saturated: true,
-                });
-                continue;
-            }
-            let mut service = |rng: &mut SimRng| {
-                let (c, s) = scaled.sample_parts(rng);
-                c + s
-            };
-            let mut qopts = opts.queue;
-            qopts.seed = derive_stream(opts.seed, 0x53EA ^ (load * 1000.0) as u64);
-            let r = simulate_mg1(lambda, &mut service, &qopts);
-            out.push(SweepPoint {
+        })
+        .collect();
+
+    // Every (design, load) point builds its queueing RNG from
+    // (seed, load) — common random numbers across designs — so the grid
+    // parallelizes with bit-identical results in design-major order.
+    let grid: Vec<(usize, f64)> = (0..opts.designs.len())
+        .flat_map(|di| opts.loads.iter().map(move |&l| (di, l)))
+        .collect();
+    pool.run("sweep/points", grid.len(), |i| {
+        let (di, load) = grid[i];
+        let design = opts.designs[di];
+        let slowdown = slowdowns[di];
+        let lambda = load / nominal;
+        let scaled_mean = model.mean_compute_us() * slowdown + stall;
+        if lambda * scaled_mean >= 0.95 {
+            return SweepPoint {
                 design,
                 load,
-                p99_us: r.tail_us,
-                mean_us: r.mean_sojourn_us,
-                saturated: false,
-            });
+                p99_us: f64::INFINITY,
+                mean_us: f64::INFINITY,
+                saturated: true,
+            };
         }
-    }
-    out
+        let scaled = model.scale_compute(slowdown);
+        let mut service = |rng: &mut SimRng| {
+            let (c, s) = scaled.sample_parts(rng);
+            c + s
+        };
+        let mut qopts = opts.queue;
+        qopts.seed = derive_stream(opts.seed, 0x53EA ^ (load * 1000.0) as u64);
+        let r = simulate_mg1(lambda, &mut service, &qopts);
+        SweepPoint {
+            design,
+            load,
+            p99_us: r.tail_us,
+            mean_us: r.mean_sojourn_us,
+            saturated: false,
+        }
+    })
 }
 
 /// The highest swept load whose p99 stays within `budget_us` for `design`

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod chip;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod scheduler;
@@ -60,6 +61,7 @@ pub mod server;
 pub use chip::{simulate_chip, simulate_mixed_chip, ChipConfig, ChipMetrics, DyadAssignment};
 pub use duplexity_cpu::designs::{Design, DesignMetrics};
 pub use duplexity_workloads::Workload;
+pub use exec::ExecPool;
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
     ProvisionerConfig,

@@ -18,6 +18,7 @@ fn small_fig5(workload: Workload, designs: Vec<Design>) -> Fig5Options {
             warmup: 1_000,
             ..Mg1Options::default()
         },
+        threads: 0,
     }
 }
 

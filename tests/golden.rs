@@ -1,0 +1,146 @@
+//! Golden regression tests: every figure artifact is snapshotted as JSON.
+//!
+//! Each test regenerates a small fixed-seed artifact, serializes it with the
+//! workspace's deterministic JSON writer (insertion-ordered fields,
+//! shortest-round-trip floats), and compares it **byte for byte** against a
+//! checked-in fixture under `tests/golden/`. Any change to the simulators,
+//! the RNG derivation, or the normalization arithmetic shows up as a diff.
+//!
+//! To regenerate the fixtures after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! git diff tests/golden/   # review the numeric drift, then commit
+//! ```
+//!
+//! Grids are chosen so no cell saturates (`p99` stays finite): the JSON
+//! encoding maps non-finite floats to `null`, which would not round-trip
+//! back into an `f64` field.
+
+use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
+use duplexity::experiments::fig6::{dyads_per_port, fig6, Fig6Cell};
+use duplexity::experiments::sweep::{latency_load_sweep, SweepOptions};
+use duplexity::experiments::tables::{table2_rows, Table2Row};
+use duplexity::{Design, Workload};
+use duplexity_queueing::des::Mg1Options;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `value`'s pretty JSON against `tests/golden/<name>.json`, or
+/// rewrites the fixture when `UPDATE_GOLDEN=1` is set.
+fn assert_matches_golden<T: serde::Serialize>(name: &str, value: &T) {
+    let path = golden_dir().join(format!("{name}.json"));
+    let mut actual = serde_json::to_string_pretty(value).expect("serialize artifact");
+    actual.push('\n');
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture; if the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test golden` and review \
+         `git diff tests/golden/`"
+    );
+}
+
+fn golden_fig5_opts() -> Fig5Options {
+    Fig5Options {
+        loads: vec![0.3, 0.6],
+        workloads: vec![Workload::McRouter],
+        designs: vec![Design::Baseline, Design::Duplexity],
+        horizon_cycles: 500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads: 0,
+    }
+}
+
+fn golden_fig5_cells() -> Vec<Fig5Cell> {
+    let cells = run_fig5(&golden_fig5_opts());
+    assert!(
+        cells.iter().all(|c| !c.saturated && c.p99_us.is_finite()),
+        "golden grid must stay unsaturated so every float round-trips"
+    );
+    cells
+}
+
+#[test]
+fn fig5_small_grid_matches_golden() {
+    assert_matches_golden("fig5_small_grid", &golden_fig5_cells());
+}
+
+#[test]
+fn fig5_golden_fixture_round_trips_through_json() {
+    let cells = golden_fig5_cells();
+    let json = serde_json::to_string_pretty(&cells).expect("serialize");
+    let back: Vec<Fig5Cell> = serde_json::from_str(&json).expect("deserialize Fig5Cell vec");
+    assert_eq!(back.len(), cells.len());
+    for (a, b) in cells.iter().zip(&back) {
+        assert_eq!(a.design, b.design);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(a.iso_p99_norm, b.iso_p99_norm);
+        assert_eq!(a.stp_norm, b.stp_norm);
+    }
+}
+
+#[test]
+fn fig6_derived_from_small_grid_matches_golden() {
+    let f6: Vec<Fig6Cell> = fig6(&golden_fig5_cells());
+    assert!(dyads_per_port(&f6) >= 1);
+    assert_matches_golden("fig6_small_grid", &f6);
+}
+
+#[test]
+fn slo_sweep_matches_golden() {
+    let points = latency_load_sweep(&SweepOptions {
+        workload: Workload::McRouter,
+        designs: vec![Design::Baseline, Design::Smt, Design::Duplexity],
+        loads: vec![0.2, 0.5, 0.8],
+        calibration_cycles: 500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 50_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads: 0,
+    });
+    assert!(
+        points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
+        "golden sweep must stay unsaturated so every float round-trips"
+    );
+    assert_matches_golden("slo_sweep", &points);
+}
+
+#[test]
+fn table2_rows_match_golden() {
+    let rows = table2_rows();
+    assert_eq!(rows.len(), 7);
+    assert_matches_golden("table2", &rows);
+}
+
+#[test]
+fn table2_golden_fixture_round_trips_through_json() {
+    let rows = table2_rows();
+    let json = serde_json::to_string_pretty(&rows).expect("serialize");
+    let back: Vec<Table2Row> = serde_json::from_str(&json).expect("deserialize Table2Row vec");
+    assert_eq!(back, rows);
+}

@@ -1,0 +1,114 @@
+//! The parallel engine's determinism contract, checked cell for cell.
+//!
+//! Every experiment cell derives its RNG streams from the experiment seed
+//! plus its grid coordinates, so the worker count must never change a single
+//! bit of any result (see `duplexity::exec`). These tests run the same small
+//! grids with 1 worker (the inline serial path), 2, 4, and 8 workers and
+//! `assert_eq!` every field — exact floating-point equality, no tolerance.
+
+use duplexity::experiments::fig5::{run_fig5, Fig5Options};
+use duplexity::experiments::sweep::{latency_load_sweep, slo_capacity, SweepOptions};
+use duplexity::{Design, Workload};
+use duplexity_queueing::des::Mg1Options;
+
+fn fig5_opts(threads: usize) -> Fig5Options {
+    Fig5Options {
+        loads: vec![0.3, 0.6],
+        workloads: vec![Workload::McRouter],
+        designs: vec![Design::Baseline, Design::Duplexity],
+        horizon_cycles: 500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+    }
+}
+
+fn sweep_opts(threads: usize) -> SweepOptions {
+    SweepOptions {
+        workload: Workload::McRouter,
+        designs: vec![Design::Baseline, Design::Smt, Design::Duplexity],
+        loads: vec![0.2, 0.5, 0.8],
+        calibration_cycles: 500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 50_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+    }
+}
+
+#[test]
+fn fig5_is_bit_identical_across_worker_counts() {
+    let serial = run_fig5(&fig5_opts(1));
+    assert_eq!(serial.len(), 4);
+    for threads in [2usize, 4, 8] {
+        let parallel = run_fig5(&fig5_opts(threads));
+        assert_eq!(parallel.len(), serial.len(), "threads={threads}");
+        for (s, p) in serial.iter().zip(&parallel) {
+            let at = format!(
+                "threads={threads} cell ({:?}, {:?}, {})",
+                s.design, s.workload, s.load
+            );
+            assert_eq!(s.design, p.design, "{at}");
+            assert_eq!(s.workload, p.workload, "{at}");
+            assert_eq!(s.load, p.load, "{at}");
+            assert_eq!(s.utilization, p.utilization, "{at}");
+            assert_eq!(s.perf_density_norm, p.perf_density_norm, "{at}");
+            assert_eq!(s.energy_norm, p.energy_norm, "{at}");
+            assert_eq!(s.p99_us, p.p99_us, "{at}");
+            assert_eq!(s.p99_norm, p.p99_norm, "{at}");
+            assert_eq!(s.iso_p99_us, p.iso_p99_us, "{at}");
+            assert_eq!(s.iso_p99_norm, p.iso_p99_norm, "{at}");
+            assert_eq!(s.stp_norm, p.stp_norm, "{at}");
+            assert_eq!(s.saturated, p.saturated, "{at}");
+            assert_eq!(s.service_slowdown, p.service_slowdown, "{at}");
+            assert_eq!(s.remote_ops_per_us, p.remote_ops_per_us, "{at}");
+        }
+    }
+}
+
+#[test]
+fn slo_sweep_is_bit_identical_across_worker_counts() {
+    let serial = latency_load_sweep(&sweep_opts(1));
+    assert_eq!(serial.len(), 9);
+    for threads in [2usize, 8] {
+        let parallel = latency_load_sweep(&sweep_opts(threads));
+        assert_eq!(parallel.len(), serial.len(), "threads={threads}");
+        for (s, p) in serial.iter().zip(&parallel) {
+            let at = format!("threads={threads} point ({:?}, {})", s.design, s.load);
+            assert_eq!(s.design, p.design, "{at}");
+            assert_eq!(s.load, p.load, "{at}");
+            assert_eq!(s.p99_us, p.p99_us, "{at}");
+            assert_eq!(s.mean_us, p.mean_us, "{at}");
+            assert_eq!(s.saturated, p.saturated, "{at}");
+        }
+        // The derived operator metric agrees too.
+        for design in [Design::Baseline, Design::Duplexity] {
+            assert_eq!(
+                slo_capacity(&serial, design, 50.0),
+                slo_capacity(&parallel, design, 50.0),
+                "threads={threads} {design:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_explicit_one_worker() {
+    // threads = 0 resolves DUPLEXITY_THREADS / available parallelism; by the
+    // contract its results equal the single-worker run bit for bit.
+    let auto = run_fig5(&fig5_opts(0));
+    let one = run_fig5(&fig5_opts(1));
+    for (a, s) in auto.iter().zip(&one) {
+        assert_eq!(a.utilization, s.utilization);
+        assert_eq!(a.p99_us, s.p99_us);
+        assert_eq!(a.iso_p99_norm, s.iso_p99_norm);
+        assert_eq!(a.stp_norm, s.stp_norm);
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline vendored benchmark harness with the `criterion` macro surface.
+//!
+//! The offline build environments carry no crates registry, so the bench
+//! targets link against this local stand-in instead of the real criterion.
+//! It keeps the call sites unchanged (`criterion_group!`, `criterion_main!`,
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`)
+//! and reports a simple mean wall-time per iteration. There is no
+//! statistical analysis, warm-up modeling, or HTML report — the bench
+//! binaries exist to regenerate the paper's figures and to smoke-time hot
+//! paths, and `--test` runs (from `cargo test --benches`) execute each
+//! closure once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// The benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` (via the [`Bencher`] it receives) and prints a one-line
+    /// mean per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let mean = b.total_ns as f64 / b.iters as f64;
+            println!(
+                "bench {name:<40} {:>12.0} ns/iter ({} iters)",
+                mean, b.iters
+            );
+        }
+        self
+    }
+}
+
+/// Times closures for one benchmark target.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, accumulating wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = f();
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// An identity function that hides a value from the optimizer.
+///
+/// Re-exported for call-site compatibility; benches in this workspace import
+/// `std::hint::black_box` directly.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline vendored property-testing harness exposing the `proptest!` macro
+//! surface this workspace uses.
+//!
+//! Because the offline build environments carry no crates registry, this
+//! local crate replaces the real `proptest`. It keeps the call sites
+//! unchanged — `proptest! { #[test] fn p(x in 0u64..10) { .. } }`,
+//! `prop_assert!`, `prop_assume!`, `any::<T>()`, `prop::collection::vec`,
+//! `prop::option::of`, tuple strategies and `prop_map` — but runs a fixed
+//! number of deterministically-seeded random cases with **no shrinking**:
+//! a failing case panics with the sampled inputs printed, which is enough
+//! to reproduce (the seed schedule is a pure function of the case index).
+//!
+//! `.proptest-regressions` files are intentionally ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the opt-level-2 cycle-simulator
+        // properties fast while still exploring the input space.
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass: a rejected assumption or a failure.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// An assertion failed; the test panics.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident . $n:tt),+)),+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+);
+
+/// A type with a canonical "arbitrary value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Combinator namespaces mirroring the real crate's `prop::` paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::RngExt;
+
+        /// A vector-length specification: an exact size or a half-open range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange(core::ops::Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange(n..n + 1)
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                SizeRange(r)
+            }
+        }
+
+        /// A strategy for `Vec`s with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        /// Generates vectors whose length is uniform over `len` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy, L: Into<SizeRange>>(element: S, len: L) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.random_range(self.len.0.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::RngExt;
+
+        /// A strategy for `Option`s.
+        pub struct OptionStrategy<S>(S);
+
+        /// Generates `None` half the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.random::<bool>() {
+                    Some(self.0.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Builds the deterministic RNG for one test case.
+#[must_use]
+pub fn case_rng(case: u64) -> TestRng {
+    // Golden-ratio stride decorrelates consecutive cases.
+    TestRng::seed_from_u64(0xD1F7_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `body` over `cases` deterministic random cases; `sample` draws the
+/// inputs (already formatted for diagnostics) for one case.
+///
+/// # Panics
+///
+/// Panics when a case fails, printing the case number and inputs.
+pub fn run_cases<I, S, B>(cases: u32, mut sample: S, mut body: B)
+where
+    S: FnMut(&mut TestRng) -> (I, String),
+    B: FnMut(I) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    for case in 0..u64::from(cases) {
+        let mut rng = case_rng(case);
+        let (input, description) = sample(&mut rng);
+        match body(input) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case {case} failed: {msg}\n  inputs: {description}")
+            }
+        }
+    }
+    assert!(
+        rejected < cases,
+        "all {cases} cases were rejected by prop_assume!"
+    );
+}
+
+/// Defines deterministic property tests with the `proptest` call-site
+/// grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    cfg.cases,
+                    |rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), rng);)*
+                        let description = ::std::format!(
+                            ::std::concat!($(::std::stringify!($arg), " = {:?} ",)*),
+                            $(&$arg),*
+                        );
+                        (($($arg,)*), description)
+                    },
+                    |($($arg,)*)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, printing
+/// the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                ::std::stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        /// Vectors respect their length range and map composes.
+        #[test]
+        fn vec_and_map(v in prop::collection::vec((0u32..10).prop_map(|x| x * 2), 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for x in v {
+                prop_assert!(x % 2 == 0);
+                prop_assert!(x < 20);
+            }
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_rejects(x in 0u8..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+
+        /// Options produce both arms.
+        #[test]
+        fn option_strategy(o in prop::option::of(1u8..3)) {
+            if let Some(x) = o {
+                prop_assert!((1..3).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = || {
+            let mut rng = super::case_rng(7);
+            (0..4)
+                .map(|_| super::Strategy::sample(&(0u64..100), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        super::run_cases(
+            4,
+            |rng| {
+                let x = super::Strategy::sample(&(0u64..100), rng);
+                (x, format!("x = {x}"))
+            },
+            |x| {
+                prop_assert!(x > 1_000, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+}

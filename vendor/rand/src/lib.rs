@@ -1,0 +1,310 @@
+//! Offline vendored stub of the tiny slice of the `rand` API this workspace
+//! uses.
+//!
+//! The build environments this repository must compile in have **no access to
+//! a crates registry**, so the workspace pins every external dependency to a
+//! local path crate under `vendor/`. This crate reimplements exactly the
+//! surface the simulators consume — [`rngs::StdRng`], [`SeedableRng`],
+//! [`RngCore`] and [`RngExt`] (`random`, `random_range`) — on top of a
+//! xoshiro256++ generator.
+//!
+//! Determinism contract: the generator is a pure function of its 32-byte
+//! seed, with no global state, platform dependence, or thread dependence, so
+//! every simulation in the workspace is bit-reproducible for a given seed —
+//! including across the parallel experiment engine's worker threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words; object-safe core of the RNG stack.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from a fixed-width seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling of a value uniformly over a type's natural domain (the analogue
+/// of `rand`'s `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Sampling of a value uniformly from a range (the analogue of `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Extension methods every RNG gets for free (the `rand 0.9+` spelling:
+/// `random` / `random_range`).
+pub trait RngExt: RngCore {
+    /// Samples a value uniformly over `T`'s natural domain.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Samples `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Truncation keeps the high-quality low bits of xoshiro256++.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit; xoshiro's low bit is its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let x = (rng.next_u64() >> 11) as f64;
+        x * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        #[allow(clippy::cast_precision_loss)]
+        let x = (rng.next_u64() >> 40) as f32;
+        x * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's unbiased multiply-shift rejection method.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as Standard>::sample(rng);
+                let v = self.start + (self.end - self.start) * u;
+                // Floating rounding may land exactly on `end`; clamp back.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Small, fast, and high quality; the exact algorithm is an internal
+    /// detail — all the workspace guarantees is determinism per seed.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut s: [u64; 4]) -> Self {
+            // An all-zero state is the one fixed point; nudge away from it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            Self::from_state(s)
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self::from_state([next(), next(), next(), next()])
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::from_seed([7; 32]);
+        let mut b = StdRng::from_seed([7; 32]);
+        for _ in 0..256 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let a = rng.random_range(8usize..64);
+            assert!((8..64).contains(&a));
+            let b = rng.random_range(0u32..17);
+            assert!(b < 17);
+            let c = rng.random_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn range_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let sum: u64 = (0..n).map(|_| rng.random_range(0u64..100)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = sum as f64 / f64::from(n);
+        assert!((mean - 49.5).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        let v: Vec<u64> = (0..4).map(|_| rng.random()).collect();
+        assert_ne!(v, vec![0, 0, 0, 0]);
+    }
+}

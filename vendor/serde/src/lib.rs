@@ -1,0 +1,374 @@
+//! Offline vendored stub of the `serde` API surface this workspace uses.
+//!
+//! The build environments this repository must compile in have no crates
+//! registry, so serialization is provided by this local crate instead of the
+//! real `serde`. It keeps the same spelling at every call site —
+//! `#[derive(Serialize, Deserialize)]` plus a `serde_json` companion — but
+//! the data model is a single concrete JSON-shaped [`Value`] tree rather
+//! than serde's generic visitor architecture. That is all the workspace
+//! needs: exporting experiment artifacts as JSON and reading golden
+//! regression fixtures back.
+//!
+//! Field order is preserved ([`Value::Object`] is a `Vec`, not a map), so
+//! serialized output is deterministic — a requirement for the golden-fixture
+//! tests under `tests/golden/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the single data model of the vendored stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Finite floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    #[must_use]
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+
+    /// A "missing field" error.
+    #[must_use]
+    pub fn missing(field: &str) -> Self {
+        Self(format!("missing field `{field}`"))
+    }
+
+    /// A type-mismatch error.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion of a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from `v`, or reports why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `v` has the wrong shape for `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::try_from(*self).expect("unsigned fits u64"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(n) => {
+                        <$t>::try_from(*n).map_err(|_| Error::expected(stringify!($t), v))
+                    }
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = i64::try_from(*self).expect("signed fits i64");
+                if x >= 0 {
+                    Value::UInt(x as u64)
+                } else {
+                    Value::Int(x)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| Error::expected(stringify!($t), v)),
+                    Value::Int(n) => {
+                        <$t>::try_from(*n).map_err(|_| Error::expected(stringify!($t), v))
+                    }
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            // Mirrors serde_json: NaN and infinities serialize as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(Error::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // The workspace deserializes `&'static str` only in small golden
+        // fixtures (e.g. Table II component names); leaking the handful of
+        // short strings is the price of a borrowless data model.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(Error::expected("fixed-size array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $t::from_value(it.next().ok_or_else(|| Error::msg("tuple too short"))?)?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(Error::msg("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(Error::expected("tuple array", v)),
+                }
+            }
+        }
+    )+};
+}
+tuple_impls!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f64> = vec![1.0, 2.5];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn integers_deserialize_into_floats() {
+        assert_eq!(f64::from_value(&Value::UInt(7)).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.get_field("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get_field("b"), None);
+    }
+}

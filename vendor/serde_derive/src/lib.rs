@@ -1,0 +1,407 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the stub `serde`.
+//!
+//! Because the offline build environments carry no registry, `syn`/`quote`
+//! are unavailable; the item definition is parsed directly from the
+//! [`proc_macro::TokenStream`]. Supported shapes — the only ones the
+//! workspace uses — are non-generic structs with named fields, tuple
+//! structs, unit structs, and enums whose variants are unit, struct, or
+//! tuple shaped. Generics or unions produce a compile error naming the
+//! offending type.
+//!
+//! The generated code targets the stub `serde`'s concrete `Value` data
+//! model: structs become insertion-ordered JSON objects; unit enum variants
+//! become strings; data-carrying variants become single-field objects
+//! (`{"Variant": ...}`), matching `serde_json`'s externally-tagged default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (stub data model) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize` (stub data model) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the item under derive.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn expand(input: &TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&name, &shape),
+                Which::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Extracts the item name and shape from the raw token stream.
+fn parse_item(input: &TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde stub cannot derive for generic type `{name}`"
+        ));
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(&g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(&g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(&g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "vendored serde stub cannot derive for `{keyword} {name}`"
+            ))
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes a type expression up to a top-level `,`, tracking `<...>` depth
+/// (angle brackets are punctuation, not groups, in token streams).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0u32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma (or past-the-end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Object(::std::vec![])".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(serialize_arm).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "Self::{vname} => \
+             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({vname:?}), \
+                  ::serde::Value::Object(::std::vec![{pushes}]))]),"
+            )
+        }
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+            let pattern = binds.join(", ");
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(x0)".to_string()
+            } else {
+                let items: String = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "Self::{vname}({pattern}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({vname:?}), {inner})]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields.iter().map(|f| named_field_init(f, "v")).collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::TupleStruct(n) => format!(
+            "match v {{\n\
+               ::serde::Value::Array(items) if items.len() == {n} => {{\n\
+                 ::std::result::Result::Ok(Self({}))\n\
+               }}\n\
+               other => ::std::result::Result::Err(::serde::Error::expected(\"{n}-tuple\", other)),\n\
+             }}",
+            (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                .collect::<String>()
+        ),
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => gen_enum_deserialize(variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `field: Deserialize::from_value(<object lookup>)?,`
+fn named_field_init(field: &str, source: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(\
+             {source}.get_field({field:?})\
+             .ok_or_else(|| ::serde::Error::missing({field:?}))?)?,"
+    )
+}
+
+fn gen_enum_deserialize(variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok(Self::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| named_field_init(f, "inner"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok(Self::{vname} {{ {inits} }}),"
+                    ))
+                }
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok(\
+                     Self::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                VariantKind::Tuple(n) => Some(format!(
+                    "{vname:?} => match inner {{\n\
+                       ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self::{vname}({fields})),\n\
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"variant tuple\", other)),\n\
+                     }},",
+                    fields = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                        .collect::<String>()
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+           ::serde::Value::Str(s) => match s.as_str() {{\n\
+             {unit_arms}\n\
+             other => ::std::result::Result::Err(::serde::Error::msg(\
+               ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+           }},\n\
+           ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+             let (tag, inner) = &fields[0];\n\
+             match tag.as_str() {{\n\
+               {data_arms}\n\
+               other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+             }}\n\
+           }}\n\
+           other => ::std::result::Result::Err(::serde::Error::expected(\"enum\", other)),\n\
+         }}"
+    )
+}
