@@ -3,7 +3,7 @@
 //! ```text
 //! report [--quick] [--seed N] [--threads N] [--json DIR] [--fig1a] [--fig1b]
 //!        [--fig1c] [--fig2a] [--fig2b] [--table1] [--table2] [--fig5]
-//!        [--fig6] [--all]
+//!        [--fig6] [--faults] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -13,7 +13,7 @@
 //! worker count for the Figure 5/6 grids — the output is bit-identical for
 //! every value, only the wall time changes.
 
-use duplexity::experiments::{fig1, fig2, fig5, fig6, tables};
+use duplexity::experiments::{fault_sweep, fig1, fig2, fig5, fig6, tables};
 use duplexity::report as render;
 use duplexity_bench::Fidelity;
 use std::path::PathBuf;
@@ -73,6 +73,7 @@ fn main() {
         "--table2",
         "--fig5",
         "--fig6",
+        "--faults",
         "--extensions",
         "--power",
     ];
@@ -156,6 +157,15 @@ fn main() {
             render::render_fig5_matrix(&cells, "Extensions: normalized p99", |c| c.p99_norm)
         );
         export(json_dir, "extensions", &cells);
+    }
+
+    if want("--faults") {
+        eprintln!("running the fault-policy tail sweep...");
+        let mut opts = fidelity.fault_sweep_options(seed);
+        opts.threads = threads;
+        let points = fault_sweep::fault_sweep(&opts);
+        println!("{}", render::render_fault_sweep(&points));
+        export(json_dir, "fault_sweep", &points);
     }
 
     if want("--fig5") || want("--fig6") {

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use duplexity::experiments::fault_sweep::FaultSweepOptions;
 use duplexity::experiments::fig5::Fig5Options;
 use duplexity_queueing::des::Mg1Options;
 
@@ -61,6 +62,35 @@ impl Fidelity {
         opts
     }
 
+    /// The fault-policy sweep grid at this fidelity (the `--faults`
+    /// artifact).
+    #[must_use]
+    pub fn fault_sweep_options(self, seed: u64) -> FaultSweepOptions {
+        let mut opts = FaultSweepOptions {
+            seed,
+            ..FaultSweepOptions::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.loads = vec![0.5];
+                opts.queue = Mg1Options {
+                    max_samples: 60_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
     /// SMT-sweep horizon for Figures 1(c) and 2(a).
     #[must_use]
     pub fn sweep_horizon_cycles(self) -> u64 {
@@ -82,5 +112,15 @@ mod tests {
         assert!(Fidelity::Quick.horizon_cycles() < Fidelity::Full.horizon_cycles());
         assert_eq!(Fidelity::Bench.fig5_options(1).workloads.len(), 1);
         assert_eq!(Fidelity::Full.fig5_options(1).workloads.len(), 5);
+    }
+
+    #[test]
+    fn fault_sweep_presets_scale_with_fidelity() {
+        assert_eq!(Fidelity::Bench.fault_sweep_options(1).loads, vec![0.5]);
+        assert!(
+            Fidelity::Bench.fault_sweep_options(1).queue.max_samples
+                < Fidelity::Full.fault_sweep_options(1).queue.max_samples
+        );
+        assert_eq!(Fidelity::Full.fault_sweep_options(7).seed, 7);
     }
 }

@@ -1,0 +1,283 @@
+//! Fault-policy sweep: how drop/retry/duplication/degradation policies move
+//! the tail.
+//!
+//! RackSched and the tail-duplication line of work (PAPERS.md) show that at
+//! microsecond scale the *policy* applied to a flaky leg — wait out a
+//! timeout and retry, race a duplicate, or eat a degraded replica — changes
+//! the p99 by integer factors. This driver runs the workspace's BigHouse
+//! M/G/1 machinery over a (policy × load) grid with the stall leg routed
+//! through each [`FaultPlan`], using common random numbers per load so the
+//! per-policy tail columns isolate policy effects from sampling noise.
+
+use crate::exec::ExecPool;
+use duplexity_net::{FaultPlan, RetryPolicy};
+use duplexity_queueing::des::{simulate_mg1_faulted, Mg1Options};
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A named fault-injection policy — one row of the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Display name (also the `policy` key in [`FaultSweepPoint`]).
+    pub name: String,
+    /// The plan applied to every stall leg.
+    pub plan: FaultPlan,
+}
+
+impl FaultPolicy {
+    /// Builds a named policy.
+    #[must_use]
+    pub fn new(name: &str, plan: FaultPlan) -> Self {
+        Self {
+            name: name.to_string(),
+            plan,
+        }
+    }
+}
+
+/// The default policy set: a fault-free reference plus the four failure
+/// modes the tentpole models, at parameters chosen so every default grid
+/// cell stays stable.
+///
+/// * `none` — the identity plan (pins the zero-fault golden contract);
+/// * `drop-retry` — 5% leg drops, 10µs timeout, up to 4 attempts with
+///   2→16µs bounded exponential backoff;
+/// * `tied` — duplicate-and-race with 5% drops (no retry needed: both
+///   copies must vanish to lose an event);
+/// * `slow-replica` — 10% of legs land on a 5× degraded replica;
+/// * `combined` — drops + retries + degradation together.
+#[must_use]
+pub fn default_policies() -> Vec<FaultPolicy> {
+    let retry = RetryPolicy::new(4, 10.0, 2.0, 16.0);
+    vec![
+        FaultPolicy::new("none", FaultPlan::none()),
+        FaultPolicy::new(
+            "drop-retry",
+            FaultPlan::none().with_drop(0.05).with_retry(retry),
+        ),
+        FaultPolicy::new(
+            "tied",
+            FaultPlan::none()
+                .with_drop(0.05)
+                .with_duplicate()
+                .with_retry(retry),
+        ),
+        FaultPolicy::new(
+            "slow-replica",
+            FaultPlan::none().with_slow_replica(0.1, 5.0),
+        ),
+        FaultPolicy::new(
+            "combined",
+            FaultPlan::none()
+                .with_drop(0.05)
+                .with_retry(retry)
+                .with_slow_replica(0.05, 3.0),
+        ),
+    ]
+}
+
+/// Grid and fidelity parameters for the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepOptions {
+    /// Microservice under test (its stall leg is what faults hit).
+    pub workload: Workload,
+    /// Offered loads to evaluate.
+    pub loads: Vec<f64>,
+    /// Fault policies to compare.
+    pub policies: Vec<FaultPolicy>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queueing controls.
+    pub queue: Mg1Options,
+    /// Worker threads for the grid; `0` resolves `DUPLEXITY_THREADS` /
+    /// available parallelism (see [`crate::exec`]). Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+}
+
+impl Default for FaultSweepOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::McRouter,
+            loads: vec![0.3, 0.5, 0.7],
+            policies: default_policies(),
+            seed: 42,
+            queue: Mg1Options::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// One (policy, load) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSweepPoint {
+    /// Policy name.
+    pub policy: String,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Median sojourn, µs.
+    pub p50_us: f64,
+    /// 99th-percentile sojourn, µs (`inf` once the faulted queue
+    /// saturates).
+    pub p99_us: f64,
+    /// Mean sojourn, µs.
+    pub mean_us: f64,
+    /// Mean attempts per stall event (1.0 under the identity plan).
+    pub mean_attempts: f64,
+    /// Dropped legs per issued attempt.
+    pub drop_rate: f64,
+    /// Events abandoned after the attempt cap, per event.
+    pub fail_rate: f64,
+    /// Whether the effective load drove this point past stability.
+    pub saturated: bool,
+}
+
+/// Runs the fault sweep.
+///
+/// Every cell derives its queueing RNG from `(seed, load)` only — common
+/// random numbers across policies — so for a given load all policies see
+/// the same arrival process and raw leg-latency stream, and the grid is
+/// bit-identical under [`ExecPool`] at any worker count.
+///
+/// # Panics
+///
+/// Panics if the options contain no loads or no policies.
+#[must_use]
+pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
+    assert!(
+        !opts.loads.is_empty() && !opts.policies.is_empty(),
+        "empty fault sweep"
+    );
+    let model = opts.workload.service_model();
+    let leg = opts.workload.stall_leg();
+    let nominal = opts.workload.nominal_service_us();
+
+    let pool = ExecPool::new(opts.threads);
+    let grid: Vec<(usize, f64)> = (0..opts.policies.len())
+        .flat_map(|pi| opts.loads.iter().map(move |&l| (pi, l)))
+        .collect();
+    pool.run("fault_sweep/points", grid.len(), |i| {
+        let (pi, load) = grid[i];
+        let policy = &opts.policies[pi];
+        let lambda = load / nominal;
+        // Saturation guard on a policy-agnostic upper bound of the
+        // effective service mean (timeouts, retries, degradation).
+        let effective_mean =
+            model.mean_compute_us() + policy.plan.effective_mean_bound_us(leg.mean_us());
+        if lambda * effective_mean >= 0.95 {
+            return FaultSweepPoint {
+                policy: policy.name.clone(),
+                load,
+                p50_us: f64::INFINITY,
+                p99_us: f64::INFINITY,
+                mean_us: f64::INFINITY,
+                mean_attempts: 0.0,
+                drop_rate: 0.0,
+                fail_rate: 0.0,
+                saturated: true,
+            };
+        }
+        let mut compute = |rng: &mut SimRng| model.sample_compute(rng);
+        let mut qopts = opts.queue;
+        // Common random numbers across policies at a given load.
+        qopts.seed = derive_stream(opts.seed, 0xFA17 ^ (load * 1000.0) as u64);
+        let (r, tally) = simulate_mg1_faulted(lambda, &mut compute, &leg, &policy.plan, &qopts);
+        let (mean_attempts, drop_rate, fail_rate) = if tally.events == 0 {
+            (1.0, 0.0, 0.0)
+        } else {
+            (
+                tally.attempts as f64 / tally.events as f64,
+                tally.dropped_legs as f64 / tally.attempts.max(1) as f64,
+                tally.failed as f64 / tally.events as f64,
+            )
+        };
+        FaultSweepPoint {
+            policy: policy.name.clone(),
+            load,
+            p50_us: r.p50_us,
+            p99_us: r.tail_us,
+            mean_us: r.mean_sojourn_us,
+            mean_attempts,
+            drop_rate,
+            fail_rate,
+            saturated: false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> FaultSweepOptions {
+        FaultSweepOptions {
+            loads: vec![0.3, 0.6],
+            queue: Mg1Options {
+                max_samples: 60_000,
+                warmup: 1_000,
+                ..Mg1Options::default()
+            },
+            ..FaultSweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn policies_order_the_tail_sensibly() {
+        let points = fault_sweep(&quick_opts());
+        assert_eq!(points.len(), 10);
+        let p99 = |name: &str, load: f64| {
+            points
+                .iter()
+                .find(|p| p.policy == name && p.load == load)
+                .unwrap()
+                .p99_us
+        };
+        for load in [0.3, 0.6] {
+            // Any injected fault worsens the tail vs the identity plan.
+            assert!(p99("drop-retry", load) > p99("none", load));
+            assert!(p99("slow-replica", load) > p99("none", load));
+            // Tied requests beat waiting out timeouts at equal drop rate.
+            assert!(
+                p99("tied", load) < p99("drop-retry", load),
+                "tied {} vs drop-retry {} at load {load}",
+                p99("tied", load),
+                p99("drop-retry", load)
+            );
+        }
+    }
+
+    #[test]
+    fn identity_policy_reports_no_fault_activity() {
+        let points = fault_sweep(&quick_opts());
+        for p in points.iter().filter(|p| p.policy == "none") {
+            assert!(!p.saturated);
+            assert_eq!(p.mean_attempts, 1.0);
+            assert_eq!(p.drop_rate, 0.0);
+            assert_eq!(p.fail_rate, 0.0);
+        }
+        for p in points.iter().filter(|p| p.policy == "drop-retry") {
+            assert!(p.mean_attempts > 1.0);
+            assert!(
+                (p.drop_rate - 0.05).abs() < 0.01,
+                "drop rate {}",
+                p.drop_rate
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_guard_trips_on_hopeless_grids() {
+        let mut opts = quick_opts();
+        opts.loads = vec![0.99];
+        opts.policies = vec![FaultPolicy::new(
+            "pathological",
+            FaultPlan::none()
+                .with_drop(0.5)
+                .with_retry(RetryPolicy::new(8, 50.0, 10.0, 100.0)),
+        )];
+        let points = fault_sweep(&opts);
+        assert!(points[0].saturated);
+        assert!(points[0].p99_us.is_infinite());
+    }
+}

@@ -23,6 +23,7 @@ use duplexity_cpu::designs::{Design, DesignMetrics};
 use duplexity_cpu::inorder::InoEngine;
 use duplexity_cpu::memsys::MemSys;
 use duplexity_cpu::pool::{ContextPool, VirtualContext};
+use duplexity_net::{EventKind, FaultPlan};
 use duplexity_power::{chip_area_mm2, core_kind_for, power_w, CoreKind, LLC_MM2_PER_MB};
 use duplexity_queueing::des::{simulate_mg1, Mg1Options};
 use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
@@ -46,6 +47,10 @@ pub struct Fig5Options {
     pub seed: u64,
     /// Queueing-simulation controls.
     pub queue: Mg1Options,
+    /// Fault plan applied to each request's µs-scale stall in the tail
+    /// simulations (a new grid axis; [`FaultPlan::none`] reproduces the
+    /// fault-free sample path byte-for-byte).
+    pub fault: FaultPlan,
     /// Worker threads for the cell grid; `0` resolves `DUPLEXITY_THREADS` /
     /// available parallelism (see [`crate::exec`]). Results are bit-identical
     /// for every value.
@@ -61,6 +66,7 @@ impl Default for Fig5Options {
             horizon_cycles: 6_000_000,
             seed: 42,
             queue: Mg1Options::default(),
+            fault: FaultPlan::none(),
             threads: 0,
         }
     }
@@ -407,14 +413,26 @@ fn tail_latency(cell: &RawCell, density_norm: f64, opts: &Fig5Options) -> (f64, 
     let model = cell.workload.service_model();
     let nominal = cell.workload.nominal_service_us();
     let lambda = cell.load / nominal / density_norm.max(f64::MIN_POSITIVE);
-    let scaled_mean = model.mean_compute_us() * cell.slowdown + model.mean_stall_us();
+    // `effective_mean_bound_us` is exactly the stall mean for the identity
+    // plan and a conservative bound once faults add timeouts and retries.
+    let scaled_mean = model.mean_compute_us() * cell.slowdown
+        + opts.fault.effective_mean_bound_us(model.mean_stall_us());
     if lambda * scaled_mean >= 0.95 {
         return (f64::INFINITY, true);
     }
     let scaled = model.scale_compute(cell.slowdown);
+    let fault = opts.fault;
     let mut service = |rng: &mut SimRng| {
-        let (c, s) = scaled.sample_parts(rng);
-        c + s
+        // Split sampling keeps the identity plan's RNG stream identical to
+        // the historical `sample_parts` path (golden contract).
+        let c = scaled.sample_compute(rng);
+        if fault.is_none() {
+            c + scaled.sample_stall(rng)
+        } else {
+            c + fault
+                .sample_event(EventKind::RemoteMemory, rng, |r| scaled.sample_stall(r))
+                .latency_us
+        }
     };
     let mut qopts = opts.queue;
     // Common random numbers across designs: every design's queue sees the
@@ -444,7 +462,33 @@ mod tests {
                 warmup: 1_000,
                 ..Mg1Options::default()
             },
+            fault: FaultPlan::none(),
             threads: 0,
+        }
+    }
+
+    #[test]
+    fn fault_axis_inflates_tails_without_touching_cycle_metrics() {
+        use duplexity_net::RetryPolicy;
+        let clean = run_fig5(&tiny_opts());
+        let mut faulted_opts = tiny_opts();
+        faulted_opts.fault = FaultPlan::none()
+            .with_drop(0.05)
+            .with_retry(RetryPolicy::new(4, 10.0, 2.0, 16.0));
+        let faulted = run_fig5(&faulted_opts);
+        for (a, b) in clean.iter().zip(&faulted) {
+            // The cycle-level metrics are upstream of the fault layer.
+            assert_eq!(a.utilization, b.utilization);
+            assert_eq!(a.perf_density_norm, b.perf_density_norm);
+            assert_eq!(a.service_slowdown, b.service_slowdown);
+            // Drops + timeouts can only push the tail up.
+            assert!(
+                b.p99_us > a.p99_us,
+                "{}: faulted p99 {} vs clean {}",
+                a.design,
+                b.p99_us,
+                a.p99_us
+            );
         }
     }
 

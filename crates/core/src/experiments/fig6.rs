@@ -82,7 +82,7 @@ mod tests {
                 max_samples: 60_000,
                 ..Mg1Options::default()
             },
-            threads: 0,
+            ..Fig5Options::default()
         };
         let f5 = run_fig5(&opts);
         let f6 = fig6(&f5);

@@ -10,6 +10,7 @@
 use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
+use duplexity_net::{EventKind, FaultPlan};
 use duplexity_queueing::des::{simulate_mg1, Mg1Options};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
@@ -30,6 +31,10 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Queueing controls.
     pub queue: Mg1Options,
+    /// Fault plan applied to each request's µs-scale stall leg
+    /// ([`FaultPlan::none`] reproduces the fault-free sample path
+    /// byte-for-byte).
+    pub fault: FaultPlan,
     /// Worker threads for calibrations and sweep points; `0` resolves
     /// `DUPLEXITY_THREADS` / available parallelism (see [`crate::exec`]).
     /// Results are bit-identical for every value.
@@ -48,6 +53,7 @@ impl Default for SweepOptions {
                 max_samples: 300_000,
                 ..Mg1Options::default()
             },
+            fault: FaultPlan::none(),
             threads: 0,
         }
     }
@@ -135,7 +141,8 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
         let design = opts.designs[di];
         let slowdown = slowdowns[di];
         let lambda = load / nominal;
-        let scaled_mean = model.mean_compute_us() * slowdown + stall;
+        let scaled_mean =
+            model.mean_compute_us() * slowdown + opts.fault.effective_mean_bound_us(stall);
         if lambda * scaled_mean >= 0.95 {
             return SweepPoint {
                 design,
@@ -146,9 +153,16 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
             };
         }
         let scaled = model.scale_compute(slowdown);
+        let fault = opts.fault;
         let mut service = |rng: &mut SimRng| {
-            let (c, s) = scaled.sample_parts(rng);
-            c + s
+            let c = scaled.sample_compute(rng);
+            if fault.is_none() {
+                c + scaled.sample_stall(rng)
+            } else {
+                c + fault
+                    .sample_event(EventKind::RemoteMemory, rng, |r| scaled.sample_stall(r))
+                    .latency_us
+            }
         };
         let mut qopts = opts.queue;
         qopts.seed = derive_stream(opts.seed, 0x53EA ^ (load * 1000.0) as u64);
@@ -228,6 +242,35 @@ mod tests {
         // iso-load, but it must stay within one sweep step of it.
         let (b, d) = (base_cap.unwrap(), dup_cap.unwrap_or(0.0));
         assert!(d >= b - 0.21, "Duplexity SLO capacity {d} vs baseline {b}");
+    }
+
+    #[test]
+    fn fault_axis_shrinks_slo_capacity() {
+        use duplexity_net::RetryPolicy;
+        let mut opts = quick_opts();
+        opts.designs = vec![Design::Baseline];
+        let clean = latency_load_sweep(&opts);
+        opts.fault = FaultPlan::none()
+            .with_drop(0.05)
+            .with_retry(RetryPolicy::new(4, 10.0, 2.0, 16.0));
+        let faulted = latency_load_sweep(&opts);
+        for (a, b) in clean.iter().zip(&faulted) {
+            assert_eq!(a.load, b.load);
+            assert!(
+                b.saturated || b.p99_us > a.p99_us,
+                "load {}: faulted p99 {} vs clean {}",
+                a.load,
+                b.p99_us,
+                a.p99_us
+            );
+        }
+        let budget = clean[0].p99_us * 3.0;
+        let clean_cap = slo_capacity(&clean, Design::Baseline, budget).unwrap();
+        let faulted_cap = slo_capacity(&faulted, Design::Baseline, budget).unwrap_or(0.0);
+        assert!(
+            faulted_cap <= clean_cap,
+            "faulted capacity {faulted_cap} vs clean {clean_cap}"
+        );
     }
 
     #[test]

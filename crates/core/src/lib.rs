@@ -47,6 +47,7 @@
 //! | Table I / Table II | [`experiments::tables`] |
 //! | Fig. 5(a)–(f) | [`experiments::fig5::run_fig5`] |
 //! | Fig. 6 NIC utilization | [`experiments::fig6::fig6`] |
+//! | Fault-policy tail sweep (extension) | [`experiments::fault_sweep::fault_sweep`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,8 +61,12 @@ pub mod server;
 
 pub use chip::{simulate_chip, simulate_mixed_chip, ChipConfig, ChipMetrics, DyadAssignment};
 pub use duplexity_cpu::designs::{Design, DesignMetrics};
+pub use duplexity_net::{Event, EventKind, EventSource, FaultPlan, LatencyDist, RetryPolicy};
 pub use duplexity_workloads::Workload;
 pub use exec::ExecPool;
+pub use experiments::fault_sweep::{
+    default_policies, fault_sweep, FaultPolicy, FaultSweepOptions, FaultSweepPoint,
+};
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
     ProvisionerConfig,

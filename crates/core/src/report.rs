@@ -1,6 +1,7 @@
 //! Plain-text rendering of experiment results, in the same rows/series the
 //! paper's figures report.
 
+use crate::experiments::fault_sweep::FaultSweepPoint;
 use crate::experiments::fig1::{Fig1bSeries, Fig1cPoint, FlannVariant};
 use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
 use crate::experiments::fig5::Fig5Cell;
@@ -195,6 +196,57 @@ pub fn render_power_breakdown(ipc: f64) -> String {
     out
 }
 
+/// Renders the fault-policy sweep: one row per policy with per-load p99
+/// columns, then the policy's fault-activity counters.
+#[must_use]
+pub fn render_fault_sweep(points: &[FaultSweepPoint]) -> String {
+    let mut out = String::from("Fault sweep: p99 sojourn (µs) per policy and load\n");
+    let mut loads: Vec<f64> = Vec::new();
+    for p in points {
+        if !loads.contains(&p.load) {
+            loads.push(p.load);
+        }
+    }
+    let _ = write!(out, "{:<14}", "policy");
+    for l in &loads {
+        let _ = write!(out, " {:>9}", format!("p99@{:.0}%", l * 100.0));
+    }
+    let _ = writeln!(out, " {:>9} {:>9} {:>9}", "attempts", "drop", "fail");
+    let mut names: Vec<&str> = Vec::new();
+    for p in points {
+        if !names.contains(&p.policy.as_str()) {
+            names.push(&p.policy);
+        }
+    }
+    for name in names {
+        let rows: Vec<&FaultSweepPoint> = points.iter().filter(|p| p.policy == name).collect();
+        let _ = write!(out, "{name:<14}");
+        for l in &loads {
+            let v = rows
+                .iter()
+                .find(|p| p.load == *l)
+                .map_or(f64::NAN, |p| p.p99_us);
+            let _ = write!(out, " {:>9}", norm(v));
+        }
+        // Fault activity is load-independent up to sampling noise; report
+        // the highest stable load's counters.
+        let last = rows.iter().rev().find(|p| !p.saturated);
+        match last {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    " {:>9.3} {:>9.3} {:>9.4}",
+                    p.mean_attempts, p.drop_rate, p.fail_rate
+                );
+            }
+            None => {
+                let _ = writeln!(out, " {:>9} {:>9} {:>9}", "sat", "sat", "sat");
+            }
+        }
+    }
+    out
+}
+
 /// Renders Figure 6.
 #[must_use]
 pub fn render_fig6(cells: &[Fig6Cell]) -> String {
@@ -236,6 +288,39 @@ mod tests {
         let s = render_fig2b(&fig2::fig2b(16));
         assert!(s.contains("p_stall=0.1"));
         assert!(s.contains("p_stall=0.5"));
+    }
+
+    #[test]
+    fn fault_sweep_rendering_has_one_row_per_policy() {
+        let points = vec![
+            FaultSweepPoint {
+                policy: "none".to_string(),
+                load: 0.3,
+                p50_us: 5.0,
+                p99_us: 20.0,
+                mean_us: 7.0,
+                mean_attempts: 1.0,
+                drop_rate: 0.0,
+                fail_rate: 0.0,
+                saturated: false,
+            },
+            FaultSweepPoint {
+                policy: "drop-retry".to_string(),
+                load: 0.3,
+                p50_us: 6.0,
+                p99_us: 40.0,
+                mean_us: 9.0,
+                mean_attempts: 1.05,
+                drop_rate: 0.05,
+                fail_rate: 0.0001,
+                saturated: false,
+            },
+        ];
+        let s = render_fault_sweep(&points);
+        assert!(s.contains("p99@30%"), "{s}");
+        assert!(s.lines().any(|l| l.starts_with("none")), "{s}");
+        assert!(s.lines().any(|l| l.starts_with("drop-retry")), "{s}");
+        assert!(s.contains("1.050"), "{s}");
     }
 
     #[test]

@@ -343,7 +343,10 @@ impl InoEngine {
                     }
                     Op::RemoteLoad { latency_us } => {
                         self.stats.remote_ops += 1;
-                        now + (latency_us * self.cycles_per_us).round().max(1.0) as u64
+                        // The fault layer may retry/duplicate/degrade the
+                        // remote access (identity without a plan).
+                        let eff = mem.remote_stall_us(latency_us, rng);
+                        now + (eff * self.cycles_per_us).round().max(1.0) as u64
                     }
                     Op::Branch { taken, .. } => {
                         self.stats.branches += 1;

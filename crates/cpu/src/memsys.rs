@@ -7,10 +7,37 @@
 //! behaviourally inclusive in the lender L1 — an L0 hit whose line has left
 //! the lender L1 is treated as a miss and refilled, which models the paper's
 //! forwarded invalidations.
+//!
+//! µs-scale remote loads (RDMA/NVM) route through the memory system too:
+//! when a [`FaultPlan`] is attached via [`MemSys::with_remote_faults`], each
+//! remote stall becomes a `duplexity_net` [`Event`](duplexity_net::Event) —
+//! subject to drops, timeout/backoff retries, duplication, and slow-replica
+//! degradation — before the engine charges its latency.
 
+use duplexity_net::{EventKind, FaultPlan};
+use duplexity_stats::rng::SimRng;
 use duplexity_uarch::cache::{AccessKind, Cache, CacheConfig};
 use duplexity_uarch::config::LatencyModel;
 use duplexity_uarch::tlb::Tlb;
+
+/// Running totals over the remote-load events a [`MemSys`] has faulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RemoteFaultStats {
+    /// Remote-load events processed through the fault layer.
+    pub events: u64,
+    /// Attempts issued (> `events` when drops force retries).
+    pub attempts: u64,
+    /// Legs lost to drops.
+    pub dropped_legs: u64,
+    /// Legs degraded by the slow-replica mode.
+    pub slowed_legs: u64,
+    /// Events abandoned after the attempt cap.
+    pub failed: u64,
+    /// Sum of raw (pre-fault) stall latencies, µs.
+    pub raw_us: f64,
+    /// Sum of effective (post-fault) stall latencies, µs.
+    pub effective_us: f64,
+}
 
 /// One core's private memory system: I/D TLBs, L1 I/D, and an LLC slice.
 #[derive(Debug, Clone)]
@@ -30,6 +57,11 @@ pub struct MemSys {
     /// Next-line data prefetching on L1-D misses (§II: prefetchers help
     /// cacheable streams, though they cannot hide general µs-scale I/O).
     pub next_line_prefetch: bool,
+    /// Fault plan applied to µs-scale remote loads; `None` leaves stalls
+    /// untouched (and consumes zero extra RNG draws).
+    pub remote_faults: Option<FaultPlan>,
+    /// Totals over faulted remote loads (all zero without a plan).
+    pub remote_fault_stats: RemoteFaultStats,
 }
 
 impl MemSys {
@@ -45,6 +77,8 @@ impl MemSys {
             llc: Cache::new(CacheConfig::llc()),
             lat,
             next_line_prefetch: false,
+            remote_faults: None,
+            remote_fault_stats: RemoteFaultStats::default(),
         }
     }
 
@@ -53,6 +87,34 @@ impl MemSys {
     pub fn with_next_line_prefetch(mut self) -> Self {
         self.next_line_prefetch = true;
         self
+    }
+
+    /// Attaches a fault plan to µs-scale remote loads (builder style). An
+    /// identity plan ([`FaultPlan::is_none`]) is dropped so the engine's
+    /// RNG consumption is byte-identical to the plan-free configuration.
+    #[must_use]
+    pub fn with_remote_faults(mut self, plan: FaultPlan) -> Self {
+        self.remote_faults = if plan.is_none() { None } else { Some(plan) };
+        self
+    }
+
+    /// Passes one remote load's stall through the fault layer and returns
+    /// the effective stall, µs. Without a configured plan this is the
+    /// identity and draws nothing from `rng`.
+    pub fn remote_stall_us(&mut self, raw_us: f64, rng: &mut SimRng) -> f64 {
+        let Some(plan) = self.remote_faults else {
+            return raw_us;
+        };
+        let ev = plan.sample_event(EventKind::RemoteMemory, rng, |_| raw_us);
+        let st = &mut self.remote_fault_stats;
+        st.events += 1;
+        st.attempts += u64::from(ev.attempts);
+        st.dropped_legs += u64::from(ev.dropped_legs);
+        st.slowed_legs += u64::from(ev.slowed_legs);
+        st.failed += u64::from(!ev.completed);
+        st.raw_us += raw_us;
+        st.effective_us += ev.latency_us;
+        ev.latency_us
     }
 
     /// Instruction fetch at `addr`; returns total latency in cycles.
@@ -108,6 +170,7 @@ impl MemSys {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.llc.reset_stats();
+        self.remote_fault_stats = RemoteFaultStats::default();
     }
 }
 
@@ -291,6 +354,54 @@ mod tests {
         rp.discard();
         assert_eq!(rp.l0d.resident_lines(), 0);
         assert_eq!(rp.l0i.resident_lines(), 0);
+    }
+
+    #[test]
+    fn remote_stalls_pass_through_without_a_plan() {
+        use duplexity_stats::rng::rng_from_seed;
+        let mut m = mem();
+        let mut a = rng_from_seed(31);
+        let b = rng_from_seed(31);
+        assert_eq!(m.remote_stall_us(1.25, &mut a), 1.25);
+        assert_eq!(a, b, "identity path must not draw from the RNG");
+        assert_eq!(m.remote_fault_stats, RemoteFaultStats::default());
+        // An identity plan is dropped entirely by the builder.
+        let m2 = mem().with_remote_faults(FaultPlan::none());
+        assert!(m2.remote_faults.is_none());
+    }
+
+    #[test]
+    fn remote_faults_retry_and_account() {
+        use duplexity_net::RetryPolicy;
+        use duplexity_stats::rng::rng_from_seed;
+        let plan = FaultPlan::none()
+            .with_drop(0.5)
+            .with_retry(RetryPolicy::new(4, 10.0, 2.0, 16.0));
+        let mut m = mem().with_remote_faults(plan);
+        let mut rng = rng_from_seed(37);
+        let mut total = 0.0;
+        for _ in 0..4_000 {
+            total += m.remote_stall_us(1.0, &mut rng);
+        }
+        let st = m.remote_fault_stats;
+        assert_eq!(st.events, 4_000);
+        assert!(st.attempts > st.events, "p=0.5 must force retries");
+        assert!(st.dropped_legs > 0);
+        assert_eq!(st.raw_us, 4_000.0);
+        assert!(
+            st.effective_us > st.raw_us,
+            "timeouts must inflate the stall total"
+        );
+        assert_eq!(total, st.effective_us);
+        // Deterministic closed form: E[T] for constant 1µs legs.
+        let expect = plan.effective_mean_bound_us(1.0);
+        let mean = total / 4_000.0;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs analytic {expect}"
+        );
+        m.reset_stats();
+        assert_eq!(m.remote_fault_stats, RemoteFaultStats::default());
     }
 
     #[test]

@@ -337,7 +337,7 @@ impl OooEngine {
     pub fn step(&mut self, now: u64, mem: &mut MemSys, rng: &mut SimRng) {
         self.stats.cycles += 1;
         self.commit(now);
-        self.issue(now, mem);
+        self.issue(now, mem, rng);
         self.fetch_dispatch(now, mem, rng);
         if self.runahead {
             self.runahead_step(now, mem, rng);
@@ -394,7 +394,7 @@ impl OooEngine {
         }
     }
 
-    fn issue(&mut self, now: u64, mem: &mut MemSys) {
+    fn issue(&mut self, now: u64, mem: &mut MemSys, rng: &mut SimRng) {
         // Gather ready, un-issued entries from each thread's window.
         let mut cands: Vec<(u64, bool, usize, usize)> = Vec::new(); // (order, is_secondary, tid, idx)
         let window = self.cfg.iq_entries;
@@ -452,7 +452,10 @@ impl OooEngine {
                         now + 1
                     }
                     Op::RemoteLoad { latency_us } => {
-                        now + (latency_us * self.cycles_per_us).round().max(1.0) as u64
+                        // The fault layer may retry/duplicate/degrade the
+                        // remote access (identity without a plan).
+                        let eff = mem.remote_stall_us(latency_us, rng);
+                        now + (eff * self.cycles_per_us).round().max(1.0) as u64
                     }
                     ref op => now + op.exec_latency(),
                 };

@@ -1,0 +1,72 @@
+//! The completed-event record produced by the fault layer.
+
+/// The class of microsecond-scale event being modeled (§II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A remote-memory read (single–cache-line RDMA, ~1µs average, §V).
+    RemoteMemory,
+    /// A fast non-volatile-memory access (~8µs Optane read, §V).
+    Nvm,
+    /// One leg of a synchronous RPC fan-out (McRouter's 3–5µs leaf wait).
+    RpcLeg,
+}
+
+impl EventKind {
+    /// Short human-readable label for report tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::RemoteMemory => "remote-mem",
+            EventKind::Nvm => "nvm",
+            EventKind::RpcLeg => "rpc-leg",
+        }
+    }
+}
+
+/// One completed (or abandoned) microsecond event, as observed by the
+/// issuing core or request.
+///
+/// Produced by [`FaultPlan::sample_event`](crate::FaultPlan::sample_event);
+/// with a zero-fault plan it is simply the raw latency sample wrapped with
+/// `attempts == 1` and `completed == true`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What kind of event this was.
+    pub kind: EventKind,
+    /// End-to-end latency the issuer observed, µs: elapsed timeouts and
+    /// backoffs of failed attempts plus the winning leg of the final
+    /// attempt. For an abandoned event (`completed == false`) this is the
+    /// total time burned before giving up.
+    pub latency_us: f64,
+    /// Attempts issued (1 = first try succeeded; capped by
+    /// [`RetryPolicy::max_attempts`](crate::RetryPolicy::max_attempts)).
+    pub attempts: u32,
+    /// Latencies of the surviving legs of the final attempt, µs (two
+    /// entries under duplicate-and-race when neither copy was dropped;
+    /// empty when the event was abandoned).
+    pub legs_us: Vec<f64>,
+    /// Legs lost to drops across all attempts.
+    pub dropped_legs: u32,
+    /// Legs degraded by the slow-replica mode across all attempts.
+    pub slowed_legs: u32,
+    /// Whether any leg ultimately delivered a response. `false` only when
+    /// every leg of every attempt was dropped.
+    pub completed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let labels = [
+            EventKind::RemoteMemory.label(),
+            EventKind::Nvm.label(),
+            EventKind::RpcLeg.label(),
+        ];
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Pluggable latency distributions for microsecond events.
+//!
+//! A [`LatencyDist`] is a plain enum (rather than a trait object) so fault
+//! plans and experiment options can carry it by value, compare it, and
+//! compute closed-form moments for the analytic M/G/1 cross-checks. The
+//! shapes mirror §V of the paper: exponential RDMA/NVM stalls, the uniform
+//! 3–5µs McRouter leaf wait, lognormal service bodies, a bimodal
+//! fast/slow-path mix, and empirical trace replay (bootstrap resampling of
+//! latencies harvested from the instruction-trace generators in
+//! `duplexity-workloads`).
+
+use duplexity_stats::dist::{Distribution, Exponential, LogNormal, Uniform};
+use duplexity_stats::rng::SimRng;
+use rand::RngExt;
+
+/// A latency distribution for one microsecond-event leg, in µs.
+///
+/// Invariants (enforced by the constructors and asserted on use): means are
+/// strictly positive and finite, probabilities are in `[0, 1]`, and trace
+/// samples are non-empty, finite, and non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyDist {
+    /// Exponential with the given mean — the paper's RDMA/NVM stall model.
+    Exponential {
+        /// Mean latency, µs.
+        mean_us: f64,
+    },
+    /// Lognormal parameterized by its resulting mean and squared
+    /// coefficient of variation — the high-variability service shape of
+    /// §II-A.
+    LogNormal {
+        /// Mean latency, µs.
+        mean_us: f64,
+        /// Squared coefficient of variation (variance / mean²).
+        scv: f64,
+    },
+    /// Uniform on `[low_us, high_us)` — McRouter's 3–5µs leaf wait (§V).
+    Uniform {
+        /// Inclusive lower bound, µs.
+        low_us: f64,
+        /// Exclusive upper bound, µs.
+        high_us: f64,
+    },
+    /// Two-phase exponential mixture: a fast common path and a slow tail
+    /// path taken with probability `slow_weight` (a hyperexponential).
+    Bimodal {
+        /// Mean of the fast phase, µs.
+        fast_mean_us: f64,
+        /// Mean of the slow phase, µs.
+        slow_mean_us: f64,
+        /// Probability of the slow phase.
+        slow_weight: f64,
+    },
+    /// Point mass: every leg takes exactly `us`.
+    Deterministic {
+        /// The constant latency, µs.
+        us: f64,
+    },
+    /// Empirical replay: each sample is drawn uniformly (bootstrap) from a
+    /// harvested latency trace.
+    Trace {
+        /// The harvested latencies, µs.
+        samples_us: Vec<f64>,
+    },
+}
+
+impl LatencyDist {
+    /// The paper's remote-memory read: exponential, 1µs mean (§V).
+    #[must_use]
+    pub fn rdma() -> Self {
+        LatencyDist::Exponential { mean_us: 1.0 }
+    }
+
+    /// The paper's fast-NVM access: exponential, 8µs mean (RSC's Optane
+    /// stall, §V).
+    #[must_use]
+    pub fn nvm() -> Self {
+        LatencyDist::Exponential { mean_us: 8.0 }
+    }
+
+    /// The paper's RPC fan-out leg: uniform 3–5µs (McRouter's synchronous
+    /// leaf KV wait, §V).
+    #[must_use]
+    pub fn rpc_leaf() -> Self {
+        LatencyDist::Uniform {
+            low_us: 3.0,
+            high_us: 5.0,
+        }
+    }
+
+    /// Builds a trace-replay distribution from harvested latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_us` is empty or contains a negative or non-finite
+    /// value.
+    #[must_use]
+    pub fn from_trace(samples_us: Vec<f64>) -> Self {
+        assert!(
+            !samples_us.is_empty(),
+            "trace must have at least one sample"
+        );
+        assert!(
+            samples_us.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "trace samples must be finite and non-negative"
+        );
+        LatencyDist::Trace { samples_us }
+    }
+
+    /// Draws one leg latency, µs.
+    ///
+    /// RNG-draw discipline (load-bearing for golden-output stability):
+    /// exponential and uniform consume one draw, lognormal and bimodal two,
+    /// deterministic zero, and trace replay one index draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant's invariants (documented on [`LatencyDist`])
+    /// are violated.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            LatencyDist::Exponential { mean_us } => Exponential::new(*mean_us).sample(rng),
+            LatencyDist::LogNormal { mean_us, scv } => {
+                LogNormal::from_mean_scv(*mean_us, *scv).sample(rng)
+            }
+            LatencyDist::Uniform { low_us, high_us } => Uniform::new(*low_us, *high_us).sample(rng),
+            LatencyDist::Bimodal {
+                fast_mean_us,
+                slow_mean_us,
+                slow_weight,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(slow_weight),
+                    "slow_weight must be a probability"
+                );
+                let slow = rng.random::<f64>() < *slow_weight;
+                let mean = if slow { *slow_mean_us } else { *fast_mean_us };
+                Exponential::new(mean).sample(rng)
+            }
+            LatencyDist::Deterministic { us } => {
+                assert!(us.is_finite() && *us >= 0.0, "latency must be >= 0");
+                *us
+            }
+            LatencyDist::Trace { samples_us } => {
+                assert!(!samples_us.is_empty(), "trace must have samples");
+                samples_us[rng.random_range(0..samples_us.len())]
+            }
+        }
+    }
+
+    /// Mean latency, µs.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        match self {
+            LatencyDist::Exponential { mean_us } | LatencyDist::LogNormal { mean_us, .. } => {
+                *mean_us
+            }
+            LatencyDist::Uniform { low_us, high_us } => 0.5 * (low_us + high_us),
+            LatencyDist::Bimodal {
+                fast_mean_us,
+                slow_mean_us,
+                slow_weight,
+            } => (1.0 - slow_weight) * fast_mean_us + slow_weight * slow_mean_us,
+            LatencyDist::Deterministic { us } => *us,
+            LatencyDist::Trace { samples_us } => {
+                samples_us.iter().sum::<f64>() / samples_us.len() as f64
+            }
+        }
+    }
+
+    /// Second raw moment `E[L²]`, µs².
+    ///
+    /// Used by the Pollaczek–Khinchine cross-checks; computed in O(n) for
+    /// trace replay.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        match self {
+            LatencyDist::Exponential { mean_us } => 2.0 * mean_us * mean_us,
+            LatencyDist::LogNormal { mean_us, scv } => mean_us * mean_us * (1.0 + scv),
+            LatencyDist::Uniform { low_us, high_us } => {
+                // E[L²] = (h³ - l³) / (3 (h - l)).
+                (high_us.powi(3) - low_us.powi(3)) / (3.0 * (high_us - low_us))
+            }
+            LatencyDist::Bimodal {
+                fast_mean_us,
+                slow_mean_us,
+                slow_weight,
+            } => {
+                (1.0 - slow_weight) * 2.0 * fast_mean_us * fast_mean_us
+                    + slow_weight * 2.0 * slow_mean_us * slow_mean_us
+            }
+            LatencyDist::Deterministic { us } => us * us,
+            LatencyDist::Trace { samples_us } => {
+                samples_us.iter().map(|s| s * s).sum::<f64>() / samples_us.len() as f64
+            }
+        }
+    }
+
+    /// Squared coefficient of variation (variance / mean²); 0 for a
+    /// zero-mean distribution.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        let m = self.mean_us();
+        if m == 0.0 {
+            return 0.0;
+        }
+        (self.second_moment() - m * m) / (m * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duplexity_stats::rng::rng_from_seed;
+
+    fn empirical_mean(d: &LatencyDist, n: usize, seed: u64) -> f64 {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        assert_eq!(LatencyDist::rdma().mean_us(), 1.0);
+        assert_eq!(LatencyDist::nvm().mean_us(), 8.0);
+        assert_eq!(LatencyDist::rpc_leaf().mean_us(), 4.0);
+    }
+
+    #[test]
+    fn sample_means_track_analytic_means() {
+        let dists = [
+            LatencyDist::rdma(),
+            LatencyDist::nvm(),
+            LatencyDist::rpc_leaf(),
+            LatencyDist::LogNormal {
+                mean_us: 4.0,
+                scv: 0.5,
+            },
+            LatencyDist::Bimodal {
+                fast_mean_us: 1.0,
+                slow_mean_us: 20.0,
+                slow_weight: 0.05,
+            },
+            LatencyDist::Deterministic { us: 3.0 },
+        ];
+        for (i, d) in dists.iter().enumerate() {
+            let m = empirical_mean(d, 200_000, 100 + i as u64);
+            let a = d.mean_us();
+            assert!((m - a).abs() / a < 0.05, "{d:?}: empirical {m} vs {a}");
+        }
+    }
+
+    #[test]
+    fn trace_replay_bootstraps_its_samples() {
+        let trace = vec![1.0, 2.0, 4.0, 8.0];
+        let d = LatencyDist::from_trace(trace.clone());
+        assert!((d.mean_us() - 3.75).abs() < 1e-12);
+        let mut rng = rng_from_seed(7);
+        for _ in 0..1_000 {
+            assert!(trace.contains(&d.sample(&mut rng)));
+        }
+        let m = empirical_mean(&d, 200_000, 8);
+        assert!((m - 3.75).abs() < 0.05, "bootstrap mean {m}");
+    }
+
+    #[test]
+    fn second_moments_are_consistent_with_scv() {
+        let d = LatencyDist::Bimodal {
+            fast_mean_us: 1.0,
+            slow_mean_us: 10.0,
+            slow_weight: 0.1,
+        };
+        let m = d.mean_us();
+        let var = d.second_moment() - m * m;
+        assert!((d.scv() - var / (m * m)).abs() < 1e-12);
+        // Hyperexponential mixtures are more variable than exponential.
+        assert!(d.scv() > 1.0);
+        assert_eq!(LatencyDist::Deterministic { us: 5.0 }.scv(), 0.0);
+        assert!((LatencyDist::rdma().scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_rejected() {
+        let _ = LatencyDist::from_trace(vec![]);
+    }
+}

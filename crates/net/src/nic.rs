@@ -1,0 +1,199 @@
+//! NIC budget model for the interconnect utilization case study (§VIII).
+//!
+//! The paper checks that Duplexity's higher thread-level parallelism does
+//! not simply move the bottleneck to the network: it considers a single FDR
+//! 4× InfiniBand link, whose NICs impose two ceilings — a data rate
+//! (56 Gbit/s) and an I/O-operation rate (90M ops/s) \[124, 125\]. Because the
+//! workloads issue single–cache-line remote accesses, they are IOPS-limited.
+//! Figure 6 reports per-dyad IOPS utilization; the headline result is that a
+//! dyad never needs more than ~7.1% of one FDR port, so 14 dyads can share a
+//! NIC.
+
+use serde::{Deserialize, Serialize};
+
+/// An RDMA-capable NIC with data-rate and operation-rate ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicModel {
+    /// Peak data rate, bits per second.
+    pub data_rate_bps: f64,
+    /// Peak I/O operations per second.
+    pub max_iops: f64,
+}
+
+impl NicModel {
+    /// FDR 4× InfiniBand: 56 Gbit/s, 90M ops/s (§V Table I, §VIII).
+    #[must_use]
+    pub fn fdr_4x() -> Self {
+        Self {
+            data_rate_bps: 56e9,
+            max_iops: 90e6,
+        }
+    }
+
+    /// EDR 4× InfiniBand (100 Gbit/s, 150M ops/s) for the scalability
+    /// discussion \[125, 126\].
+    #[must_use]
+    pub fn edr_4x() -> Self {
+        Self {
+            data_rate_bps: 100e9,
+            max_iops: 150e6,
+        }
+    }
+
+    /// IOPS utilization of a traffic source issuing `ops_per_second`
+    /// operations of `bytes_per_op` each: the binding constraint is the
+    /// larger of the IOPS and bandwidth fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    #[must_use]
+    pub fn utilization(&self, ops_per_second: f64, bytes_per_op: f64) -> f64 {
+        assert!(
+            ops_per_second >= 0.0 && bytes_per_op >= 0.0,
+            "negative traffic"
+        );
+        let iops_frac = ops_per_second / self.max_iops;
+        let bw_frac = ops_per_second * bytes_per_op * 8.0 / self.data_rate_bps;
+        iops_frac.max(bw_frac)
+    }
+
+    /// True if single–cache-line (64B) traffic at `ops_per_second` is
+    /// IOPS-limited rather than bandwidth-limited on this NIC.
+    #[must_use]
+    pub fn iops_limited(&self, bytes_per_op: f64) -> bool {
+        // Per-op budget crossover: ops hit the IOPS ceiling before the
+        // bandwidth ceiling iff bytes/op < rate/(8*max_iops).
+        bytes_per_op < self.data_rate_bps / (8.0 * self.max_iops)
+    }
+
+    /// Mean queueing delay at the NIC's IOPS bottleneck, in µs, for
+    /// aggregate Poisson traffic of `ops_per_second` (M/D/1 at the port:
+    /// each operation occupies the engine for `1/max_iops` seconds).
+    ///
+    /// Returns `inf` when the port is saturated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use duplexity_net::NicModel;
+    /// let nic = NicModel::fdr_4x();
+    /// // A half-loaded port queues for a fraction of an op time (~11ns).
+    /// assert!(nic.queueing_delay_us(45e6) < 0.01);
+    /// assert!(nic.queueing_delay_us(95e6).is_infinite());
+    /// ```
+    #[must_use]
+    pub fn queueing_delay_us(&self, ops_per_second: f64) -> f64 {
+        let rho = ops_per_second / self.max_iops;
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        let service_us = 1e6 / self.max_iops;
+        // Pollaczek–Khinchine with deterministic service (scv = 0).
+        rho / (2.0 * (1.0 - rho)) * service_us
+    }
+
+    /// How many identical traffic sources (dyads) can share this NIC.
+    ///
+    /// Returns `usize::MAX` if the per-source utilization is zero.
+    #[must_use]
+    pub fn sources_per_port(&self, ops_per_second: f64, bytes_per_op: f64) -> usize {
+        let u = self.utilization(ops_per_second, bytes_per_op);
+        if u <= 0.0 {
+            usize::MAX
+        } else {
+            (1.0 / u).floor() as usize
+        }
+    }
+}
+
+/// Converts remote operations counted over a simulated interval into an
+/// operations-per-second rate.
+///
+/// # Panics
+///
+/// Panics if `interval_us` is not positive.
+#[must_use]
+pub fn ops_per_second(remote_ops: u64, interval_us: f64) -> f64 {
+    assert!(interval_us > 0.0, "interval must be positive");
+    remote_ops as f64 / interval_us * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdr_parameters() {
+        let nic = NicModel::fdr_4x();
+        assert_eq!(nic.data_rate_bps, 56e9);
+        assert_eq!(nic.max_iops, 90e6);
+    }
+
+    #[test]
+    fn single_line_traffic_is_iops_limited() {
+        // §VIII: "As our workloads issue single–cache-line remote accesses,
+        // they are IOPS-limited."
+        let nic = NicModel::fdr_4x();
+        assert!(nic.iops_limited(64.0));
+        // Large transfers flip to bandwidth-limited.
+        assert!(!nic.iops_limited(4096.0));
+    }
+
+    #[test]
+    fn utilization_at_iops_ceiling() {
+        let nic = NicModel::fdr_4x();
+        assert!((nic.utilization(90e6, 64.0) - 1.0).abs() < 1e-9);
+        assert!((nic.utilization(9e6, 64.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_binds_for_big_ops() {
+        let nic = NicModel::fdr_4x();
+        // 4KB ops: 1M ops/s = 32.8 Gbit/s = 58.6% of 56G, vs 1.1% IOPS.
+        let u = nic.utilization(1e6, 4096.0);
+        assert!((u - 1e6 * 4096.0 * 8.0 / 56e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fourteen_dyads_fit_at_paper_peak() {
+        // §VIII: max per-dyad utilization < 7.1% => 14 dyads per port.
+        let nic = NicModel::fdr_4x();
+        let per_dyad_ops = 0.071 * nic.max_iops;
+        assert_eq!(nic.sources_per_port(per_dyad_ops, 64.0), 14);
+    }
+
+    #[test]
+    fn ops_rate_conversion() {
+        // 500 remote ops in 1000µs = 500K ops/s.
+        assert!((ops_per_second(500, 1000.0) - 5e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edr_is_bigger() {
+        let fdr = NicModel::fdr_4x();
+        let edr = NicModel::edr_4x();
+        assert!(edr.max_iops > fdr.max_iops);
+        assert!(edr.utilization(9e6, 64.0) < fdr.utilization(9e6, 64.0));
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_load() {
+        let nic = NicModel::fdr_4x();
+        let lo = nic.queueing_delay_us(9e6);
+        let hi = nic.queueing_delay_us(81e6);
+        assert!(lo < hi);
+        assert!(
+            hi < 0.1,
+            "even a 90%-loaded port queues well under a µs: {hi}"
+        );
+        assert_eq!(nic.queueing_delay_us(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_traffic() {
+        let nic = NicModel::fdr_4x();
+        assert_eq!(nic.utilization(0.0, 64.0), 0.0);
+        assert_eq!(nic.sources_per_port(0.0, 64.0), usize::MAX);
+    }
+}

@@ -1,0 +1,225 @@
+//! Seeded event generators: a kind + a latency law + a fault plan.
+//!
+//! An [`EventSource`] is the stream-shaped front end to the fault layer:
+//! callers that own their request loop (the cycle simulators, ad-hoc
+//! studies) pull [`Event`]s one at a time, while the M/G/1 and experiment
+//! layers use [`FaultPlan::sample_event`] directly inside their service
+//! closures. Sources seed their RNG through
+//! [`derive_stream`], so two sources
+//! with the same `(seed, kind, dist, plan)` produce identical streams on
+//! any thread.
+
+use crate::event::{Event, EventKind};
+use crate::fault::FaultPlan;
+use crate::latency::LatencyDist;
+use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
+
+/// Running totals over every event a source has produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Events produced (including abandoned ones).
+    pub events: u64,
+    /// Attempts issued across all events.
+    pub attempts: u64,
+    /// Legs lost to drops.
+    pub dropped_legs: u64,
+    /// Legs degraded by the slow-replica mode.
+    pub slowed_legs: u64,
+    /// Events abandoned after the attempt cap.
+    pub failed: u64,
+}
+
+/// A deterministic, seedable generator of microsecond events.
+#[derive(Debug, Clone)]
+pub struct EventSource {
+    kind: EventKind,
+    dist: LatencyDist,
+    plan: FaultPlan,
+    rng: SimRng,
+    stats: SourceStats,
+}
+
+impl EventSource {
+    /// Builds a source for `kind` events with leg latencies from `dist`
+    /// under fault plan `plan`, seeded from `(seed, kind)` via
+    /// `derive_stream`.
+    #[must_use]
+    pub fn new(kind: EventKind, dist: LatencyDist, plan: FaultPlan, seed: u64) -> Self {
+        let label = match kind {
+            EventKind::RemoteMemory => 0xE0_01,
+            EventKind::Nvm => 0xE0_02,
+            EventKind::RpcLeg => 0xE0_03,
+        };
+        Self {
+            kind,
+            dist,
+            plan,
+            rng: rng_from_seed(derive_stream(seed, label)),
+            stats: SourceStats::default(),
+        }
+    }
+
+    /// Remote-memory reads: exponential 1µs RDMA legs (§V).
+    #[must_use]
+    pub fn remote_memory(plan: FaultPlan, seed: u64) -> Self {
+        Self::new(EventKind::RemoteMemory, LatencyDist::rdma(), plan, seed)
+    }
+
+    /// Fast-NVM accesses: exponential 8µs Optane legs (§V).
+    #[must_use]
+    pub fn nvm(plan: FaultPlan, seed: u64) -> Self {
+        Self::new(EventKind::Nvm, LatencyDist::nvm(), plan, seed)
+    }
+
+    /// RPC fan-out legs: uniform 3–5µs leaf waits (§V, McRouter).
+    #[must_use]
+    pub fn rpc_leg(plan: FaultPlan, seed: u64) -> Self {
+        Self::new(EventKind::RpcLeg, LatencyDist::rpc_leaf(), plan, seed)
+    }
+
+    /// The event kind this source produces.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// The fault plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Running totals.
+    #[must_use]
+    pub fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> Event {
+        let Self {
+            kind,
+            dist,
+            plan,
+            rng,
+            stats,
+        } = self;
+        let ev = plan.sample_event(*kind, rng, |r| dist.sample(r));
+        stats.events += 1;
+        stats.attempts += u64::from(ev.attempts);
+        stats.dropped_legs += u64::from(ev.dropped_legs);
+        stats.slowed_legs += u64::from(ev.slowed_legs);
+        stats.failed += u64::from(!ev.completed);
+        ev
+    }
+
+    /// Produces an all-of-`n` fan-out: `n` independent legs issued in
+    /// parallel, completing when the *slowest* leg completes (the RPC
+    /// fan-out barrier). Per-leg faults apply independently; the returned
+    /// event's `legs_us` holds each leg's observed latency and `completed`
+    /// is true only if every leg completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fan_out(&mut self, n: usize) -> Event {
+        assert!(n > 0, "fan-out needs at least one leg");
+        let mut legs_us = Vec::with_capacity(n);
+        let mut attempts = 0u32;
+        let mut dropped = 0u32;
+        let mut slowed = 0u32;
+        let mut completed = true;
+        let mut latency = 0.0f64;
+        for _ in 0..n {
+            let ev = self.next_event();
+            latency = latency.max(ev.latency_us);
+            attempts += ev.attempts;
+            dropped += ev.dropped_legs;
+            slowed += ev.slowed_legs;
+            completed &= ev.completed;
+            legs_us.push(ev.latency_us);
+        }
+        Event {
+            kind: self.kind,
+            latency_us: latency,
+            attempts,
+            legs_us,
+            dropped_legs: dropped,
+            slowed_legs: slowed,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::RetryPolicy;
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        let plan = FaultPlan::none()
+            .with_drop(0.1)
+            .with_retry(RetryPolicy::new(3, 5.0, 1.0, 8.0));
+        let mut a = EventSource::remote_memory(plan, 42);
+        let mut b = EventSource::remote_memory(plan, 42);
+        for _ in 0..500 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+        assert_eq!(a.stats(), b.stats());
+        let mut c = EventSource::remote_memory(plan, 43);
+        let da: Vec<f64> = (0..16).map(|_| a.next_event().latency_us).collect();
+        let dc: Vec<f64> = (0..16).map(|_| c.next_event().latency_us).collect();
+        assert_ne!(da, dc, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn kinds_get_distinct_streams() {
+        let mut rm = EventSource::remote_memory(FaultPlan::none(), 7);
+        let mut nvm = EventSource::nvm(FaultPlan::none(), 7);
+        // Same seed, different kinds: latency ratios must not be the
+        // constant 8 that identical underlying uniforms would produce.
+        let ratios: Vec<f64> = (0..8)
+            .map(|_| nvm.next_event().latency_us / rm.next_event().latency_us)
+            .collect();
+        assert!(ratios.iter().any(|r| (r - 8.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let plan = FaultPlan::none()
+            .with_drop(0.5)
+            .with_retry(RetryPolicy::new(2, 3.0, 0.0, 0.0));
+        let mut s = EventSource::nvm(plan, 9);
+        for _ in 0..2_000 {
+            let _ = s.next_event();
+        }
+        let st = s.stats();
+        assert_eq!(st.events, 2_000);
+        assert!(st.attempts > st.events, "retries must add attempts");
+        assert!(st.dropped_legs > 0);
+        // With p=0.5 and 2 attempts, ~25% of events fail.
+        let fail_rate = st.failed as f64 / st.events as f64;
+        assert!((fail_rate - 0.25).abs() < 0.05, "fail rate {fail_rate}");
+    }
+
+    #[test]
+    fn fan_out_is_slowest_leg() {
+        let mut s = EventSource::rpc_leg(FaultPlan::none(), 11);
+        let ev = s.fan_out(8);
+        assert_eq!(ev.legs_us.len(), 8);
+        let max = ev.legs_us.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(ev.latency_us, max);
+        assert!(ev.completed);
+        assert_eq!(s.stats().events, 8);
+        // More legs -> stochastically larger barrier latency.
+        let mut one = EventSource::rpc_leg(FaultPlan::none(), 12);
+        let mut sixteen = EventSource::rpc_leg(FaultPlan::none(), 12);
+        let mean1: f64 = (0..400).map(|_| one.fan_out(1).latency_us).sum::<f64>() / 400.0;
+        let mean16: f64 = (0..400)
+            .map(|_| sixteen.fan_out(16).latency_us)
+            .sum::<f64>()
+            / 400.0;
+        assert!(mean16 > mean1, "fan-out 16 mean {mean16} vs 1 leg {mean1}");
+    }
+}

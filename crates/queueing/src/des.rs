@@ -8,6 +8,7 @@
 //! utilization. Simulation stops once the p99's 95% confidence interval is
 //! within 5% relative error (§V), or at the sample cap.
 
+use duplexity_net::{EventKind, FaultPlan, LatencyDist};
 use duplexity_stats::ci::ConfidenceInterval;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::histogram::Histogram;
@@ -61,6 +62,9 @@ pub struct Mg1Result {
     pub p50_us: f64,
     /// Server utilization (busy fraction).
     pub utilization: f64,
+    /// Sojourn-time statistics, µs (mean/variance/count feed the
+    /// [`mean_ci`](duplexity_stats::ci::mean_ci) cross-checks).
+    pub sojourn: Summary,
     /// Idle-period statistics, µs.
     pub idle: Summary,
     /// Idle-period histogram (for CDF plots), µs.
@@ -98,6 +102,7 @@ pub fn simulate_mg1(
 
     let mut wait = 0.0f64; // W(n)
     let mut sojourns = QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20));
+    let mut sojourn_sum = Summary::new();
     let mut idle = Summary::new();
     let mut idle_hist = Histogram::new(0.0, 100.0, 400);
     let mut busy_time = 0.0f64;
@@ -110,6 +115,7 @@ pub fn simulate_mg1(
         let measured = n >= opts.warmup;
         if measured {
             sojourns.record(wait + s);
+            sojourn_sum.record(wait + s);
             busy_time += s;
         }
         let a = interarrival.sample(&mut rng);
@@ -148,6 +154,7 @@ pub fn simulate_mg1(
         } else {
             0.0
         },
+        sojourn: sojourn_sum,
         idle,
         idle_histogram: idle_hist,
         samples,
@@ -163,6 +170,67 @@ pub fn simulate_mg1_dist(
 ) -> Mg1Result {
     let mut f = |rng: &mut SimRng| service.sample(rng);
     simulate_mg1(lambda_per_us, &mut f, opts)
+}
+
+/// Fault-event totals accumulated by [`simulate_mg1_faulted`].
+///
+/// Counts include the 512 pilot draws the stability check consumes, so
+/// `events` slightly exceeds the measured-sample count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultTally {
+    /// Stall events routed through the fault layer.
+    pub events: u64,
+    /// Attempts issued (> `events` when drops force retries).
+    pub attempts: u64,
+    /// Legs lost to drops.
+    pub dropped_legs: u64,
+    /// Legs degraded by the slow-replica mode.
+    pub slowed_legs: u64,
+    /// Events abandoned after the attempt cap.
+    pub failed: u64,
+}
+
+/// Simulates an M/G/1 queue whose service time is `compute(rng)` plus one
+/// microsecond event: a `stall_leg` latency routed through `plan`'s fault
+/// layer.
+///
+/// Timeout and retry timers surface as DES events the natural M/G/1 way:
+/// the server stays occupied while the request waits out a timeout, sleeps
+/// a backoff, and reissues, so dropped legs inflate both that request's
+/// sojourn and the queueing delay of everyone behind it. With
+/// [`FaultPlan::none`] the sample path — every RNG draw — is identical to
+/// [`simulate_mg1`] with a `compute + stall` service closure.
+///
+/// # Panics
+///
+/// Panics if `lambda_per_us` is not positive or the implied effective load
+/// is ≥ 1 (see [`simulate_mg1`]).
+pub fn simulate_mg1_faulted(
+    lambda_per_us: f64,
+    compute: &mut dyn FnMut(&mut SimRng) -> f64,
+    stall_leg: &LatencyDist,
+    plan: &FaultPlan,
+    opts: &Mg1Options,
+) -> (Mg1Result, FaultTally) {
+    let mut tally = FaultTally::default();
+    let identity = plan.is_none();
+    let result = {
+        let mut service = |rng: &mut SimRng| {
+            let c = compute(rng);
+            if identity {
+                return c + stall_leg.sample(rng);
+            }
+            let ev = plan.sample_event(EventKind::RemoteMemory, rng, |r| stall_leg.sample(r));
+            tally.events += 1;
+            tally.attempts += u64::from(ev.attempts);
+            tally.dropped_legs += u64::from(ev.dropped_legs);
+            tally.slowed_legs += u64::from(ev.slowed_legs);
+            tally.failed += u64::from(!ev.completed);
+            c + ev.latency_us
+        };
+        simulate_mg1(lambda_per_us, &mut service, opts)
+    };
+    (result, tally)
 }
 
 #[cfg(test)]
@@ -277,6 +345,58 @@ mod tests {
         let r = simulate_mg1_dist(0.2, &service, &fast_opts(8)); // rho=0.6
         assert!(r.tail_us > r.p50_us);
         assert!(r.mean_sojourn_us > 3.0);
+    }
+
+    #[test]
+    fn faulted_identity_matches_plain_sample_path() {
+        // FaultPlan::none must reproduce simulate_mg1 draw-for-draw.
+        let leg = LatencyDist::Exponential { mean_us: 1.0 };
+        let mut compute = |rng: &mut SimRng| Exponential::new(2.0).sample(rng);
+        let (faulted, tally) =
+            simulate_mg1_faulted(0.1, &mut compute, &leg, &FaultPlan::none(), &fast_opts(10));
+        let mut plain_service = |rng: &mut SimRng| {
+            Exponential::new(2.0).sample(rng)
+                + LatencyDist::Exponential { mean_us: 1.0 }.sample(rng)
+        };
+        let plain = simulate_mg1(0.1, &mut plain_service, &fast_opts(10));
+        assert_eq!(faulted.tail_us, plain.tail_us);
+        assert_eq!(faulted.mean_sojourn_us, plain.mean_sojourn_us);
+        assert_eq!(faulted.sojourn, plain.sojourn);
+        assert_eq!(tally, FaultTally::default());
+    }
+
+    #[test]
+    fn drops_with_retries_inflate_the_tail() {
+        use duplexity_net::RetryPolicy;
+        let leg = LatencyDist::Exponential { mean_us: 2.0 };
+        let plan = FaultPlan::none()
+            .with_drop(0.1)
+            .with_retry(RetryPolicy::new(4, 6.0, 1.0, 8.0));
+        let mut compute = |_: &mut SimRng| 1.0;
+        let (clean, _) =
+            simulate_mg1_faulted(0.1, &mut compute, &leg, &FaultPlan::none(), &fast_opts(11));
+        let (faulted, tally) = simulate_mg1_faulted(0.1, &mut compute, &leg, &plan, &fast_opts(11));
+        assert!(
+            faulted.tail_us > clean.tail_us,
+            "faulted p99 {} must exceed clean {}",
+            faulted.tail_us,
+            clean.tail_us
+        );
+        assert!(tally.events > 0);
+        assert!(
+            tally.attempts > tally.events,
+            "10% drops must force retries"
+        );
+        let drop_rate = tally.dropped_legs as f64 / tally.attempts as f64;
+        assert!((drop_rate - 0.1).abs() < 0.01, "drop rate {drop_rate}");
+    }
+
+    #[test]
+    fn sojourn_summary_tracks_the_estimator() {
+        let service = Exponential::new(1.0);
+        let r = simulate_mg1_dist(0.5, &service, &fast_opts(12));
+        assert_eq!(r.sojourn.count(), r.samples as u64);
+        assert!((r.sojourn.mean() - r.mean_sojourn_us).abs() < 1e-9);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod trace;
 pub mod wordstem;
 
 use duplexity_cpu::op::RequestKernel;
+use duplexity_net::LatencyDist;
 use serde::{Deserialize, Serialize};
 
 /// The latency-critical microservices evaluated in Figures 5 and 6.
@@ -108,6 +109,20 @@ impl Workload {
         self.service_model().mean_total_us()
     }
 
+    /// The workload's µs-scale stall leg as a `duplexity_net` latency law —
+    /// the distribution the fault layer perturbs in fault-sweep
+    /// experiments. Matches the stall part of [`Workload::service_model`]
+    /// (a zero point mass for the stall-free WordStem).
+    #[must_use]
+    pub fn stall_leg(self) -> LatencyDist {
+        match self {
+            Workload::FlannHa | Workload::FlannLl => LatencyDist::rdma(),
+            Workload::Rsc => LatencyDist::nvm(),
+            Workload::McRouter => LatencyDist::rpc_leaf(),
+            Workload::WordStem => LatencyDist::Deterministic { us: 0.0 },
+        }
+    }
+
     /// True if the workload incurs µs-scale stalls (WordStem does not).
     #[must_use]
     pub fn has_stalls(self) -> bool {
@@ -124,6 +139,18 @@ impl std::fmt::Display for Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stall_legs_match_service_model_stall_means() {
+        for w in Workload::ALL {
+            let leg_mean = w.stall_leg().mean_us();
+            let model_mean = w.service_model().mean_stall_us();
+            assert!(
+                (leg_mean - model_mean).abs() < 1e-9,
+                "{w}: leg mean {leg_mean} vs model stall {model_mean}"
+            );
+        }
+    }
 
     #[test]
     fn all_workloads_have_kernels_and_models() {

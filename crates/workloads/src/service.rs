@@ -74,6 +74,21 @@ impl ServiceModel {
         (c, s)
     }
 
+    /// Samples only the on-core compute part, µs. Together with
+    /// [`ServiceModel::sample_stall`] this consumes the same RNG draws in
+    /// the same order as [`ServiceModel::sample_parts`] — callers that
+    /// route the stall through a fault layer split the parts without
+    /// perturbing the sample path.
+    pub fn sample_compute(&self, rng: &mut SimRng) -> f64 {
+        self.compute.sample(rng)
+    }
+
+    /// Samples only the µs-scale stall part, µs (0 with no draw for
+    /// stall-free workloads).
+    pub fn sample_stall(&self, rng: &mut SimRng) -> f64 {
+        self.stall.as_ref().map_or(0.0, |d| d.sample(rng))
+    }
+
     /// Samples the total service time for one request.
     pub fn sample_total(&self, rng: &mut SimRng) -> f64 {
         let (c, s) = self.sample_parts(rng);
@@ -141,6 +156,17 @@ impl ScaledServiceModel<'_> {
         (c * self.factor, s)
     }
 
+    /// Samples only the scaled compute part, µs (see
+    /// [`ServiceModel::sample_compute`] for the RNG-draw contract).
+    pub fn sample_compute(&self, rng: &mut SimRng) -> f64 {
+        self.inner.sample_compute(rng) * self.factor
+    }
+
+    /// Samples only the (unscaled) stall part, µs.
+    pub fn sample_stall(&self, rng: &mut SimRng) -> f64 {
+        self.inner.sample_stall(rng)
+    }
+
     /// Mean total service time with scaling, µs.
     #[must_use]
     pub fn mean_total_us(&self) -> f64 {
@@ -198,5 +224,30 @@ mod tests {
     #[should_panic(expected = "scale factor must be positive")]
     fn rejects_bad_scale() {
         let _ = ServiceModel::wordstem().scale_compute(0.0);
+    }
+
+    #[test]
+    fn split_samplers_preserve_the_sample_path() {
+        // sample_compute + sample_stall must consume the same draws in the
+        // same order as sample_parts (load-bearing for golden stability).
+        for m in [
+            ServiceModel::flann_ha(),
+            ServiceModel::rsc(),
+            ServiceModel::mcrouter(),
+            ServiceModel::wordstem(),
+        ] {
+            let mut a = rng_from_seed(77);
+            let mut b = rng_from_seed(77);
+            for _ in 0..200 {
+                let (c, s) = m.sample_parts(&mut a);
+                assert_eq!(c, m.sample_compute(&mut b));
+                assert_eq!(s, m.sample_stall(&mut b));
+            }
+            assert_eq!(a, b);
+            let scaled = m.scale_compute(1.5);
+            let (c, s) = scaled.sample_parts(&mut a);
+            assert_eq!(c, scaled.sample_compute(&mut b));
+            assert_eq!(s, scaled.sample_stall(&mut b));
+        }
     }
 }

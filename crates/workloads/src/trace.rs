@@ -9,6 +9,33 @@
 
 use duplexity_cpu::op::{MicroOp, Op, NO_REG};
 
+/// Harvests the µs-scale remote-operation latencies out of an emitted trace,
+/// in program order — the bridge from instrumented kernels to
+/// `duplexity_net`'s trace-replay latency distribution
+/// (`LatencyDist::from_trace`).
+///
+/// # Examples
+///
+/// ```
+/// use duplexity_workloads::trace::{remote_latencies_us, TraceBuilder};
+///
+/// let mut ops = Vec::new();
+/// let mut tb = TraceBuilder::new(&mut ops, 0x1000, 4 * 1024);
+/// tb.alu_block(4);
+/// tb.remote(1.5);
+/// tb.remote(0.75);
+/// assert_eq!(remote_latencies_us(&ops), vec![1.5, 0.75]);
+/// ```
+#[must_use]
+pub fn remote_latencies_us(ops: &[MicroOp]) -> Vec<f64> {
+    ops.iter()
+        .filter_map(|op| match op.op {
+            Op::RemoteLoad { latency_us } => Some(latency_us),
+            _ => None,
+        })
+        .collect()
+}
+
 /// PC region reserved for branch call sites (keeps branch PCs stable per
 /// static site, independent of emission order).
 const BRANCH_REGION: u64 = 0x00F0_0000;
@@ -246,6 +273,19 @@ mod tests {
         let mut tb = TraceBuilder::new(&mut ops, 0x1000, 1024);
         f(&mut tb);
         ops
+    }
+
+    #[test]
+    fn remote_latency_harvest_is_in_program_order() {
+        let ops = build(|tb| {
+            tb.alu_block(2);
+            tb.remote(1.0);
+            let x = tb.alu();
+            tb.remote_after(2.5, x);
+            tb.store(0x40, x);
+        });
+        assert_eq!(remote_latencies_us(&ops), vec![1.0, 2.5]);
+        assert!(remote_latencies_us(&[]).is_empty());
     }
 
     #[test]

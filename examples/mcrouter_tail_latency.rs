@@ -29,7 +29,7 @@ fn main() {
             max_samples: 400_000,
             ..Mg1Options::default()
         },
-        threads: 0,
+        ..Fig5Options::default()
     };
     println!("McRouter p99 latency (µs) by design and load:\n");
     let cells = run_fig5(&opts);

@@ -18,7 +18,7 @@ fn small_fig5(workload: Workload, designs: Vec<Design>) -> Fig5Options {
             warmup: 1_000,
             ..Mg1Options::default()
         },
-        threads: 0,
+        ..Fig5Options::default()
     }
 }
 
@@ -250,4 +250,45 @@ fn slow_cycle_vs_queueing_tail() {
         "cycle p95 {cycle_p95:.2}µs vs queueing p95 {:.2}µs",
         r.tail_us
     );
+}
+
+/// Trace replay end to end: latencies harvested from a real workload's
+/// micro-op trace feed a `LatencyDist::Trace` event source, so fault-sweep
+/// studies can bootstrap from measured stall behavior instead of a fitted
+/// law.
+#[test]
+fn harvested_trace_latencies_drive_a_fault_source() {
+    use duplexity::{EventSource, FaultPlan, LatencyDist};
+    use duplexity_stats::rng::rng_from_seed;
+    use duplexity_workloads::trace::remote_latencies_us;
+
+    // Harvest the RDMA stall latencies from a FLANN-LL request trace.
+    let mut kernel = Workload::FlannLl.kernel(11);
+    let mut ops = Vec::new();
+    let mut rng = rng_from_seed(11);
+    for _ in 0..50 {
+        kernel.generate(&mut rng, &mut ops);
+    }
+    let samples = remote_latencies_us(&ops);
+    assert!(!samples.is_empty(), "FLANN-LL must issue remote loads");
+
+    // Replay them through a fault-injected event source.
+    let dist = LatencyDist::from_trace(samples.clone());
+    assert!(dist.mean_us() > 0.0);
+    let plan = FaultPlan::none().with_slow_replica(0.5, 3.0);
+    let mut source = EventSource::new(duplexity::EventKind::RemoteMemory, dist, plan, 99);
+    let mut slowed = 0u64;
+    for _ in 0..500 {
+        let ev = source.next_event();
+        assert!(ev.completed);
+        // Every latency is a harvested sample or a 3x-degraded one.
+        let ok = samples
+            .iter()
+            .any(|&s| (ev.latency_us - s).abs() < 1e-12 || (ev.latency_us - 3.0 * s).abs() < 1e-9);
+        assert!(ok, "latency {} not from the trace", ev.latency_us);
+        slowed += u64::from(ev.slowed_legs > 0);
+    }
+    let stats = source.stats();
+    assert_eq!(stats.events, 500);
+    assert!(slowed > 150 && slowed < 350, "slow replicas ~50%: {slowed}");
 }

@@ -17,6 +17,7 @@
 //! encoding maps non-finite floats to `null`, which would not round-trip
 //! back into an `f64` field.
 
+use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions, FaultSweepPoint};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::experiments::fig6::{dyads_per_port, fig6, Fig6Cell};
 use duplexity::experiments::sweep::{latency_load_sweep, SweepOptions};
@@ -67,7 +68,7 @@ fn golden_fig5_opts() -> Fig5Options {
             warmup: 1_000,
             ..Mg1Options::default()
         },
-        threads: 0,
+        ..Fig5Options::default()
     }
 }
 
@@ -121,13 +122,53 @@ fn slo_sweep_matches_golden() {
             warmup: 1_000,
             ..Mg1Options::default()
         },
-        threads: 0,
+        ..SweepOptions::default()
     });
     assert!(
         points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
         "golden sweep must stay unsaturated so every float round-trips"
     );
     assert_matches_golden("slo_sweep", &points);
+}
+
+/// The fault-sweep grid CI re-runs at 8 workers and diffs against
+/// `tests/golden/fault_sweep.json`.
+fn golden_fault_sweep_points() -> Vec<FaultSweepPoint> {
+    let points = fault_sweep(&FaultSweepOptions {
+        loads: vec![0.3, 0.6],
+        queue: Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        ..FaultSweepOptions::default()
+    });
+    assert!(
+        points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
+        "golden fault grid must stay unsaturated so every float round-trips"
+    );
+    points
+}
+
+#[test]
+fn fault_sweep_matches_golden() {
+    assert_matches_golden("fault_sweep", &golden_fault_sweep_points());
+}
+
+#[test]
+fn fault_sweep_golden_fixture_round_trips_through_json() {
+    let points = golden_fault_sweep_points();
+    let json = serde_json::to_string_pretty(&points).expect("serialize");
+    let back: Vec<FaultSweepPoint> =
+        serde_json::from_str(&json).expect("deserialize FaultSweepPoint vec");
+    assert_eq!(back.len(), points.len());
+    for (a, b) in points.iter().zip(&back) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.load, b.load);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(a.mean_attempts, b.mean_attempts);
+        assert_eq!(a.drop_rate, b.drop_rate);
+    }
 }
 
 #[test]

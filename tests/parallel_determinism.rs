@@ -24,6 +24,7 @@ fn fig5_opts(threads: usize) -> Fig5Options {
             ..Mg1Options::default()
         },
         threads,
+        ..Fig5Options::default()
     }
 }
 
@@ -40,6 +41,7 @@ fn sweep_opts(threads: usize) -> SweepOptions {
             ..Mg1Options::default()
         },
         threads,
+        ..SweepOptions::default()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Property-based tests over the workspace's core invariants.
 
 use duplexity_cpu::op::{Fetched, InstructionStream, LoopedTrace, MicroOp, Op, NO_REG};
+use duplexity_net::{EventKind, FaultPlan, LatencyDist, RetryPolicy};
 use duplexity_queueing::closed_loop::closed_loop_utilization;
 use duplexity_queueing::des::{simulate_mg1_dist, Mg1Options};
 use duplexity_queueing::mg1::Mg1Analytic;
@@ -160,6 +161,71 @@ proptest! {
         let parent = derive_stream(seed, fig);
         prop_assert_ne!(derive_stream(parent, cell), derive_stream(parent, cell + 1));
         prop_assert_ne!(derive_stream(parent, cell), parent);
+    }
+
+    /// Retry with backoff never exceeds the attempt cap, and every
+    /// completed event pays at least its winning leg's latency.
+    #[test]
+    fn fault_retries_never_exceed_attempt_cap(
+        drop_prob in 0.0f64..1.0,
+        max_attempts in 1u32..8,
+        timeout in 1.0f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let plan = FaultPlan::none()
+            .with_drop(drop_prob)
+            .with_retry(RetryPolicy::new(max_attempts, timeout, 1.0, 8.0));
+        let dist = LatencyDist::Exponential { mean_us: 2.0 };
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..64 {
+            let ev = plan.sample_event(EventKind::RemoteMemory, &mut rng, |r| dist.sample(r));
+            prop_assert!(ev.attempts >= 1 && ev.attempts <= max_attempts,
+                "attempts {} vs cap {}", ev.attempts, max_attempts);
+            prop_assert!(ev.latency_us >= 0.0 && ev.latency_us.is_finite());
+            if ev.completed {
+                let winner = ev.legs_us.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(ev.latency_us >= winner);
+            } else {
+                prop_assert_eq!(ev.attempts, max_attempts);
+                prop_assert!(ev.legs_us.is_empty());
+            }
+        }
+    }
+
+    /// Duplicate-and-race with no drops issues exactly two legs and
+    /// finishes at the faster one.
+    #[test]
+    fn tied_request_latency_is_min_of_legs(mean in 0.5f64..20.0, seed in 0u64..500) {
+        let plan = FaultPlan::none().with_duplicate();
+        let dist = LatencyDist::Exponential { mean_us: mean };
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..64 {
+            let ev = plan.sample_event(EventKind::RpcLeg, &mut rng, |r| dist.sample(r));
+            prop_assert!(ev.completed);
+            prop_assert_eq!(ev.attempts, 1);
+            prop_assert_eq!(ev.legs_us.len(), 2);
+            let min = ev.legs_us[0].min(ev.legs_us[1]);
+            prop_assert!((ev.latency_us - min).abs() == 0.0,
+                "latency {} vs min leg {}", ev.latency_us, min);
+        }
+    }
+
+    /// The zero-fault plan is a bitwise identity: same latency as sampling
+    /// the distribution directly, and the RNG is left in the identical
+    /// state (the golden-fixture contract).
+    #[test]
+    fn zero_fault_plan_is_a_bitwise_identity(mean in 0.5f64..20.0, seed in any::<u64>()) {
+        let plan = FaultPlan::none();
+        let dist = LatencyDist::Exponential { mean_us: mean };
+        let mut a = rng_from_seed(seed);
+        let mut b = rng_from_seed(seed);
+        for _ in 0..32 {
+            let ev = plan.sample_event(EventKind::Nvm, &mut a, |r| dist.sample(r));
+            let direct = dist.sample(&mut b);
+            prop_assert_eq!(ev.latency_us, direct);
+            prop_assert_eq!(ev.attempts, 1);
+        }
+        prop_assert_eq!(a, b, "RNG states diverged under the identity plan");
     }
 
     /// Looped traces replay identically regardless of the clock values the
