@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! report [--quick] [--seed N] [--threads N] [--json DIR] [--fig1a] [--fig1b]
-//!        [--fig1c] [--fig2a] [--fig2b] [--table1] [--table2] [--fig5]
-//!        [--fig6] [--faults] [--all]
+//! report [--quick] [--seed N] [--threads N] [--json DIR] [--trace FILE]
+//!        [--metrics FILE] [--fig1a] [--fig1b] [--fig1c] [--fig2a] [--fig2b]
+//!        [--table1] [--table2] [--fig5] [--fig6] [--faults] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -12,6 +12,13 @@
 //! (default: `DUPLEXITY_THREADS`, then available parallelism) sets the
 //! worker count for the Figure 5/6 grids — the output is bit-identical for
 //! every value, only the wall time changes.
+//!
+//! `--trace FILE` records cycle-domain morph/stall/borrow/fault/request
+//! events during the Figure 5 grid and writes a Chrome `trace_event` JSON
+//! file (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! `--metrics FILE` writes the merged counter/histogram registry as JSON.
+//! Both are deterministic: byte-identical for every `--threads` value, and
+//! the figure output itself is unchanged by tracing.
 
 use duplexity::experiments::{fault_sweep, fig1, fig2, fig5, fig6, tables};
 use duplexity::report as render;
@@ -54,6 +61,16 @@ fn main() {
     let json_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let trace_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let metrics_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--metrics")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
     if let Some(dir) = &json_dir {
@@ -172,7 +189,16 @@ fn main() {
         eprintln!("running the Figure 5 grid (this is the long part)...");
         let mut opts = fidelity.fig5_options(seed);
         opts.threads = threads;
-        let cells = fig5::run_fig5(&opts);
+        let trace_cfg = fig5::TraceConfig::default();
+        let tracing = trace_path.is_some() || metrics_path.is_some();
+        let run = fig5::run_fig5_traced(&opts, tracing.then_some(&trace_cfg));
+        if let Some(path) = &trace_path {
+            write_artifact(path, &duplexity::chrome_trace_json(&run.traces));
+        }
+        if let Some(path) = &metrics_path {
+            write_artifact(path, &run.registry.to_json());
+        }
+        let cells = run.cells;
         println!(
             "{}",
             render::render_fig5_matrix(&cells, "Fig 5(a): core utilization", |c| c.utilization)
@@ -214,6 +240,14 @@ fn main() {
             );
             export(json_dir, "fig6", &f6);
         }
+    }
+}
+
+/// Writes a deterministic text artifact (trace / metrics JSON) to `path`.
+fn write_artifact(path: &PathBuf, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 

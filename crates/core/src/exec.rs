@@ -40,6 +40,7 @@
 //! (so `cargo test` output stays quiet); `DUPLEXITY_PROGRESS=1` /
 //! `DUPLEXITY_PROGRESS=0` force it either way.
 
+use duplexity_obs::{log_enabled, log_line, PoolReport, WorkerLoad};
 use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -139,8 +140,34 @@ impl ExecPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_reported(label, n, f).0
+    }
+
+    /// [`ExecPool::run`] plus a [`PoolReport`] describing how the run
+    /// executed: wall time, per-worker cell counts and busy time.
+    ///
+    /// The report is wall-clock observability data — it varies run to run
+    /// and across machines, so callers must keep it out of deterministic
+    /// artifacts (goldens, traces, metrics JSON). When `DUPLEXITY_LOG` is
+    /// set, a one-line summary is printed to stderr as the run completes.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any cell.
+    pub fn run_reported<T, F>(&self, label: &str, n: usize, f: F) -> (Vec<T>, PoolReport)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut report = PoolReport {
+            label: label.to_string(),
+            workers: 0,
+            cells: n as u64,
+            wall_ms: 0.0,
+            per_worker: Vec::new(),
+        };
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), report);
         }
         let start = Instant::now();
         let done = AtomicUsize::new(0);
@@ -156,43 +183,65 @@ impl ExecPool {
         };
 
         let workers = self.threads.min(n);
-        if workers <= 1 {
-            return (0..n)
+        report.workers = workers.max(1);
+        let results = if workers <= 1 {
+            let mut load = WorkerLoad::default();
+            let out = (0..n)
                 .map(|i| {
                     let t0 = Instant::now();
                     let v = f(i);
-                    progress(i, t0.elapsed().as_secs_f64() * 1e3);
+                    let cell_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    load.cells += 1;
+                    load.busy_ms += cell_ms;
+                    progress(i, cell_ms);
                     v
                 })
                 .collect();
+            report.per_worker = vec![load];
+            out
+        } else {
+            // Index-addressed result slots plus an atomic work index: workers
+            // claim the next unclaimed cell until the grid is exhausted, so a
+            // slow cell never stalls the others (work stealing by
+            // construction).
+            let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+            let loads: Mutex<Vec<WorkerLoad>> = Mutex::new(vec![WorkerLoad::default(); workers]);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let (slots, loads, next, progress, f) = (&slots, &loads, &next, &progress, &f);
+                    scope.spawn(move || {
+                        let mut load = WorkerLoad::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let v = f(i);
+                            let cell_ms = t0.elapsed().as_secs_f64() * 1e3;
+                            load.cells += 1;
+                            load.busy_ms += cell_ms;
+                            slots.lock().expect("result slots poisoned")[i] = Some(v);
+                            progress(i, cell_ms);
+                        }
+                        loads.lock().expect("worker loads poisoned")[w] = load;
+                    });
+                }
+            });
+            report.per_worker = loads.into_inner().expect("worker loads poisoned");
+            slots
+                .into_inner()
+                .expect("result slots poisoned")
+                .into_iter()
+                .map(|s| s.expect("every claimed cell stores a result"))
+                .collect()
+        };
+        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if log_enabled() {
+            log_line(&report.summary_line());
         }
-
-        // Index-addressed result slots plus an atomic work index: workers
-        // claim the next unclaimed cell until the grid is exhausted, so a
-        // slow cell never stalls the others (work stealing by construction).
-        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    let v = f(i);
-                    let cell_ms = t0.elapsed().as_secs_f64() * 1e3;
-                    slots.lock().expect("result slots poisoned")[i] = Some(v);
-                    progress(i, cell_ms);
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("result slots poisoned")
-            .into_iter()
-            .map(|s| s.expect("every claimed cell stores a result"))
-            .collect()
+        (results, report)
     }
 }
 
@@ -227,6 +276,32 @@ mod tests {
     fn zero_threads_resolves_to_at_least_one() {
         assert!(ExecPool::new(0).threads() >= 1);
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn run_reported_accounts_every_cell() {
+        for threads in [1, 3] {
+            let pool = ExecPool::new(threads).with_progress(false);
+            let (out, rep) = pool.run_reported("test/report", 10, |i| i);
+            assert_eq!(out, (0..10).collect::<Vec<_>>());
+            assert_eq!(rep.cells, 10);
+            assert_eq!(rep.workers, threads);
+            assert_eq!(rep.per_worker.len(), threads);
+            assert_eq!(
+                rep.per_worker.iter().map(|w| w.cells).sum::<u64>(),
+                10,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reported_empty_grid_reports_zero() {
+        let pool = ExecPool::new(4).with_progress(false);
+        let (out, rep): (Vec<u8>, _) = pool.run_reported("test/empty", 0, |_| unreachable!());
+        assert!(out.is_empty());
+        assert_eq!(rep.cells, 0);
+        assert_eq!(rep.utilization(), 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::exec::ExecPool;
 use duplexity_net::{FaultPlan, RetryPolicy};
+use duplexity_obs::{log_enabled, log_line};
 use duplexity_queueing::des::{simulate_mg1_faulted, Mg1Options};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
@@ -157,7 +158,7 @@ pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
     let grid: Vec<(usize, f64)> = (0..opts.policies.len())
         .flat_map(|pi| opts.loads.iter().map(move |&l| (pi, l)))
         .collect();
-    pool.run("fault_sweep/points", grid.len(), |i| {
+    let points = pool.run("fault_sweep/points", grid.len(), |i| {
         let (pi, load) = grid[i];
         let policy = &opts.policies[pi];
         let lambda = load / nominal;
@@ -203,7 +204,19 @@ pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
             fail_rate,
             saturated: false,
         }
-    })
+    });
+    if log_enabled() {
+        let saturated = points.iter().filter(|p| p.saturated).count();
+        log_line(&format!(
+            "fault_sweep: {} points ({} policies × {} loads) on {}, {} saturated",
+            points.len(),
+            opts.policies.len(),
+            opts.loads.len(),
+            opts.workload,
+            saturated,
+        ));
+    }
+    points
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use duplexity_cpu::memsys::MemSys;
 use duplexity_cpu::ooo::{FetchPolicy, OooEngine, ThreadClass};
 use duplexity_cpu::request::RequestStream;
+use duplexity_obs::{log_enabled, log_line};
 use duplexity_queueing::closed_loop::{utilization_surface, SurfaceCell};
 use duplexity_queueing::idle_period_cdf;
 use duplexity_stats::rng::{derive_stream, rng_from_seed};
@@ -165,6 +166,13 @@ pub fn fig1c(max_threads: usize, horizon_cycles: u64, seed: u64) -> Vec<Fig1cPoi
         .max(f64::MIN_POSITIVE);
     for p in &mut raw {
         p.normalized = p.ipc / baseline_peak;
+    }
+    if log_enabled() {
+        log_line(&format!(
+            "fig1c: {} points ({} variants × {max_threads} threads), baseline peak IPC {baseline_peak:.2}",
+            raw.len(),
+            FlannVariant::ALL.len(),
+        ));
     }
     raw
 }

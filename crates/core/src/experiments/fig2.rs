@@ -10,6 +10,7 @@
 use duplexity_cpu::inorder::InoEngine;
 use duplexity_cpu::memsys::MemSys;
 use duplexity_cpu::ooo::{FetchPolicy, OooEngine, ThreadClass};
+use duplexity_obs::{log_enabled, log_line};
 use duplexity_stats::binomial::Binomial;
 use duplexity_stats::rng::{derive_stream, rng_from_seed};
 use duplexity_uarch::config::{CoreConfig, LatencyModel, MachineConfig};
@@ -43,7 +44,7 @@ impl Fig2aPoint {
 #[must_use]
 pub fn fig2a(max_threads: usize, horizon_cycles: u64, seed: u64) -> Vec<Fig2aPoint> {
     let machine = MachineConfig::baseline();
-    (1..=max_threads)
+    let points: Vec<Fig2aPoint> = (1..=max_threads)
         .map(|threads| {
             // Out-of-order run.
             let mut ooo = OooEngine::new(
@@ -77,7 +78,18 @@ pub fn fig2a(max_threads: usize, horizon_cycles: u64, seed: u64) -> Vec<Fig2aPoi
                 ino_ipc: ino.stats().ipc(),
             }
         })
-        .collect()
+        .collect();
+    if log_enabled() {
+        if let Some(last) = points.last() {
+            log_line(&format!(
+                "fig2a: {} thread points, InO/OoO ratio at {} threads: {:.2}",
+                points.len(),
+                last.threads,
+                last.ino_over_ooo(),
+            ));
+        }
+    }
+    points
 }
 
 /// One Figure 2(b) point: P(k ≥ `physical`) with `n` virtual contexts.

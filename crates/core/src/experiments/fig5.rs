@@ -24,8 +24,9 @@ use duplexity_cpu::inorder::InoEngine;
 use duplexity_cpu::memsys::MemSys;
 use duplexity_cpu::pool::{ContextPool, VirtualContext};
 use duplexity_net::{EventKind, FaultPlan};
+use duplexity_obs::{log_enabled, log_line, Registry, TraceLog, Tracer};
 use duplexity_power::{chip_area_mm2, core_kind_for, power_w, CoreKind, LLC_MM2_PER_MB};
-use duplexity_queueing::des::{simulate_mg1, Mg1Options};
+use duplexity_queueing::des::{simulate_mg1_traced, Mg1Options};
 use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
 use duplexity_uarch::config::LatencyModel;
 use duplexity_workloads::graph::FillerFactory;
@@ -169,6 +170,36 @@ struct RawCell {
     remote_ops_per_us: f64,
 }
 
+/// Tracing controls for [`run_fig5_traced`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity per traced cell, in events. When a cell emits
+    /// more, the oldest events are dropped (and counted in
+    /// [`TraceLog::dropped`]).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity: 1 << 16 }
+    }
+}
+
+/// Result of [`run_fig5_traced`]: the Figure 5 cells plus, when tracing was
+/// requested, one [`TraceLog`] per cycle-simulation and tail-simulation
+/// cell and a merged metrics [`Registry`].
+#[derive(Debug)]
+pub struct Fig5Run {
+    /// The Figure 5 grid, identical to [`run_fig5`]'s output.
+    pub cells: Vec<Fig5Cell>,
+    /// Per-cell trace logs, labeled `cells/<design>/<workload>@<load>` for
+    /// cycle simulations and `tails/...` for queueing simulations, in
+    /// deterministic grid order. Empty when tracing was not requested.
+    pub traces: Vec<(String, TraceLog)>,
+    /// Every cell's counters/observations merged under its trace label.
+    pub registry: Registry,
+}
+
 /// Runs the full Figure 5 grid.
 ///
 /// # Panics
@@ -177,6 +208,22 @@ struct RawCell {
 /// reference) or contain no loads/workloads.
 #[must_use]
 pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
+    run_fig5_traced(opts, None).cells
+}
+
+/// [`run_fig5`] with optional cycle-domain tracing.
+///
+/// Each grid cell gets its own tracer, created inside the cell closure and
+/// harvested through the pool's index-ordered result slots, so the combined
+/// trace output is **bit-identical for every worker count** — and because
+/// tracing consumes no RNG draws, `cells` is bit-identical to [`run_fig5`]
+/// whether tracing is on or off.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_fig5`].
+#[must_use]
+pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5Run {
     assert!(
         opts.designs.contains(&Design::Baseline),
         "baseline required for normalization"
@@ -242,20 +289,42 @@ pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
                 .flat_map(move |&l| opts.designs.iter().map(move |&d| (w, l, d)))
         })
         .collect();
-    let raw: Vec<RawCell> = pool.run("fig5/cells", grid.len(), |i| {
+    let new_tracer = || match trace {
+        Some(t) => Tracer::enabled(t.capacity, 1000.0),
+        None => Tracer::disabled(),
+    };
+    let cell_label = |prefix: &str, design: Design, workload: Workload, load: f64| {
+        format!("{prefix}/{design}/{workload}@{load:.2}")
+    };
+    let traced_raw: Vec<(RawCell, Option<TraceLog>)> = pool.run("fig5/cells", grid.len(), |i| {
         let (workload, load, design) = grid[i];
+        let tracer = new_tracer();
         let metrics = ServerSim::new(design, workload)
             .load(load)
             .horizon_cycles(opts.horizon_cycles)
             .seed(opts.seed)
-            .run();
+            .run_traced(&tracer);
         let mut cell = build_raw(design, workload, load, metrics, &lender_ref);
         cell.slowdown = slowdowns
             .iter()
             .find(|(w, d, _)| *w == workload && *d == design)
             .map_or(1.0, |(_, _, s)| *s);
-        cell
+        let log = tracer.is_enabled().then(|| tracer.take());
+        (cell, log)
     });
+    let mut cell_logs = Vec::new();
+    let raw: Vec<RawCell> = traced_raw
+        .into_iter()
+        .map(|(cell, log)| {
+            if let Some(log) = log {
+                cell_logs.push((
+                    cell_label("cells", cell.design, cell.workload, cell.load),
+                    log,
+                ));
+            }
+            cell
+        })
+        .collect();
 
     // Pass 3: queueing simulations, parallel per cell. Each tail run builds
     // a fresh RNG from (seed, workload, load), so a cell's own tail and its
@@ -263,17 +332,30 @@ pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
     // density_norm is exactly 1.0 (x/x), so its `tails` entry doubles as
     // both normalization denominators — the same values the serial code
     // recomputed per cell.
-    let tails = pool.run("fig5/tails", raw.len(), |i| {
+    let traced_tails = pool.run("fig5/tails", raw.len(), |i| {
         let c = &raw[i];
         let baseline = raw
             .iter()
             .find(|b| b.workload == c.workload && b.load == c.load && b.design == Design::Baseline)
             .expect("baseline cell exists");
         let density_norm = c.density / baseline.density.max(f64::MIN_POSITIVE);
-        let (p99, saturated) = tail_latency(c, 1.0, opts);
-        let (iso_p99, iso_sat) = tail_latency(c, density_norm, opts);
-        (density_norm, p99, saturated, iso_p99, iso_sat)
+        let tracer = new_tracer();
+        let (p99, saturated) = tail_latency(c, 1.0, opts, &tracer);
+        let (iso_p99, iso_sat) = tail_latency(c, density_norm, opts, &Tracer::disabled());
+        let log = tracer.is_enabled().then(|| tracer.take());
+        ((density_norm, p99, saturated, iso_p99, iso_sat), log)
     });
+    let mut tail_logs = Vec::new();
+    let tails: Vec<(f64, f64, bool, f64, bool)> = traced_tails
+        .into_iter()
+        .zip(&raw)
+        .map(|((tuple, log), c)| {
+            if let Some(log) = log {
+                tail_logs.push((cell_label("tails", c.design, c.workload, c.load), log));
+            }
+            tuple
+        })
+        .collect();
 
     // Deterministic post-pass: normalization against the baseline cell.
     let mut cells = Vec::with_capacity(raw.len());
@@ -307,7 +389,31 @@ pub fn run_fig5(opts: &Fig5Options) -> Vec<Fig5Cell> {
             remote_ops_per_us: c.remote_ops_per_us,
         });
     }
-    cells
+
+    let mut traces = cell_logs;
+    traces.extend(tail_logs);
+    let mut registry = Registry::default();
+    for (label, log) in &traces {
+        registry.merge_prefixed(label, &log.registry);
+    }
+    if log_enabled() {
+        let saturated = cells.iter().filter(|c| c.saturated).count();
+        log_line(&format!(
+            "fig5: {} cells ({} designs × {} workloads × {} loads), {} saturated, {} traced, seed {}",
+            cells.len(),
+            opts.designs.len(),
+            opts.workloads.len(),
+            opts.loads.len(),
+            saturated,
+            traces.len(),
+            opts.seed,
+        ));
+    }
+    Fig5Run {
+        cells,
+        traces,
+        registry,
+    }
 }
 
 /// Mean per-request service time (µs) of `design` on `workload` under
@@ -409,7 +515,12 @@ fn build_raw(
 /// rescales the arrival rate for the iso-throughput variant (Fig. 5(e)).
 ///
 /// Returns `(p99_us, saturated)`; a saturated queue reports `inf`.
-fn tail_latency(cell: &RawCell, density_norm: f64, opts: &Fig5Options) -> (f64, bool) {
+fn tail_latency(
+    cell: &RawCell,
+    density_norm: f64,
+    opts: &Fig5Options,
+    tracer: &Tracer,
+) -> (f64, bool) {
     let model = cell.workload.service_model();
     let nominal = cell.workload.nominal_service_us();
     let lambda = cell.load / nominal / density_norm.max(f64::MIN_POSITIVE);
@@ -442,7 +553,7 @@ fn tail_latency(cell: &RawCell, density_norm: f64, opts: &Fig5Options) -> (f64, 
         opts.seed,
         0x5D00 ^ ((cell.load * 1000.0) as u64) ^ ((nominal * 16.0) as u64) << 16,
     );
-    let r = simulate_mg1(lambda, &mut service, &qopts);
+    let r = simulate_mg1_traced(lambda, &mut service, &qopts, tracer);
     (r.tail_us, false)
 }
 

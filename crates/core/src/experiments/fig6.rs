@@ -3,6 +3,7 @@
 use super::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity_cpu::designs::Design;
 use duplexity_net::NicModel;
+use duplexity_obs::{log_enabled, log_line};
 use duplexity_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +50,17 @@ pub fn fig6(cells: &[Fig5Cell]) -> Vec<Fig6Cell> {
 /// Propagates [`run_fig5`]'s panics (missing baseline, empty grid).
 #[must_use]
 pub fn run_fig6(opts: &Fig5Options) -> Vec<Fig6Cell> {
-    fig6(&run_fig5(opts))
+    let cells = fig6(&run_fig5(opts));
+    if log_enabled() {
+        let worst = cells.iter().map(|c| c.nic_utilization).fold(0.0, f64::max);
+        log_line(&format!(
+            "fig6: {} cells, worst NIC utilization {:.3}, {} dyads/port",
+            cells.len(),
+            worst,
+            dyads_per_port(&cells),
+        ));
+    }
+    cells
 }
 
 /// The §VIII headline: how many dyads of the *worst-case* cell can share one

@@ -11,6 +11,7 @@ use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
 use duplexity_net::{EventKind, FaultPlan};
+use duplexity_obs::{log_enabled, log_line};
 use duplexity_queueing::des::{simulate_mg1, Mg1Options};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
@@ -136,7 +137,7 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
     let grid: Vec<(usize, f64)> = (0..opts.designs.len())
         .flat_map(|di| opts.loads.iter().map(move |&l| (di, l)))
         .collect();
-    pool.run("sweep/points", grid.len(), |i| {
+    let points = pool.run("sweep/points", grid.len(), |i| {
         let (di, load) = grid[i];
         let design = opts.designs[di];
         let slowdown = slowdowns[di];
@@ -174,7 +175,19 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
             mean_us: r.mean_sojourn_us,
             saturated: false,
         }
-    })
+    });
+    if log_enabled() {
+        let saturated = points.iter().filter(|p| p.saturated).count();
+        log_line(&format!(
+            "sweep: {} points ({} designs × {} loads) on {}, {} saturated",
+            points.len(),
+            opts.designs.len(),
+            opts.loads.len(),
+            opts.workload,
+            saturated,
+        ));
+    }
+    points
 }
 
 /// The highest swept load whose p99 stays within `budget_us` for `design`

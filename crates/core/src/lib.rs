@@ -62,11 +62,15 @@ pub mod server;
 pub use chip::{simulate_chip, simulate_mixed_chip, ChipConfig, ChipMetrics, DyadAssignment};
 pub use duplexity_cpu::designs::{Design, DesignMetrics};
 pub use duplexity_net::{Event, EventKind, EventSource, FaultPlan, LatencyDist, RetryPolicy};
+pub use duplexity_obs::{
+    chrome_trace_json, PoolReport, Registry, TraceEvent, TraceLog, Tracer, WorkerLoad,
+};
 pub use duplexity_workloads::Workload;
 pub use exec::ExecPool;
 pub use experiments::fault_sweep::{
     default_policies, fault_sweep, FaultPolicy, FaultSweepOptions, FaultSweepPoint,
 };
+pub use experiments::fig5::{run_fig5, run_fig5_traced, Fig5Options, Fig5Run, TraceConfig};
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
     ProvisionerConfig,

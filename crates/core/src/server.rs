@@ -1,6 +1,7 @@
 //! High-level façade: one design serving one microservice at one load.
 
-use duplexity_cpu::designs::{run_design, Design, DesignMetrics, Scenario};
+use duplexity_cpu::designs::{run_design, run_design_traced, Design, DesignMetrics, Scenario};
+use duplexity_obs::Tracer;
 use duplexity_workloads::graph::FillerFactory;
 use duplexity_workloads::Workload;
 
@@ -102,6 +103,28 @@ impl ServerSim {
             &scenario,
             self.workload.kernel(self.seed),
             |id| fillers.stream(id),
+        )
+    }
+
+    /// [`ServerSim::run`] with a cycle-domain tracer attached (see
+    /// [`run_design_traced`]). Tracing consumes no RNG draws, so the
+    /// returned metrics are bit-identical to [`ServerSim::run`] whether the
+    /// tracer is enabled or not.
+    #[must_use]
+    pub fn run_traced(&self, tracer: &Tracer) -> DesignMetrics {
+        let scenario = Scenario {
+            load: self.load,
+            service_us: self.workload.nominal_service_us(),
+            horizon_cycles: self.horizon_cycles,
+            seed: self.seed,
+        };
+        let fillers = FillerFactory::paper(self.seed);
+        run_design_traced(
+            self.design,
+            &scenario,
+            self.workload.kernel(self.seed),
+            |id| fillers.stream(id),
+            tracer,
         )
     }
 }

@@ -18,6 +18,7 @@ use crate::memsys::MemSys;
 use crate::ooo::{FetchPolicy, OooEngine, SmtPartition, ThreadClass};
 use crate::op::{InstructionStream, RequestKernel};
 use crate::request::RequestStream;
+use duplexity_obs::Tracer;
 use duplexity_stats::rng::rng_from_seed;
 use duplexity_uarch::config::MachineConfig;
 use serde::{Deserialize, Serialize};
@@ -162,10 +163,11 @@ pub struct DesignMetrics {
 
 impl DesignMetrics {
     /// Main-core utilization (Fig. 5(a)): master + co-located retired over
-    /// peak retire bandwidth. Lender-core instructions are excluded.
+    /// peak retire bandwidth. Lender-core instructions are excluded. A zero
+    /// `width` yields 0 rather than a silent NaN.
     #[must_use]
     pub fn utilization(&self, width: usize) -> f64 {
-        if self.wall_cycles == 0 {
+        if self.wall_cycles == 0 || width == 0 {
             0.0
         } else {
             (self.master_retired + self.colocated_retired) as f64
@@ -216,7 +218,27 @@ pub fn run_design(
     design: Design,
     scenario: &Scenario,
     master_kernel: Box<dyn RequestKernel>,
+    filler_factory: impl FnMut(usize) -> Box<dyn InstructionStream>,
+) -> DesignMetrics {
+    run_design_traced(
+        design,
+        scenario,
+        master_kernel,
+        filler_factory,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_design`] with an attached [`Tracer`]. The tracer's tick domain is
+/// set to the design's cycles-per-µs so exported timestamps convert
+/// correctly; trace events consume no RNG draws, so the returned metrics
+/// are bitwise identical to an untraced run.
+pub fn run_design_traced(
+    design: Design,
+    scenario: &Scenario,
+    master_kernel: Box<dyn RequestKernel>,
     mut filler_factory: impl FnMut(usize) -> Box<dyn InstructionStream>,
+    tracer: &Tracer,
 ) -> DesignMetrics {
     let clock = design.clock_ghz();
     let cycles_per_us = clock * 1000.0;
@@ -229,6 +251,7 @@ pub fn run_design(
         )),
         None => Box::new(RequestStream::saturated(master_kernel)),
     };
+    tracer.set_ticks_per_us(cycles_per_us);
     let mut rng = rng_from_seed(scenario.seed);
 
     match design {
@@ -250,11 +273,13 @@ pub fn run_design(
             if design == Design::Runahead {
                 engine.set_runahead(true);
             }
+            engine.set_tracer(tracer);
             engine.add_thread(master, ThreadClass::Primary);
             if !matches!(design, Design::Baseline | Design::Runahead) {
                 engine.add_thread(filler_factory(0), ThreadClass::Secondary);
             }
             let mut mem = MemSys::table1(machine.latency);
+            mem.set_tracer(tracer);
             for now in 0..scenario.horizon_cycles {
                 engine.step(now, &mut mem, &mut rng);
             }
@@ -293,6 +318,7 @@ pub fn run_design(
             };
             cfg.machine.clock_ghz = clock;
             let mut dyad = DyadSim::new(cfg, master);
+            dyad.set_tracer(tracer);
             if cfg.hsmt_fillers {
                 for id in 0..BATCH_THREADS_PER_DYAD {
                     dyad.add_batch_thread(id, filler_factory(id));
@@ -303,6 +329,7 @@ pub fn run_design(
                 }
             }
             dyad.run(scenario.horizon_cycles, &mut rng);
+            dyad.flush_trace_registry();
             let m = dyad.metrics();
             DesignMetrics {
                 wall_cycles: m.wall_cycles,

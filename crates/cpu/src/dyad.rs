@@ -23,6 +23,7 @@ use crate::memsys::{MemSys, RemotePath};
 use crate::ooo::{FetchPolicy, OooEngine, ThreadClass};
 use crate::op::InstructionStream;
 use crate::pool::ContextPool;
+use duplexity_obs::{MorphTrigger, ThreadTag, TraceEvent, Tracer};
 use duplexity_stats::rng::SimRng;
 use duplexity_uarch::config::{CoreConfig, LatencyModel, MachineConfig};
 
@@ -153,6 +154,52 @@ impl MorphEvent {
     }
 }
 
+/// Per-phase (native vs. morphed) master-core accounting, maintained only
+/// while a tracer is attached. Snapshots are taken at morph boundaries;
+/// deltas attribute cycles, retired micro-ops, and master-cache pollution
+/// (L1 + D-TLB misses) to the phase that produced them.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseAccum {
+    boundary_cycle: u64,
+    l1_at_boundary: u64,
+    dtlb_at_boundary: u64,
+    retired_at_boundary: u64,
+    native_cycles: u64,
+    morphed_cycles: u64,
+    native_l1_misses: u64,
+    morphed_l1_misses: u64,
+    native_dtlb_misses: u64,
+    morphed_dtlb_misses: u64,
+    native_retired: u64,
+    morphed_retired: u64,
+}
+
+impl PhaseAccum {
+    /// Folds the window since the last boundary into the given phase and
+    /// re-anchors the boundary at `now`.
+    fn roll(&mut self, morphed: bool, now: u64, l1: u64, dtlb: u64, retired: u64) {
+        let cycles = now.saturating_sub(self.boundary_cycle);
+        let dl1 = l1.saturating_sub(self.l1_at_boundary);
+        let dtlb_d = dtlb.saturating_sub(self.dtlb_at_boundary);
+        let dret = retired.saturating_sub(self.retired_at_boundary);
+        if morphed {
+            self.morphed_cycles += cycles;
+            self.morphed_l1_misses += dl1;
+            self.morphed_dtlb_misses += dtlb_d;
+            self.morphed_retired += dret;
+        } else {
+            self.native_cycles += cycles;
+            self.native_l1_misses += dl1;
+            self.native_dtlb_misses += dtlb_d;
+            self.native_retired += dret;
+        }
+        self.boundary_cycle = now;
+        self.l1_at_boundary = l1;
+        self.dtlb_at_boundary = dtlb;
+        self.retired_at_boundary = retired;
+    }
+}
+
 /// Morph state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -193,10 +240,11 @@ pub struct DyadMetrics {
 
 impl DyadMetrics {
     /// Master-core utilization (Fig. 5(a) metric): master + borrowed filler
-    /// instructions over the master-core's peak retire bandwidth.
+    /// instructions over the master-core's peak retire bandwidth. A zero
+    /// `width` yields 0 rather than a silent NaN.
     #[must_use]
     pub fn master_core_utilization(&self, width: usize) -> f64 {
-        if self.wall_cycles == 0 {
+        if self.wall_cycles == 0 || width == 0 {
             0.0
         } else {
             (self.master_retired + self.filler_retired_on_master) as f64
@@ -239,6 +287,8 @@ pub struct DyadSim {
     morphs: u64,
     filler_mode_cycles: u64,
     morph_log: Vec<MorphEvent>,
+    tracer: Tracer,
+    phase: PhaseAccum,
 }
 
 impl std::fmt::Debug for DyadSim {
@@ -286,8 +336,27 @@ impl DyadSim {
             morphs: 0,
             filler_mode_cycles: 0,
             morph_log: Vec::new(),
+            tracer: Tracer::disabled(),
+            phase: PhaseAccum::default(),
             cfg,
         }
+    }
+
+    /// Attaches a tracer and propagates it to every engine and memory
+    /// system in the dyad: the master OoO core, the master's in-order
+    /// filler mode (tagged [`ThreadTag::Filler`]), the lender core (tagged
+    /// [`ThreadTag::Lender`]), and all three memory systems' fault layers.
+    /// Tracing consumes no RNG draws and does not alter simulation results.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.master_ooo.set_tracer(tracer);
+        self.master_ino.set_tracer(tracer, ThreadTag::Filler);
+        if let Some(lender) = self.lender_ino.as_mut() {
+            lender.set_tracer(tracer, ThreadTag::Lender);
+        }
+        self.master_mem.set_tracer(tracer);
+        self.lender_mem.set_tracer(tracer);
+        self.repl_mem.set_tracer(tracer);
     }
 
     /// Adds a batch thread to the dyad's shared virtual-context pool.
@@ -442,6 +511,71 @@ impl DyadSim {
         &self.master_mem
     }
 
+    /// Folds the window since the last phase boundary into `morphed` (the
+    /// phase that is *ending*) and re-anchors at `now`. No-op without a
+    /// tracer, so the untraced hot path pays nothing.
+    fn roll_phase(&mut self, morphed: bool, now: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let l1 = self.master_mem.l1_misses();
+        let dtlb = self.master_mem.dtlb.stats().misses;
+        let retired =
+            self.master_ooo.stats().retired_primary + self.master_ino.stats().retired_secondary;
+        self.phase.roll(morphed, now, l1, dtlb, retired);
+    }
+
+    /// Writes the dyad's aggregate counters — morph count, per-phase
+    /// (native vs. morphed) cycles, retired micro-ops, and master-cache
+    /// pollution — into the attached tracer's registry. Call once after the
+    /// simulation completes; no-op without a tracer.
+    pub fn flush_trace_registry(&self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        // Close the currently open phase into a local copy.
+        let mut p = self.phase;
+        let morphed_now = matches!(self.mode, Mode::Filler { .. });
+        p.roll(
+            morphed_now,
+            self.now,
+            self.master_mem.l1_misses(),
+            self.master_mem.dtlb.stats().misses,
+            self.master_ooo.stats().retired_primary + self.master_ino.stats().retired_secondary,
+        );
+        self.tracer.count("dyad/morphs", self.morphs);
+        self.tracer
+            .count("dyad/filler_mode_cycles", self.filler_mode_cycles);
+        self.tracer
+            .count("dyad/phase/native/cycles", p.native_cycles);
+        self.tracer
+            .count("dyad/phase/morphed/cycles", p.morphed_cycles);
+        self.tracer
+            .count("dyad/phase/native/retired", p.native_retired);
+        self.tracer
+            .count("dyad/phase/morphed/retired", p.morphed_retired);
+        self.tracer
+            .count("dyad/phase/native/l1_misses", p.native_l1_misses);
+        self.tracer
+            .count("dyad/phase/morphed/l1_misses", p.morphed_l1_misses);
+        self.tracer
+            .count("dyad/phase/native/dtlb_misses", p.native_dtlb_misses);
+        self.tracer
+            .count("dyad/phase/morphed/dtlb_misses", p.morphed_dtlb_misses);
+        if p.native_cycles > 0 {
+            self.tracer.observe(
+                "dyad/phase/native/ipc",
+                p.native_retired as f64 / p.native_cycles as f64,
+            );
+        }
+        if p.morphed_cycles > 0 {
+            self.tracer.observe(
+                "dyad/phase/morphed/ipc",
+                p.morphed_retired as f64 / p.morphed_cycles as f64,
+            );
+        }
+    }
+
     fn begin_morph(&mut self, now: u64, hole_end: u64, cause: MorphCause) {
         const MORPH_LOG_CAP: usize = 65_536;
         self.morphs += 1;
@@ -453,6 +587,19 @@ impl DyadSim {
                 cause,
             });
         }
+        let trigger = match cause {
+            MorphCause::Stall => MorphTrigger::Stall,
+            MorphCause::Idle => MorphTrigger::Idle,
+        };
+        self.tracer.emit(|| TraceEvent::MorphIn {
+            at: now,
+            cause: trigger,
+        });
+        self.tracer.observe(
+            "dyad/morph/hole_cycles",
+            hole_end.saturating_sub(now) as f64,
+        );
+        self.roll_phase(false, now);
         self.mode = Mode::Filler {
             start: now + self.cfg.stall_detection_delay + self.cfg.morph_in_cycles,
             until,
@@ -460,8 +607,10 @@ impl DyadSim {
     }
 
     fn end_morph(&mut self, now: u64) {
+        self.tracer.emit(|| TraceEvent::MorphOut { at: now });
+        self.roll_phase(true, now);
         if self.cfg.hsmt_fillers {
-            self.master_ino.evict_all(&mut self.pool);
+            self.master_ino.evict_all(now, &mut self.pool);
         } else {
             // Dedicated fillers stay resident but are paused; squash their
             // in-flight front-end state.

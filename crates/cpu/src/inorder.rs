@@ -15,6 +15,7 @@ use crate::memsys::{MemSys, RemotePath};
 use crate::metrics::EngineStats;
 use crate::op::{Fetched, InstructionStream, MicroOp, Op, NO_REG};
 use crate::pool::{ContextPool, VirtualContext};
+use duplexity_obs::{RemoteKind, ReturnReason, ThreadTag, TraceEvent, Tracer};
 use duplexity_stats::rng::SimRng;
 use duplexity_uarch::branch::{BranchPredictor, PredictorKind};
 use duplexity_uarch::cache::AccessKind;
@@ -94,6 +95,8 @@ pub struct InoEngine {
     rr_next: usize,
     stats: EngineStats,
     retired_by_ctx: Vec<u64>,
+    tracer: Tracer,
+    tag: ThreadTag,
 }
 
 impl InoEngine {
@@ -123,7 +126,17 @@ impl InoEngine {
             rr_next: 0,
             stats: EngineStats::default(),
             retired_by_ctx: Vec::new(),
+            tracer: Tracer::disabled(),
+            tag: ThreadTag::Lender,
         }
+    }
+
+    /// Attaches a tracer; stall spans and borrow/return events are stamped
+    /// `tag` (lender-core vs. morphed master-core filler mode). Consumes no
+    /// RNG draws.
+    pub fn set_tracer(&mut self, tracer: &Tracer, tag: ThreadTag) {
+        self.tracer = tracer.clone();
+        self.tag = tag;
     }
 
     /// The lender-core organization: 8-context, 4-wide, HSMT (Table I).
@@ -180,11 +193,18 @@ impl InoEngine {
 
     /// Evicts every resident virtual context back to `pool` (filler eviction
     /// on master-thread resume, §III-B4). In-flight unissued ops are
-    /// squashed. Returns the number of contexts evicted.
-    pub fn evict_all(&mut self, pool: &mut ContextPool) -> usize {
+    /// squashed. `now` stamps the filler-return trace events. Returns the
+    /// number of contexts evicted.
+    pub fn evict_all(&mut self, now: u64, pool: &mut ContextPool) -> usize {
         let mut n = 0;
         for c in &mut self.contexts {
             if let Some(v) = c.vctx.take() {
+                let ctx = v.id as u64;
+                self.tracer.emit(|| TraceEvent::FillerReturn {
+                    at: now,
+                    ctx,
+                    reason: ReturnReason::Evict,
+                });
                 pool.put_back(v);
                 n += 1;
             }
@@ -222,6 +242,9 @@ impl InoEngine {
                 if self.hsmt {
                     if let Some(p) = pool.as_deref_mut() {
                         if let Some(v) = p.take() {
+                            let ctx = v.id as u64;
+                            self.tracer
+                                .emit(|| TraceEvent::FillerBorrow { at: now, ctx });
                             let c = &mut self.contexts[i];
                             c.vctx = Some(v);
                             c.blocked_until = now + self.swap_latency;
@@ -238,6 +261,12 @@ impl InoEngine {
                     if p.ready_len() > 0 {
                         let c = &mut self.contexts[i];
                         let v = c.vctx.take().expect("occupied");
+                        let ctx = v.id as u64;
+                        self.tracer.emit(|| TraceEvent::FillerReturn {
+                            at: now,
+                            ctx,
+                            reason: ReturnReason::Quantum,
+                        });
                         p.put_back(v);
                         c.pending = None;
                         c.blocked_until = now + self.swap_latency;
@@ -273,6 +302,12 @@ impl InoEngine {
                             if self.hsmt {
                                 if let Some(p) = pool.as_deref_mut() {
                                     let v = c.vctx.take().expect("occupied");
+                                    let ctx = v.id as u64;
+                                    self.tracer.emit(|| TraceEvent::FillerReturn {
+                                        at: now,
+                                        ctx,
+                                        reason: ReturnReason::Idle,
+                                    });
                                     p.park(v, c_at);
                                     c.blocked_until = now + self.swap_latency;
                                     c.quantum_end = u64::MAX;
@@ -345,8 +380,20 @@ impl InoEngine {
                         self.stats.remote_ops += 1;
                         // The fault layer may retry/duplicate/degrade the
                         // remote access (identity without a plan).
-                        let eff = mem.remote_stall_us(latency_us, rng);
-                        now + (eff * self.cycles_per_us).round().max(1.0) as u64
+                        let eff = mem.remote_stall_us(now, latency_us, rng);
+                        let done = now + (eff * self.cycles_per_us).round().max(1.0) as u64;
+                        let tag = self.tag;
+                        self.tracer.emit(|| TraceEvent::StallBegin {
+                            at: now,
+                            kind: RemoteKind::RemoteMemory,
+                            tag,
+                        });
+                        self.tracer.emit(|| TraceEvent::StallEnd {
+                            at: done,
+                            kind: RemoteKind::RemoteMemory,
+                            tag,
+                        });
+                        done
                     }
                     Op::Branch { taken, .. } => {
                         self.stats.branches += 1;
@@ -381,6 +428,12 @@ impl InoEngine {
                         if let Some(p) = pool.as_deref_mut() {
                             let c = &mut self.contexts[i];
                             let v = c.vctx.take().expect("occupied");
+                            let ctx = v.id as u64;
+                            self.tracer.emit(|| TraceEvent::FillerReturn {
+                                at: now,
+                                ctx,
+                                reason: ReturnReason::Stall,
+                            });
                             p.park(v, complete);
                             c.pending = None;
                             c.blocked_until = now + self.swap_latency;
@@ -537,7 +590,7 @@ mod tests {
             e.step(now, &mut m, None, Some(&mut pool), &mut rng);
         }
         assert!(e.occupied() > 0);
-        let evicted = e.evict_all(&mut pool);
+        let evicted = e.evict_all(1000, &mut pool);
         assert_eq!(evicted, 8);
         assert_eq!(e.occupied(), 0);
         assert_eq!(pool.len(), 8);

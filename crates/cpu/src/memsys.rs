@@ -14,7 +14,8 @@
 //! subject to drops, timeout/backoff retries, duplication, and slow-replica
 //! degradation — before the engine charges its latency.
 
-use duplexity_net::{EventKind, FaultPlan};
+use duplexity_net::{trace_fault_events, EventKind, FaultPlan};
+use duplexity_obs::Tracer;
 use duplexity_stats::rng::SimRng;
 use duplexity_uarch::cache::{AccessKind, Cache, CacheConfig};
 use duplexity_uarch::config::LatencyModel;
@@ -62,6 +63,8 @@ pub struct MemSys {
     pub remote_faults: Option<FaultPlan>,
     /// Totals over faulted remote loads (all zero without a plan).
     pub remote_fault_stats: RemoteFaultStats,
+    /// Event tracer; disabled by default and draws no RNG either way.
+    pub tracer: Tracer,
 }
 
 impl MemSys {
@@ -79,7 +82,14 @@ impl MemSys {
             next_line_prefetch: false,
             remote_faults: None,
             remote_fault_stats: RemoteFaultStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; fault events on the remote path are stamped with
+    /// the cycle timestamp the engine passes to [`MemSys::remote_stall_us`].
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Enables next-line data prefetching (builder style).
@@ -99,13 +109,15 @@ impl MemSys {
     }
 
     /// Passes one remote load's stall through the fault layer and returns
-    /// the effective stall, µs. Without a configured plan this is the
-    /// identity and draws nothing from `rng`.
-    pub fn remote_stall_us(&mut self, raw_us: f64, rng: &mut SimRng) -> f64 {
+    /// the effective stall, µs. `now` is the issuing engine's cycle clock,
+    /// used only to stamp trace events. Without a configured plan this is
+    /// the identity and draws nothing from `rng`.
+    pub fn remote_stall_us(&mut self, now: u64, raw_us: f64, rng: &mut SimRng) -> f64 {
         let Some(plan) = self.remote_faults else {
             return raw_us;
         };
         let ev = plan.sample_event(EventKind::RemoteMemory, rng, |_| raw_us);
+        trace_fault_events(&ev, now, &self.tracer);
         let st = &mut self.remote_fault_stats;
         st.events += 1;
         st.attempts += u64::from(ev.attempts);
@@ -362,7 +374,7 @@ mod tests {
         let mut m = mem();
         let mut a = rng_from_seed(31);
         let b = rng_from_seed(31);
-        assert_eq!(m.remote_stall_us(1.25, &mut a), 1.25);
+        assert_eq!(m.remote_stall_us(0, 1.25, &mut a), 1.25);
         assert_eq!(a, b, "identity path must not draw from the RNG");
         assert_eq!(m.remote_fault_stats, RemoteFaultStats::default());
         // An identity plan is dropped entirely by the builder.
@@ -381,7 +393,7 @@ mod tests {
         let mut rng = rng_from_seed(37);
         let mut total = 0.0;
         for _ in 0..4_000 {
-            total += m.remote_stall_us(1.0, &mut rng);
+            total += m.remote_stall_us(0, 1.0, &mut rng);
         }
         let st = m.remote_fault_stats;
         assert_eq!(st.events, 4_000);

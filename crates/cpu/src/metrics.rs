@@ -36,10 +36,11 @@ impl EngineStats {
     }
 
     /// Core utilization: retired per cycle over peak retire bandwidth
-    /// (the Fig. 5(a) metric).
+    /// (the Fig. 5(a) metric). A zero `width` (no retire bandwidth) yields
+    /// 0 rather than a silent NaN.
     #[must_use]
     pub fn utilization(&self, width: usize) -> f64 {
-        if self.cycles == 0 {
+        if self.cycles == 0 || width == 0 {
             0.0
         } else {
             self.retired_total() as f64 / (self.cycles as f64 * width as f64)
@@ -153,6 +154,18 @@ mod tests {
         assert_eq!(s.utilization(4), 0.0);
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_width_utilization_is_zero_not_nan() {
+        let s = EngineStats {
+            cycles: 100,
+            retired_primary: 400,
+            ..Default::default()
+        };
+        let u = s.utilization(0);
+        assert!(!u.is_nan(), "zero width must not produce NaN");
+        assert_eq!(u, 0.0);
     }
 
     #[test]

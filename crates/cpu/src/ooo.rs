@@ -17,6 +17,7 @@
 use crate::memsys::MemSys;
 use crate::metrics::EngineStats;
 use crate::op::{Fetched, InstructionStream, MicroOp, Op, NO_REG};
+use duplexity_obs::{RemoteKind, ThreadTag, TraceEvent, Tracer};
 use duplexity_stats::rng::SimRng;
 use duplexity_uarch::branch::{BranchPredictor, Btb, PredictorKind};
 use duplexity_uarch::cache::AccessKind;
@@ -188,6 +189,7 @@ pub struct OooEngine {
     mispredict_penalty: u64,
     l1_hit: u64,
     stats: EngineStats,
+    tracer: Tracer,
 }
 
 impl OooEngine {
@@ -221,7 +223,14 @@ impl OooEngine {
             mispredict_penalty: 12,
             l1_hit: 3,
             stats: EngineStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer for µs-stall and request lifecycle events.
+    /// Tracing consumes no RNG draws; a disabled tracer costs one branch.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Enables the SMT+ storage partition.
@@ -380,9 +389,14 @@ impl OooEngine {
                     ThreadClass::Secondary => self.stats.retired_secondary += 1,
                 }
                 if let Some(arrival) = e.end_of_request {
-                    self.stats
-                        .request_latencies_cycles
-                        .push(now.saturating_sub(arrival) + 1);
+                    let latency = now.saturating_sub(arrival) + 1;
+                    self.stats.request_latencies_cycles.push(latency);
+                    self.tracer
+                        .emit(|| TraceEvent::RequestArrive { at: arrival });
+                    self.tracer.emit(|| TraceEvent::RequestComplete {
+                        at: arrival + latency,
+                        latency,
+                    });
                 }
                 // Clear stale scoreboard pointers to retired producers.
                 for sb in t.scoreboard.iter_mut() {
@@ -454,8 +468,24 @@ impl OooEngine {
                     Op::RemoteLoad { latency_us } => {
                         // The fault layer may retry/duplicate/degrade the
                         // remote access (identity without a plan).
-                        let eff = mem.remote_stall_us(latency_us, rng);
-                        now + (eff * self.cycles_per_us).round().max(1.0) as u64
+                        let eff = mem.remote_stall_us(now, latency_us, rng);
+                        let done = now + (eff * self.cycles_per_us).round().max(1.0) as u64;
+                        let tag = if thread_class == ThreadClass::Primary {
+                            ThreadTag::Master
+                        } else {
+                            ThreadTag::Filler
+                        };
+                        self.tracer.emit(|| TraceEvent::StallBegin {
+                            at: now,
+                            kind: RemoteKind::RemoteMemory,
+                            tag,
+                        });
+                        self.tracer.emit(|| TraceEvent::StallEnd {
+                            at: done,
+                            kind: RemoteKind::RemoteMemory,
+                            tag,
+                        });
+                        done
                     }
                     ref op => now + op.exec_latency(),
                 };

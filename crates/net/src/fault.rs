@@ -30,8 +30,44 @@
 
 use crate::event::{Event, EventKind};
 use crate::latency::LatencyDist;
+use duplexity_obs::{RemoteKind, TraceEvent, Tracer};
 use duplexity_stats::rng::SimRng;
 use rand::RngExt;
+
+/// Maps a net [`EventKind`] onto the observability layer's [`RemoteKind`].
+#[must_use]
+pub fn obs_kind(kind: EventKind) -> RemoteKind {
+    match kind {
+        EventKind::RemoteMemory => RemoteKind::RemoteMemory,
+        EventKind::Nvm => RemoteKind::Nvm,
+        EventKind::RpcLeg => RemoteKind::RpcLeg,
+    }
+}
+
+/// Emits the fault-related trace events for one sampled [`Event`] at tick
+/// `at`: an injection marker when legs were dropped, a retry marker when
+/// more than one attempt was issued, and a timeout marker when the event
+/// was abandoned. Consumes no RNG; a disabled tracer makes this free.
+pub fn trace_fault_events(ev: &Event, at: u64, tracer: &Tracer) {
+    let kind = obs_kind(ev.kind);
+    if ev.dropped_legs > 0 {
+        tracer.emit(|| TraceEvent::FaultInject {
+            at,
+            kind,
+            dropped: ev.dropped_legs,
+        });
+    }
+    if ev.attempts > 1 {
+        tracer.emit(|| TraceEvent::FaultRetry {
+            at,
+            kind,
+            attempts: ev.attempts,
+        });
+    }
+    if !ev.completed {
+        tracer.emit(|| TraceEvent::FaultTimeout { at, kind });
+    }
+}
 
 /// Timeout-and-retry policy for dropped legs.
 #[derive(Debug, Clone, Copy, PartialEq)]

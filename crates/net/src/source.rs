@@ -10,8 +10,9 @@
 //! any thread.
 
 use crate::event::{Event, EventKind};
-use crate::fault::FaultPlan;
+use crate::fault::{trace_fault_events, FaultPlan};
 use crate::latency::LatencyDist;
+use duplexity_obs::Tracer;
 use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
 
 /// Running totals over every event a source has produced.
@@ -37,6 +38,7 @@ pub struct EventSource {
     plan: FaultPlan,
     rng: SimRng,
     stats: SourceStats,
+    tracer: Tracer,
 }
 
 impl EventSource {
@@ -56,7 +58,16 @@ impl EventSource {
             plan,
             rng: rng_from_seed(derive_stream(seed, label)),
             stats: SourceStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer. Fault events are stamped in the *event-index*
+    /// domain (the ordinal of the event within this source's stream) —
+    /// callers that know wall time should trace via
+    /// [`trace_fault_events`] themselves instead.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Remote-memory reads: exponential 1µs RDMA legs (§V).
@@ -103,8 +114,10 @@ impl EventSource {
             plan,
             rng,
             stats,
+            tracer,
         } = self;
         let ev = plan.sample_event(*kind, rng, |r| dist.sample(r));
+        trace_fault_events(&ev, stats.events, tracer);
         stats.events += 1;
         stats.attempts += u64::from(ev.attempts);
         stats.dropped_legs += u64::from(ev.dropped_legs);

@@ -1,0 +1,313 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output loads directly into `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev) (legacy JSON mode): one *process*
+//! per simulation cell, with rows for the morph window, per-class stall
+//! windows, per-context borrow windows, and instant markers for faults and
+//! request completions. Everything is converted to a shared microsecond
+//! axis via each [`TraceLog`]'s `ticks_per_us`.
+//!
+//! The builder is deliberately string-based: output bytes are a pure
+//! function of the input logs (no maps with nondeterministic iteration, no
+//! timestamps from the host clock), which is what lets the test-suite
+//! assert byte equality between 1-worker and 8-worker runs.
+
+use crate::registry::{escape, json_f64};
+use crate::trace::{RemoteKind, ThreadTag, TraceEvent, TraceLog};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Virtual-thread rows within one cell's process.
+const TID_MORPH: u64 = 1;
+const TID_STALL_MASTER: u64 = 2;
+const TID_STALL_FILLER: u64 = 3;
+const TID_STALL_LENDER: u64 = 4;
+const TID_FAULTS: u64 = 5;
+const TID_REQUESTS: u64 = 6;
+/// Borrow rows start here (one per virtual-context id, modulo 32).
+const TID_BORROW_BASE: u64 = 16;
+
+fn stall_tid(tag: ThreadTag) -> u64 {
+    match tag {
+        ThreadTag::Master => TID_STALL_MASTER,
+        ThreadTag::Filler => TID_STALL_FILLER,
+        ThreadTag::Lender => TID_STALL_LENDER,
+    }
+}
+
+/// One cell's event stream → `trace_event` array entries.
+struct CellWriter<'a> {
+    pid: usize,
+    ticks_per_us: f64,
+    out: &'a mut Vec<String>,
+}
+
+impl CellWriter<'_> {
+    fn us(&self, ticks: u64) -> String {
+        json_f64(ticks as f64 / self.ticks_per_us.max(f64::MIN_POSITIVE))
+    }
+
+    fn span(&mut self, name: &str, tid: u64, begin: u64, end: u64, args: &str) {
+        let ts = self.us(begin);
+        let dur = self.us(end.saturating_sub(begin));
+        self.out.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{{{args}}}}}",
+            escape(name),
+            self.pid,
+        ));
+    }
+
+    fn instant(&mut self, name: &str, tid: u64, at: u64, args: &str) {
+        let ts = self.us(at);
+        self.out.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}",
+            escape(name),
+            self.pid,
+        ));
+    }
+}
+
+/// Renders `cells` — `(label, log)` pairs in the caller's (deterministic)
+/// order — as a complete Chrome `trace_event` JSON document.
+#[must_use]
+pub fn chrome_trace_json(cells: &[(String, TraceLog)]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    for (pid, (label, log)) in cells.iter().enumerate() {
+        entries.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            escape(label),
+        ));
+        let horizon = log.events.iter().map(TraceEvent::at).max().unwrap_or(0);
+        let mut w = CellWriter {
+            pid,
+            ticks_per_us: log.ticks_per_us,
+            out: &mut entries,
+        };
+
+        // Pairing state. Begin/end events pair FIFO per row; FIFO order is
+        // emission order, so pairing is deterministic by construction.
+        let mut open_morph: Option<(u64, &'static str)> = None;
+        let mut open_stalls: BTreeMap<(ThreadTag, RemoteKind), VecDeque<u64>> = BTreeMap::new();
+        let mut open_borrows: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for ev in &log.events {
+            match *ev {
+                TraceEvent::MorphIn { at, cause } => {
+                    open_morph = Some((at, cause.name()));
+                }
+                TraceEvent::MorphOut { at } => {
+                    if let Some((begin, cause)) = open_morph.take() {
+                        w.span(
+                            "morph",
+                            TID_MORPH,
+                            begin,
+                            at,
+                            &format!("\"cause\":\"{cause}\""),
+                        );
+                    }
+                }
+                TraceEvent::StallBegin { at, kind, tag } => {
+                    open_stalls.entry((tag, kind)).or_default().push_back(at);
+                }
+                TraceEvent::StallEnd { at, kind, tag } => {
+                    if let Some(begin) = open_stalls
+                        .get_mut(&(tag, kind))
+                        .and_then(VecDeque::pop_front)
+                    {
+                        w.span(
+                            &format!("stall:{}", kind.name()),
+                            stall_tid(tag),
+                            begin,
+                            at,
+                            &format!("\"thread\":\"{}\"", tag.name()),
+                        );
+                    }
+                }
+                TraceEvent::FillerBorrow { at, ctx } => {
+                    open_borrows.insert(ctx, at);
+                }
+                TraceEvent::FillerReturn { at, ctx, reason } => {
+                    if let Some(begin) = open_borrows.remove(&ctx) {
+                        w.span(
+                            &format!("borrow:ctx{ctx}"),
+                            TID_BORROW_BASE + ctx % 32,
+                            begin,
+                            at,
+                            &format!("\"reason\":\"{}\"", reason.name()),
+                        );
+                    }
+                }
+                TraceEvent::FaultInject { at, kind, dropped } => {
+                    w.instant(
+                        "fault_inject",
+                        TID_FAULTS,
+                        at,
+                        &format!("\"kind\":\"{}\",\"dropped\":{dropped}", kind.name()),
+                    );
+                }
+                TraceEvent::FaultRetry { at, kind, attempts } => {
+                    w.instant(
+                        "fault_retry",
+                        TID_FAULTS,
+                        at,
+                        &format!("\"kind\":\"{}\",\"attempts\":{attempts}", kind.name()),
+                    );
+                }
+                TraceEvent::FaultTimeout { at, kind } => {
+                    w.instant(
+                        "fault_timeout",
+                        TID_FAULTS,
+                        at,
+                        &format!("\"kind\":\"{}\"", kind.name()),
+                    );
+                }
+                TraceEvent::RequestArrive { at } => {
+                    w.instant("request_arrive", TID_REQUESTS, at, "");
+                }
+                TraceEvent::RequestComplete { at, latency } => {
+                    let lat_us = json_f64(latency as f64 / log.ticks_per_us.max(f64::MIN_POSITIVE));
+                    w.instant(
+                        "request_complete",
+                        TID_REQUESTS,
+                        at,
+                        &format!("\"latency_us\":{lat_us}"),
+                    );
+                }
+            }
+        }
+
+        // Close windows still open at the end of the record against the
+        // last observed timestamp, so truncated rings still render.
+        if let Some((begin, cause)) = open_morph {
+            w.span(
+                "morph",
+                TID_MORPH,
+                begin,
+                horizon.max(begin),
+                &format!("\"cause\":\"{cause}\",\"open\":true"),
+            );
+        }
+        for ((tag, kind), begins) in &open_stalls {
+            for &begin in begins {
+                w.span(
+                    &format!("stall:{}", kind.name()),
+                    stall_tid(*tag),
+                    begin,
+                    horizon.max(begin),
+                    &format!("\"thread\":\"{}\",\"open\":true", tag.name()),
+                );
+            }
+        }
+        for (&ctx, &begin) in &open_borrows {
+            w.span(
+                &format!("borrow:ctx{ctx}"),
+                TID_BORROW_BASE + ctx % 32,
+                begin,
+                horizon.max(begin),
+                "\"open\":true",
+            );
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MorphTrigger, ReturnReason, Tracer};
+
+    fn sample_log() -> TraceLog {
+        let t = Tracer::enabled(64, 3400.0);
+        t.emit(|| TraceEvent::RequestArrive { at: 0 });
+        t.emit(|| TraceEvent::StallBegin {
+            at: 100,
+            kind: RemoteKind::RemoteMemory,
+            tag: ThreadTag::Master,
+        });
+        t.emit(|| TraceEvent::StallEnd {
+            at: 6900,
+            kind: RemoteKind::RemoteMemory,
+            tag: ThreadTag::Master,
+        });
+        t.emit(|| TraceEvent::MorphIn {
+            at: 120,
+            cause: MorphTrigger::Stall,
+        });
+        t.emit(|| TraceEvent::FillerBorrow { at: 140, ctx: 2 });
+        t.emit(|| TraceEvent::FillerReturn {
+            at: 6800,
+            ctx: 2,
+            reason: ReturnReason::Evict,
+        });
+        t.emit(|| TraceEvent::MorphOut { at: 6920 });
+        t.emit(|| TraceEvent::FaultRetry {
+            at: 6900,
+            kind: RemoteKind::RemoteMemory,
+            attempts: 2,
+        });
+        t.emit(|| TraceEvent::RequestComplete {
+            at: 7000,
+            latency: 7000,
+        });
+        t.take()
+    }
+
+    #[test]
+    fn export_parses_and_contains_the_morph_window() {
+        let json = chrome_trace_json(&[("dyad0".to_string(), sample_log())]);
+        let v = serde_json::parse_value(&json).expect("valid JSON");
+        let evs = v.get_field("traceEvents").expect("traceEvents");
+        let serde_json::Value::Array(items) = evs else {
+            panic!("traceEvents must be an array")
+        };
+        assert!(items.len() >= 6, "got {}", items.len());
+        assert!(json.contains("\"name\":\"morph\""));
+        assert!(json.contains("\"cause\":\"stall\""));
+        assert!(json.contains("borrow:ctx2"));
+        assert!(json.contains("fault_retry"));
+        assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn timestamps_convert_to_microseconds() {
+        let json = chrome_trace_json(&[("c".to_string(), sample_log())]);
+        // The 6800-cycle stall at 3400 cycles/µs spans 2µs: ts 100/3400.
+        assert!(
+            json.contains("\"dur\":2,"),
+            "expected a 2µs stall span in {json}"
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let cells = vec![
+            ("a".to_string(), sample_log()),
+            ("b".to_string(), sample_log()),
+        ];
+        assert_eq!(chrome_trace_json(&cells), chrome_trace_json(&cells));
+    }
+
+    #[test]
+    fn unclosed_windows_still_render() {
+        let t = Tracer::enabled(8, 1000.0);
+        t.emit(|| TraceEvent::MorphIn {
+            at: 5,
+            cause: MorphTrigger::Idle,
+        });
+        t.emit(|| TraceEvent::FillerBorrow { at: 6, ctx: 0 });
+        t.emit(|| TraceEvent::RequestArrive { at: 50 });
+        let json = chrome_trace_json(&[("open".to_string(), t.take())]);
+        assert!(serde_json::parse_value(&json).is_ok(), "{json}");
+        assert!(json.contains("\"open\":true"));
+    }
+
+    #[test]
+    fn empty_cells_export_metadata_only() {
+        let json = chrome_trace_json(&[("empty".to_string(), TraceLog::default())]);
+        assert!(serde_json::parse_value(&json).is_ok(), "{json}");
+        assert!(json.contains("empty"));
+    }
+}

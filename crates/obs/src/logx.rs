@@ -1,0 +1,41 @@
+//! Env-gated stderr progress lines.
+//!
+//! Setting `DUPLEXITY_LOG` to any non-empty value other than `0` turns on
+//! one-line per-experiment summaries on stderr. The gate is read once per
+//! process and cached; logging never touches stdout, never feeds artifacts,
+//! and therefore can never perturb golden fixtures.
+
+use std::sync::OnceLock;
+
+/// True when `DUPLEXITY_LOG` is set to a non-empty value other than `0`.
+#[must_use]
+pub fn log_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("DUPLEXITY_LOG")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Writes one `[duplexity] …` line to stderr when [`log_enabled`].
+pub fn log_line(msg: &str) {
+    if log_enabled() {
+        eprintln!("[duplexity] {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_is_stable_across_calls() {
+        // The gate is process-cached; whatever it reports first, it must
+        // keep reporting (tests may run with or without the env var set).
+        let first = log_enabled();
+        assert_eq!(first, log_enabled());
+        // log_line must be safe to call in either state.
+        log_line("test line");
+    }
+}

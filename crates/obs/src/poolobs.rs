@@ -1,0 +1,127 @@
+//! ExecPool load observation.
+//!
+//! [`PoolReport`] captures how a parallel experiment actually executed:
+//! wall time, per-worker cell counts and busy time, utilization, and how
+//! many cells were claimed beyond an even static split ("steals" under the
+//! pool's atomic work-index scheme). This is *wall-clock* data — it varies
+//! run to run and across machines — so it is only ever reported through
+//! [`log_line`](crate::log_line)-style side channels, never folded into
+//! deterministic artifacts.
+
+/// One worker's share of a pool run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerLoad {
+    /// Cells this worker claimed and completed.
+    pub cells: u64,
+    /// Wall-clock milliseconds this worker spent inside cell closures.
+    pub busy_ms: f64,
+}
+
+/// Summary of one `ExecPool::run` invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolReport {
+    /// The pool label (e.g. `fig5/cells`).
+    pub label: String,
+    /// Worker count the pool ran with.
+    pub workers: usize,
+    /// Total cells executed.
+    pub cells: u64,
+    /// End-to-end wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Per-worker load, indexed by worker id.
+    pub per_worker: Vec<WorkerLoad>,
+}
+
+impl PoolReport {
+    /// Fraction of total worker-time spent inside cell closures
+    /// (`Σ busy / (workers × wall)`), in `[0, 1]` for a sane report.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let denom = self.workers as f64 * self.wall_ms;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_worker.iter().map(|w| w.busy_ms).sum();
+        busy / denom
+    }
+
+    /// Cells claimed beyond an even static split. Under the pool's shared
+    /// atomic work index, a worker that claims more than `floor(cells /
+    /// workers)` effectively stole slack from a slower peer.
+    #[must_use]
+    pub fn steal_count(&self) -> u64 {
+        if self.workers == 0 {
+            return 0;
+        }
+        let fair = self.cells / self.workers as u64;
+        self.per_worker
+            .iter()
+            .map(|w| w.cells.saturating_sub(fair))
+            .sum()
+    }
+
+    /// One-line human summary for `DUPLEXITY_LOG` output.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} cells on {} workers in {:.1}ms (util {:.0}%, steals {})",
+            self.label,
+            self.cells,
+            self.workers,
+            self.wall_ms,
+            self.utilization() * 100.0,
+            self.steal_count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PoolReport {
+        PoolReport {
+            label: "fig5/cells".to_string(),
+            workers: 2,
+            cells: 5,
+            wall_ms: 10.0,
+            per_worker: vec![
+                WorkerLoad {
+                    cells: 3,
+                    busy_ms: 9.0,
+                },
+                WorkerLoad {
+                    cells: 2,
+                    busy_ms: 5.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let r = report();
+        assert!((r.utilization() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_guards_degenerate_reports() {
+        let r = PoolReport::default();
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn steals_count_claims_beyond_even_split() {
+        let r = report();
+        // fair = 5 / 2 = 2, worker 0 claimed 3 → one steal.
+        assert_eq!(r.steal_count(), 1);
+        assert_eq!(PoolReport::default().steal_count(), 0);
+    }
+
+    #[test]
+    fn summary_line_mentions_the_label() {
+        let line = report().summary_line();
+        assert!(line.contains("fig5/cells"));
+        assert!(line.contains("5 cells"));
+    }
+}

@@ -1,0 +1,264 @@
+//! A hierarchical counter / observation registry with deterministic JSON
+//! export.
+//!
+//! Paths are slash-separated (`dyad/phase/morphed/retired`); storage is a
+//! `BTreeMap`, so iteration — and therefore the exported JSON — is in
+//! lexicographic path order regardless of emission order or worker count.
+
+use std::collections::BTreeMap;
+
+/// Summary of a stream of `f64` samples (no per-sample storage, so a
+/// registry's size is bounded by its path count, not its sample count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Observation {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample, or 0 for an empty observation.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Observation {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// The registry: named counters plus named observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    observations: BTreeMap<String, Observation>,
+}
+
+impl Registry {
+    /// Adds `n` to the counter at `path` (creating it at 0).
+    pub fn incr(&mut self, path: &str, n: u64) {
+        *self.counters.entry(path.to_string()).or_insert(0) += n;
+    }
+
+    /// Records one sample into the observation at `path`.
+    pub fn observe(&mut self, path: &str, v: f64) {
+        self.observations
+            .entry(path.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Current counter value (0 if absent).
+    #[must_use]
+    pub fn counter(&self, path: &str) -> u64 {
+        self.counters.get(path).copied().unwrap_or(0)
+    }
+
+    /// Current observation (if any sample was recorded).
+    #[must_use]
+    pub fn observation(&self, path: &str) -> Option<&Observation> {
+        self.observations.get(path)
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.observations.is_empty()
+    }
+
+    /// Counter iteration in path order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`, prefixing every path with `prefix`
+    /// (pass `""` for an in-place merge). Counters add; observations
+    /// combine their summaries.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Registry) {
+        let key = |k: &str| {
+            if prefix.is_empty() {
+                k.to_string()
+            } else {
+                format!("{prefix}/{k}")
+            }
+        };
+        for (k, &v) in &other.counters {
+            *self.counters.entry(key(k)).or_insert(0) += v;
+        }
+        for (k, o) in &other.observations {
+            let mine = self.observations.entry(key(k)).or_default();
+            mine.count += o.count;
+            mine.sum += o.sum;
+            mine.min = mine.min.min(o.min);
+            mine.max = mine.max.max(o.max);
+        }
+    }
+
+    /// Deterministic flat-metrics JSON: two objects keyed by path, in
+    /// lexicographic order. Floats render through Rust's shortest
+    /// round-trip formatting, which is platform-independent; non-finite
+    /// values render as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{}\": {v}", escape(k)));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"observations\": {");
+        for (i, (k, o)) in self.observations.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                escape(k),
+                o.count,
+                json_f64(o.sum),
+                json_f64(o.min),
+                json_f64(o.max),
+                json_f64(o.mean()),
+            ));
+        }
+        if !self.observations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Formats an `f64` as a JSON number (`null` when non-finite).
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::default();
+        r.incr("a/b", 2);
+        r.incr("a/b", 3);
+        assert_eq!(r.counter("a/b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn observations_summarize() {
+        let mut r = Registry::default();
+        for v in [4.0, 1.0, 7.0] {
+            r.observe("lat", v);
+        }
+        let o = r.observation("lat").unwrap();
+        assert_eq!(o.count, 3);
+        assert_eq!(o.min, 1.0);
+        assert_eq!(o.max, 7.0);
+        assert!((o.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_prefixed_adds_and_combines() {
+        let mut a = Registry::default();
+        a.incr("n", 1);
+        a.observe("x", 2.0);
+        let mut b = Registry::default();
+        b.incr("n", 4);
+        b.observe("x", 6.0);
+        a.merge_prefixed("", &b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.observation("x").unwrap().count, 2);
+
+        let mut top = Registry::default();
+        top.merge_prefixed("cell0", &a);
+        assert_eq!(top.counter("cell0/n"), 5);
+        assert_eq!(top.counter("n"), 0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let mut r = Registry::default();
+        r.incr("z", 1);
+        r.incr("a", 2);
+        r.observe("m", 1.5);
+        let j = r.to_json();
+        assert_eq!(j, r.clone().to_json());
+        let a = j.find("\"a\"").unwrap();
+        let z = j.find("\"z\"").unwrap();
+        assert!(a < z, "paths must export in sorted order");
+        assert!(j.contains("\"mean\": 1.5"));
+    }
+
+    #[test]
+    fn json_parses_with_the_vendored_parser() {
+        let mut r = Registry::default();
+        r.incr("events/morph_in", 7);
+        r.observe("hole_cycles", 3400.0);
+        let v = serde_json::parse_value(&r.to_json()).expect("valid JSON");
+        let c = v.get_field("counters").expect("counters object");
+        assert!(c.get_field("events/morph_in").is_some());
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_objects() {
+        let j = Registry::default().to_json();
+        assert!(serde_json::parse_value(&j).is_ok(), "{j}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+}

@@ -1,0 +1,454 @@
+//! The cycle-domain event tracer: typed events, a bounded ring recorder,
+//! and the cheaply cloneable [`Tracer`] handle simulators embed.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which thread class an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ThreadTag {
+    /// The latency-critical master-thread on the master-core.
+    Master,
+    /// A borrowed filler-thread executing on the morphed master-core.
+    Filler,
+    /// A batch thread executing on the lender-core.
+    Lender,
+}
+
+impl ThreadTag {
+    /// Stable lowercase name (used in trace/metric paths).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ThreadTag::Master => "master",
+            ThreadTag::Filler => "filler",
+            ThreadTag::Lender => "lender",
+        }
+    }
+}
+
+/// What opened a morph window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorphTrigger {
+    /// Master-thread blocked on a µs-scale remote access.
+    Stall,
+    /// Master-thread out of requests (inter-request idleness).
+    Idle,
+}
+
+impl MorphTrigger {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MorphTrigger::Stall => "stall",
+            MorphTrigger::Idle => "idle",
+        }
+    }
+}
+
+/// Why a filler virtual context was returned to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReturnReason {
+    /// The context issued a µs-scale remote access and was parked.
+    Stall,
+    /// The context ran out of work and was parked until its next arrival.
+    Idle,
+    /// The 100µs HSMT quantum expired with other contexts waiting.
+    Quantum,
+    /// The master-thread resumed and evicted every borrowed context.
+    Evict,
+}
+
+impl ReturnReason {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReturnReason::Stall => "stall",
+            ReturnReason::Idle => "idle",
+            ReturnReason::Quantum => "quantum",
+            ReturnReason::Evict => "evict",
+        }
+    }
+}
+
+/// The kind of µs-scale remote event (mirrors the net crate's `EventKind`
+/// without depending on it — obs sits below every simulator crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RemoteKind {
+    /// Remote-memory (RDMA-class) access.
+    RemoteMemory,
+    /// Fast-NVM access.
+    Nvm,
+    /// One RPC fan-out leg.
+    RpcLeg,
+}
+
+impl RemoteKind {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RemoteKind::RemoteMemory => "remote_memory",
+            RemoteKind::Nvm => "nvm",
+            RemoteKind::RpcLeg => "rpc_leg",
+        }
+    }
+}
+
+/// One typed observation in the emitter's native tick domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Master-core morphed into the in-order filler engine.
+    MorphIn {
+        /// Trigger cycle.
+        at: u64,
+        /// What opened the hole.
+        cause: MorphTrigger,
+    },
+    /// Master-core morphed back; the master-thread resumes.
+    MorphOut {
+        /// Resume cycle.
+        at: u64,
+    },
+    /// A thread began a µs-scale stall.
+    StallBegin {
+        /// Issue cycle.
+        at: u64,
+        /// Remote event kind.
+        kind: RemoteKind,
+        /// Stalling thread's class.
+        tag: ThreadTag,
+    },
+    /// The matching stall resolved.
+    StallEnd {
+        /// Completion cycle.
+        at: u64,
+        /// Remote event kind.
+        kind: RemoteKind,
+        /// Stalling thread's class.
+        tag: ThreadTag,
+    },
+    /// A filler virtual context was borrowed from the shared pool.
+    FillerBorrow {
+        /// Borrow cycle.
+        at: u64,
+        /// Virtual-context id.
+        ctx: u64,
+    },
+    /// A filler virtual context went back to the pool.
+    FillerReturn {
+        /// Return cycle.
+        at: u64,
+        /// Virtual-context id.
+        ctx: u64,
+        /// Why it was returned.
+        reason: ReturnReason,
+    },
+    /// The fault layer dropped at least one leg of a remote event.
+    FaultInject {
+        /// Observation tick.
+        at: u64,
+        /// Remote event kind.
+        kind: RemoteKind,
+        /// Legs lost to drops within this event.
+        dropped: u32,
+    },
+    /// A remote event needed more than one attempt.
+    FaultRetry {
+        /// Observation tick.
+        at: u64,
+        /// Remote event kind.
+        kind: RemoteKind,
+        /// Total attempts issued (≥ 2).
+        attempts: u32,
+    },
+    /// A remote event was abandoned after the attempt cap.
+    FaultTimeout {
+        /// Observation tick.
+        at: u64,
+        /// Remote event kind.
+        kind: RemoteKind,
+    },
+    /// A request arrived (open-loop injection or queueing arrival).
+    RequestArrive {
+        /// Arrival tick.
+        at: u64,
+    },
+    /// A request completed.
+    RequestComplete {
+        /// Completion tick.
+        at: u64,
+        /// End-to-end latency in ticks.
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in native ticks.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::MorphIn { at, .. }
+            | TraceEvent::MorphOut { at }
+            | TraceEvent::StallBegin { at, .. }
+            | TraceEvent::StallEnd { at, .. }
+            | TraceEvent::FillerBorrow { at, .. }
+            | TraceEvent::FillerReturn { at, .. }
+            | TraceEvent::FaultInject { at, .. }
+            | TraceEvent::FaultRetry { at, .. }
+            | TraceEvent::FaultTimeout { at, .. }
+            | TraceEvent::RequestArrive { at }
+            | TraceEvent::RequestComplete { at, .. } => at,
+        }
+    }
+
+    /// Stable snake_case event name (registry paths, Chrome event names).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::MorphIn { .. } => "morph_in",
+            TraceEvent::MorphOut { .. } => "morph_out",
+            TraceEvent::StallBegin { .. } => "stall_begin",
+            TraceEvent::StallEnd { .. } => "stall_end",
+            TraceEvent::FillerBorrow { .. } => "filler_borrow",
+            TraceEvent::FillerReturn { .. } => "filler_return",
+            TraceEvent::FaultInject { .. } => "fault_inject",
+            TraceEvent::FaultRetry { .. } => "fault_retry",
+            TraceEvent::FaultTimeout { .. } => "fault_timeout",
+            TraceEvent::RequestArrive { .. } => "request_arrive",
+            TraceEvent::RequestComplete { .. } => "request_complete",
+        }
+    }
+}
+
+/// A bounded drop-oldest ring of events.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    head: usize,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            head: 0,
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Drains the ring into emission order (oldest surviving event first).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        let head = self.head;
+        self.head = 0;
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(head);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Sink {
+    ring: Ring,
+    registry: Registry,
+    ticks_per_us: f64,
+}
+
+/// The extracted, thread-safe record of one cell's trace.
+///
+/// This is what crosses `ExecPool` worker boundaries: plain data, `Send`,
+/// and fully determined by the cell's seed and grid coordinates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Events in emission order (oldest surviving first).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to the ring cap (0 means the record is complete).
+    pub dropped: u64,
+    /// Native ticks per microsecond (cycles/µs for CPU sims, 1000 for the
+    /// nanosecond-domain queueing DES).
+    pub ticks_per_us: f64,
+    /// Registry counters/observations flushed by the traced simulator.
+    pub registry: Registry,
+}
+
+/// A cheaply cloneable handle to a per-cell trace sink.
+///
+/// `Tracer::default()` / [`Tracer::disabled`] is a no-op handle: every
+/// emission is a single `Option` test and the event payload closure is
+/// never run. An enabled tracer is `Rc`-shared between the engines of one
+/// simulation cell (a cell is single-threaded by construction, see the
+/// exec-pool determinism contract), and [`Tracer::take`] extracts the
+/// `Send`able [`TraceLog`] at the end of the run.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<Sink>>>,
+}
+
+impl Tracer {
+    /// A no-op handle (the default for every simulator).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recording handle with a `capacity`-event drop-oldest ring.
+    ///
+    /// `ticks_per_us` converts the emitter's native timestamps to
+    /// microseconds at export time; simulators that know their own clock
+    /// overwrite it via [`Tracer::set_ticks_per_us`].
+    #[must_use]
+    pub fn enabled(capacity: usize, ticks_per_us: f64) -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(Sink {
+                ring: Ring::new(capacity),
+                registry: Registry::default(),
+                ticks_per_us,
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the tick-to-µs conversion for every event this sink holds.
+    pub fn set_ticks_per_us(&self, ticks_per_us: f64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().ticks_per_us = ticks_per_us;
+        }
+    }
+
+    /// Records the event built by `f`; on a disabled handle `f` is never
+    /// called, so emission sites cost one branch.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().ring.push(f());
+        }
+    }
+
+    /// Adds `n` to a registry counter (no-op when disabled).
+    pub fn count(&self, path: &str, n: u64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().registry.incr(path, n);
+        }
+    }
+
+    /// Records a sample into a registry observation (no-op when disabled).
+    pub fn observe(&self, path: &str, v: f64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().registry.observe(path, v);
+        }
+    }
+
+    /// Drains the sink into a `Send`able [`TraceLog`]. Event-type counters
+    /// are tallied into the log's registry under `events/<name>`. A
+    /// disabled handle returns an empty log.
+    #[must_use]
+    pub fn take(&self) -> TraceLog {
+        let Some(s) = &self.inner else {
+            return TraceLog::default();
+        };
+        let mut sink = s.borrow_mut();
+        let events = sink.ring.drain();
+        let dropped = sink.ring.dropped;
+        sink.ring.dropped = 0;
+        let mut registry = std::mem::take(&mut sink.registry);
+        for ev in &events {
+            registry.incr(&format!("events/{}", ev.name()), 1);
+        }
+        if dropped > 0 {
+            registry.incr("events/dropped", dropped);
+        }
+        TraceLog {
+            events,
+            dropped,
+            ticks_per_us: sink.ticks_per_us,
+            registry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(|| unreachable!("closure must not run on a disabled tracer"));
+        t.count("x", 1);
+        t.observe("y", 1.0);
+        let log = t.take();
+        assert!(log.events.is_empty());
+        assert!(log.registry.is_empty());
+    }
+
+    #[test]
+    fn events_come_back_in_emission_order() {
+        let t = Tracer::enabled(16, 3400.0);
+        t.emit(|| TraceEvent::MorphIn {
+            at: 10,
+            cause: MorphTrigger::Stall,
+        });
+        t.emit(|| TraceEvent::FillerBorrow { at: 12, ctx: 3 });
+        t.emit(|| TraceEvent::MorphOut { at: 90 });
+        let log = t.take();
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[0].name(), "morph_in");
+        assert_eq!(log.events[2].at(), 90);
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.ticks_per_us, 3400.0);
+        assert_eq!(log.registry.counter("events/morph_in"), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::enabled(4, 1.0);
+        for i in 0..10u64 {
+            t.emit(|| TraceEvent::RequestArrive { at: i });
+        }
+        let log = t.take();
+        assert_eq!(log.events.len(), 4);
+        assert_eq!(log.dropped, 6);
+        let ats: Vec<u64> = log.events.iter().map(TraceEvent::at).collect();
+        assert_eq!(ats, vec![6, 7, 8, 9], "oldest events drop first");
+        assert_eq!(log.registry.counter("events/dropped"), 6);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Tracer::enabled(8, 1.0);
+        let u = t.clone();
+        t.emit(|| TraceEvent::RequestArrive { at: 1 });
+        u.emit(|| TraceEvent::RequestComplete { at: 5, latency: 4 });
+        assert_eq!(t.take().events.len(), 2);
+    }
+
+    #[test]
+    fn take_drains() {
+        let t = Tracer::enabled(8, 1.0);
+        t.emit(|| TraceEvent::RequestArrive { at: 1 });
+        assert_eq!(t.take().events.len(), 1);
+        assert!(t.take().events.is_empty(), "take must drain the sink");
+    }
+}

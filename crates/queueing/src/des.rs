@@ -8,7 +8,8 @@
 //! utilization. Simulation stops once the p99's 95% confidence interval is
 //! within 5% relative error (§V), or at the sample cap.
 
-use duplexity_net::{EventKind, FaultPlan, LatencyDist};
+use duplexity_net::{trace_fault_events, EventKind, FaultPlan, LatencyDist};
+use duplexity_obs::{TraceEvent, Tracer};
 use duplexity_stats::ci::ConfidenceInterval;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::histogram::Histogram;
@@ -75,25 +76,39 @@ pub struct Mg1Result {
     pub converged: bool,
 }
 
-/// Simulates an M/G/1 FCFS queue with Poisson arrivals at `lambda_per_us`
-/// and service times drawn from `service`.
+/// DES traces are stamped in nanosecond ticks: one simulated microsecond is
+/// 1000 trace ticks, so sub-µs waits stay visible after rounding.
+const DES_TICKS_PER_US: f64 = 1000.0;
+
+/// Converts a simulated-µs timestamp to the DES trace-tick domain.
+fn ns_ticks(us: f64) -> u64 {
+    (us * DES_TICKS_PER_US).round().max(0.0) as u64
+}
+
+/// Core Lindley-recursion loop shared by the traced and untraced entry
+/// points. `service` receives the current request's absolute arrival time
+/// (simulated µs since the run began; `0.0` during the pilot) so fault
+/// layers can stamp trace events in the same clock domain as the request
+/// events emitted here.
 ///
-/// # Panics
-///
-/// Panics if `lambda_per_us` is not positive, or the implied load (from a
-/// pilot service-mean estimate) is ≥ 1 — an unstable queue has no steady
-/// state to report.
-pub fn simulate_mg1(
+/// Determinism contract: the tracer never touches the RNG. The arrival
+/// clock is a pure-arithmetic accumulator over the same interarrival draws
+/// the recursion already consumes, so enabling tracing cannot perturb the
+/// sample path.
+fn simulate_mg1_inner(
     lambda_per_us: f64,
-    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    service: &mut dyn FnMut(&mut SimRng, f64) -> f64,
     opts: &Mg1Options,
+    tracer: &Tracer,
 ) -> Mg1Result {
     assert!(lambda_per_us > 0.0, "arrival rate must be positive");
+    tracer.set_ticks_per_us(DES_TICKS_PER_US);
+    let traced = tracer.is_enabled();
     let mut rng = rng_from_seed(opts.seed);
     let interarrival = Exponential::from_rate(lambda_per_us);
 
     // Pilot: estimate the mean service time to reject unstable inputs early.
-    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    let pilot: f64 = (0..512).map(|_| service(&mut rng, 0.0)).sum::<f64>() / 512.0;
     let rho_estimate = lambda_per_us * pilot;
     assert!(
         rho_estimate < 1.0,
@@ -108,17 +123,32 @@ pub fn simulate_mg1(
     let mut busy_time = 0.0f64;
     let mut clock = 0.0f64;
     let mut converged = false;
+    // Absolute arrival time of the current request, over *all* requests
+    // (warm-up included) so trace timestamps share one monotone clock.
+    let mut arrive_clock = 0.0f64;
 
     let total = opts.warmup + opts.max_samples;
     for n in 0..total {
-        let s = service(&mut rng);
+        let s = service(&mut rng, arrive_clock);
         let measured = n >= opts.warmup;
         if measured {
             sojourns.record(wait + s);
             sojourn_sum.record(wait + s);
             busy_time += s;
+            if traced {
+                let at = ns_ticks(arrive_clock);
+                let done = ns_ticks(arrive_clock + wait + s);
+                tracer.emit(|| TraceEvent::RequestArrive { at });
+                tracer.emit(|| TraceEvent::RequestComplete {
+                    at: done,
+                    latency: done.saturating_sub(at),
+                });
+                tracer.count("des/requests", 1);
+                tracer.observe("des/sojourn_us", wait + s);
+            }
         }
         let a = interarrival.sample(&mut rng);
+        arrive_clock += a;
         if measured {
             clock += a;
             let slack = a - (wait + s);
@@ -160,6 +190,45 @@ pub fn simulate_mg1(
         samples,
         converged,
     }
+}
+
+/// Simulates an M/G/1 FCFS queue with Poisson arrivals at `lambda_per_us`
+/// and service times drawn from `service`.
+///
+/// # Panics
+///
+/// Panics if `lambda_per_us` is not positive, or the implied load (from a
+/// pilot service-mean estimate) is ≥ 1 — an unstable queue has no steady
+/// state to report.
+pub fn simulate_mg1(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    opts: &Mg1Options,
+) -> Mg1Result {
+    simulate_mg1_traced(lambda_per_us, service, opts, &Tracer::disabled())
+}
+
+/// [`simulate_mg1`] with a cycle-domain tracer attached: every measured
+/// request emits a [`TraceEvent::RequestArrive`]/[`TraceEvent::RequestComplete`]
+/// pair stamped in nanosecond ticks (1000 ticks per simulated µs; the
+/// tracer's `ticks_per_us` is set accordingly).
+///
+/// With a disabled tracer this is `simulate_mg1` exactly; with an enabled
+/// one the RNG draw sequence — and therefore every statistic in the
+/// returned [`Mg1Result`] — is still bit-identical, because timestamps come
+/// from a pure-arithmetic accumulator over draws already consumed.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_mg1`].
+pub fn simulate_mg1_traced(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    opts: &Mg1Options,
+    tracer: &Tracer,
+) -> Mg1Result {
+    let mut f = |rng: &mut SimRng, _now_us: f64| service(rng);
+    simulate_mg1_inner(lambda_per_us, &mut f, opts, tracer)
 }
 
 /// Convenience: simulate with a fixed service distribution.
@@ -212,10 +281,40 @@ pub fn simulate_mg1_faulted(
     plan: &FaultPlan,
     opts: &Mg1Options,
 ) -> (Mg1Result, FaultTally) {
+    simulate_mg1_faulted_traced(
+        lambda_per_us,
+        compute,
+        stall_leg,
+        plan,
+        opts,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`simulate_mg1_faulted`] with a tracer attached: request events as in
+/// [`simulate_mg1_traced`], plus per-event fault instants
+/// (inject/retry/timeout) stamped at the arrival time of the request whose
+/// service leg suffered the fault, in the same nanosecond-tick domain.
+/// Fault events from the 512-draw stability pilot are stamped at tick 0.
+///
+/// The tracer consumes no RNG draws: results and tallies are bit-identical
+/// to [`simulate_mg1_faulted`] regardless of tracing.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_mg1`].
+pub fn simulate_mg1_faulted_traced(
+    lambda_per_us: f64,
+    compute: &mut dyn FnMut(&mut SimRng) -> f64,
+    stall_leg: &LatencyDist,
+    plan: &FaultPlan,
+    opts: &Mg1Options,
+    tracer: &Tracer,
+) -> (Mg1Result, FaultTally) {
     let mut tally = FaultTally::default();
     let identity = plan.is_none();
     let result = {
-        let mut service = |rng: &mut SimRng| {
+        let mut service = |rng: &mut SimRng, now_us: f64| {
             let c = compute(rng);
             if identity {
                 return c + stall_leg.sample(rng);
@@ -226,9 +325,10 @@ pub fn simulate_mg1_faulted(
             tally.dropped_legs += u64::from(ev.dropped_legs);
             tally.slowed_legs += u64::from(ev.slowed_legs);
             tally.failed += u64::from(!ev.completed);
+            trace_fault_events(&ev, ns_ticks(now_us), tracer);
             c + ev.latency_us
         };
-        simulate_mg1(lambda_per_us, &mut service, opts)
+        simulate_mg1_inner(lambda_per_us, &mut service, opts, tracer)
     };
     (result, tally)
 }
@@ -397,6 +497,62 @@ mod tests {
         let r = simulate_mg1_dist(0.5, &service, &fast_opts(12));
         assert_eq!(r.sojourn.count(), r.samples as u64);
         assert!((r.sojourn.mean() - r.mean_sojourn_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_and_records_requests() {
+        let mut svc = |rng: &mut SimRng| Exponential::new(1.0).sample(rng);
+        let opts = Mg1Options {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(42)
+        };
+        let plain = simulate_mg1(0.5, &mut svc, &opts);
+        let tracer = Tracer::enabled(1 << 20, 1000.0);
+        let traced = simulate_mg1_traced(0.5, &mut svc, &opts, &tracer);
+        assert_eq!(plain.tail_us, traced.tail_us);
+        assert_eq!(plain.sojourn, traced.sojourn);
+        assert_eq!(plain.samples, traced.samples);
+        let log = tracer.take();
+        assert_eq!(log.ticks_per_us, 1000.0);
+        let arrivals = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestArrive { .. }))
+            .count();
+        assert_eq!(arrivals, traced.samples);
+        assert_eq!(log.registry.counter("des/requests"), traced.samples as u64);
+    }
+
+    #[test]
+    fn traced_faults_match_untraced_and_emit_instants() {
+        use duplexity_net::RetryPolicy;
+        let leg = LatencyDist::Exponential { mean_us: 2.0 };
+        let plan = FaultPlan::none()
+            .with_drop(0.1)
+            .with_retry(RetryPolicy::new(4, 6.0, 1.0, 8.0));
+        let mut compute = |_: &mut SimRng| 1.0;
+        let opts = Mg1Options {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(11)
+        };
+        let (plain, plain_tally) = simulate_mg1_faulted(0.1, &mut compute, &leg, &plan, &opts);
+        let tracer = Tracer::enabled(1 << 20, 1000.0);
+        let (traced, traced_tally) =
+            simulate_mg1_faulted_traced(0.1, &mut compute, &leg, &plan, &opts, &tracer);
+        assert_eq!(plain.tail_us, traced.tail_us);
+        assert_eq!(plain_tally, traced_tally);
+        let log = tracer.take();
+        let injects = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FaultInject { .. }))
+            .count() as u64;
+        assert!(
+            injects > 0,
+            "10% drops over 5.5k events must inject at least once"
+        );
     }
 
     #[test]

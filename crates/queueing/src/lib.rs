@@ -27,6 +27,9 @@ pub mod fanout;
 pub mod mg1;
 
 pub use closed_loop::{closed_loop_utilization, utilization_surface};
-pub use des::{simulate_mg1, simulate_mg1_faulted, FaultTally, Mg1Options, Mg1Result};
+pub use des::{
+    simulate_mg1, simulate_mg1_faulted, simulate_mg1_faulted_traced, simulate_mg1_traced,
+    FaultTally, Mg1Options, Mg1Result,
+};
 pub use fanout::{exponential_fanout_mean, exponential_fanout_quantile, FanOut};
 pub use mg1::{idle_period_cdf, mean_idle_period_us, Mg1Analytic};

@@ -1,0 +1,136 @@
+//! The observability layer's determinism contract, end to end.
+//!
+//! Three guarantees (see `crates/obs`):
+//!
+//! 1. **Tracing off changes nothing** — `run_fig5_traced(opts, None)`
+//!    returns the same cells as `run_fig5` (the golden tests exercise the
+//!    untraced path byte-for-byte; here we check the traced entry point
+//!    degenerates to it exactly).
+//! 2. **Tracing on changes nothing either** — the tracer consumes no RNG
+//!    draws, so the figure cells are bit-identical with tracing enabled.
+//! 3. **Traces are worker-count independent** — the exported Chrome JSON
+//!    and metrics JSON are byte-identical at 1 and 8 workers.
+
+use duplexity::experiments::fig5::{run_fig5, run_fig5_traced, Fig5Options, TraceConfig};
+use duplexity::{chrome_trace_json, Design, Workload};
+use duplexity_queueing::des::Mg1Options;
+
+fn fig5_opts(threads: usize) -> Fig5Options {
+    // The golden fixture's grid (tests/golden.rs), so any divergence here
+    // would also be a golden regression.
+    Fig5Options {
+        loads: vec![0.3, 0.6],
+        workloads: vec![Workload::McRouter],
+        designs: vec![Design::Baseline, Design::Duplexity],
+        horizon_cycles: 500_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        ..Fig5Options::default()
+    }
+}
+
+fn assert_cells_equal(
+    a: &[duplexity::experiments::fig5::Fig5Cell],
+    b: &[duplexity::experiments::fig5::Fig5Cell],
+    what: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{what}");
+    for (x, y) in a.iter().zip(b) {
+        let at = format!("{what} cell ({:?}, {:?}, {})", x.design, x.workload, x.load);
+        assert_eq!(x.utilization, y.utilization, "{at}");
+        assert_eq!(x.perf_density_norm, y.perf_density_norm, "{at}");
+        assert_eq!(x.energy_norm, y.energy_norm, "{at}");
+        assert_eq!(x.p99_us, y.p99_us, "{at}");
+        assert_eq!(x.iso_p99_norm, y.iso_p99_norm, "{at}");
+        assert_eq!(x.stp_norm, y.stp_norm, "{at}");
+        assert_eq!(x.service_slowdown, y.service_slowdown, "{at}");
+        assert_eq!(x.remote_ops_per_us, y.remote_ops_per_us, "{at}");
+    }
+}
+
+#[test]
+fn tracing_off_is_the_untraced_run() {
+    let plain = run_fig5(&fig5_opts(1));
+    let run = run_fig5_traced(&fig5_opts(1), None);
+    assert!(run.traces.is_empty(), "no tracer requested, no logs");
+    assert!(run.registry.is_empty(), "no tracer requested, no counters");
+    assert_cells_equal(&plain, &run.cells, "untraced entry point");
+}
+
+#[test]
+fn tracing_on_does_not_perturb_the_cells() {
+    let plain = run_fig5(&fig5_opts(1));
+    let traced = run_fig5_traced(&fig5_opts(1), Some(&TraceConfig::default()));
+    assert!(!traced.traces.is_empty());
+    assert_cells_equal(&plain, &traced.cells, "traced vs untraced");
+}
+
+#[test]
+fn trace_artifacts_are_bit_identical_across_worker_counts() {
+    let cfg = TraceConfig::default();
+    let one = run_fig5_traced(&fig5_opts(1), Some(&cfg));
+    let eight = run_fig5_traced(&fig5_opts(8), Some(&cfg));
+
+    assert_cells_equal(&one.cells, &eight.cells, "1 vs 8 workers");
+
+    // Same labels, same event streams, in the same deterministic order.
+    assert_eq!(one.traces.len(), eight.traces.len());
+    for ((la, a), (lb, b)) in one.traces.iter().zip(&eight.traces) {
+        assert_eq!(la, lb);
+        assert_eq!(a.events, b.events, "{la}");
+        assert_eq!(a.dropped, b.dropped, "{la}");
+        assert_eq!(a.ticks_per_us, b.ticks_per_us, "{la}");
+    }
+
+    // And the exported artifacts agree byte for byte.
+    assert_eq!(
+        chrome_trace_json(&one.traces),
+        chrome_trace_json(&eight.traces)
+    );
+    assert_eq!(one.registry.to_json(), eight.registry.to_json());
+}
+
+#[test]
+fn chrome_export_parses_and_holds_the_morph_story() {
+    let run = run_fig5_traced(&fig5_opts(1), Some(&TraceConfig::default()));
+    let json = chrome_trace_json(&run.traces);
+    let value = serde_json::parse_value(&json).expect("chrome trace JSON parses");
+    let events = value
+        .get_field("traceEvents")
+        .expect("traceEvents key exists");
+    let serde_json::Value::Array(items) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!items.is_empty(), "a traced grid produces events");
+
+    // Duplexity cells morph; the baseline never does. Count morph windows by
+    // the exported event names.
+    let names: Vec<&str> = items
+        .iter()
+        .filter_map(|e| e.get_field("name"))
+        .filter_map(|n| match n {
+            serde_json::Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        names.contains(&"morph"),
+        "Duplexity cells must record morph windows"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("stall")),
+        "remote stalls must appear as spans"
+    );
+
+    // The registry aggregated per-cell morph counters under cell labels.
+    let metrics = run.registry.to_json();
+    assert!(
+        metrics.contains("dyad/morphs"),
+        "metrics JSON must carry per-cell morph counts: {metrics}"
+    );
+}

@@ -327,13 +327,28 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| Error::msg("eof"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Consume one multi-byte UTF-8 character. Validate only
+                    // its own bytes — validating the whole remaining input
+                    // per character made large-document parsing quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::msg("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error::msg("truncated utf-8 sequence"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
                 }
             }
         }
@@ -433,5 +448,27 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse_value("1 2").is_err());
         assert!(parse_value("{").is_err());
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        let s = "µs: naïve — 慢い 🚀";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(parse_value(&json).unwrap(), Value::Str(s.into()));
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // Regression: the parser used to re-validate the entire remaining
+        // document for every character of every string, making this test
+        // effectively hang (quadratic in document size).
+        let body: String = "x".repeat(500_000);
+        let json = format!("[\"{body}\",\"{body}\"]");
+        let v = parse_value(&json).unwrap();
+        let Value::Array(items) = v else {
+            panic!("expected array")
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(&items[0], Value::Str(s) if s.len() == 500_000));
     }
 }
