@@ -1,0 +1,206 @@
+//! Standing perf-trajectory benchmark for the cycle simulator.
+//!
+//! ```text
+//! bench [--smoke] [--seed N] [--threads N] [--out FILE]
+//! ```
+//!
+//! Times a stall-heavy Figure 5 configuration twice in the same process —
+//! once with [`Stepping::Naive`] (step every cycle) and once with
+//! [`Stepping::FastForward`] (skip provably quiescent spans) — asserts the
+//! two grids are cell-for-cell identical, then times the fault-policy sweep
+//! once. Writes the measurements as JSON (default `BENCH_cycles.json`) so
+//! CI can archive a perf trajectory across commits.
+//!
+//! `--smoke` shrinks horizons for a fast CI pass; `--threads 1` (the
+//! default here) keeps per-mode wall times comparable across machines with
+//! different core counts. The speedup is end-to-end: it includes the
+//! never-skipped lender-reference calibration and the queueing runs both
+//! modes share, so it under-states the raw cycle-loop gain.
+
+use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
+use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
+use duplexity::{Design, Workload};
+use duplexity_cpu::designs::Stepping;
+use duplexity_queueing::des::Mg1Options;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ModeTiming {
+    wall_s: f64,
+    cells_per_sec: f64,
+    sim_cycles_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Fig5Bench {
+    designs: Vec<Design>,
+    workloads: Vec<Workload>,
+    loads: Vec<f64>,
+    horizon_cycles: u64,
+    cells: usize,
+    /// Cycle-loop iterations a naive pass performs: one horizon per grid
+    /// cell, a third per calibration pair, and the lender-reference runs
+    /// (half a horizon for the pooled lender, a quarter for the lone batch
+    /// thread).
+    nominal_sim_cycles: u64,
+    naive: ModeTiming,
+    fast_forward: ModeTiming,
+    speedup: f64,
+    results_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FaultSweepBench {
+    points: usize,
+    wall_s: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    threads: usize,
+    smoke: bool,
+    fig5: Fig5Bench,
+    fault_sweep: FaultSweepBench,
+}
+
+fn stall_heavy_opts(seed: u64, threads: usize, horizon: u64, stepping: Stepping) -> Fig5Options {
+    Fig5Options {
+        // Baseline only: the paper's motivating configuration, where the
+        // master-core burns thousands of cycles per µs-scale stall doing
+        // nothing — exactly the span fast-forward folds away. (Baseline is
+        // also the normalization reference, so it is a valid 1-design grid.)
+        designs: vec![Design::Baseline],
+        workloads: vec![Workload::McRouter],
+        loads: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        horizon_cycles: horizon,
+        seed,
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        stepping,
+        ..Fig5Options::default()
+    }
+}
+
+fn cells_equal(a: &[Fig5Cell], b: &[Fig5Cell]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.design == y.design
+                && x.workload == y.workload
+                && x.load == y.load
+                && x.utilization == y.utilization
+                && x.perf_density_norm == y.perf_density_norm
+                && x.energy_norm == y.energy_norm
+                && x.p99_us == y.p99_us
+                && x.iso_p99_us == y.iso_p99_us
+                && x.stp_norm == y.stp_norm
+                && x.service_slowdown == y.service_slowdown
+                && x.remote_ops_per_us == y.remote_ops_per_us
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let smoke = has("--smoke");
+    let seed: u64 = arg_after("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let threads: usize = arg_after("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let out = arg_after("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cycles.json".to_string());
+
+    let horizon: u64 = if smoke { 600_000 } else { 3_000_000 };
+    let opts_of = |stepping| stall_heavy_opts(seed, threads, horizon, stepping);
+    let grid = opts_of(Stepping::Naive);
+    let cells = grid.loads.len() * grid.workloads.len() * grid.designs.len();
+    let pairs = grid.workloads.len() * grid.designs.len();
+    let nominal_sim_cycles =
+        cells as u64 * horizon + pairs as u64 * (horizon / 3) + horizon / 2 + horizon / 4;
+
+    eprintln!("bench: fig5 stall-heavy grid, naive stepping ({cells} cells, horizon {horizon})");
+    let t0 = Instant::now();
+    let naive_cells = run_fig5(&opts_of(Stepping::Naive));
+    let naive_s = t0.elapsed().as_secs_f64();
+
+    eprintln!("bench: fig5 stall-heavy grid, fast-forward stepping");
+    let t1 = Instant::now();
+    let fast_cells = run_fig5(&opts_of(Stepping::FastForward));
+    let fast_s = t1.elapsed().as_secs_f64();
+
+    let identical = cells_equal(&naive_cells, &fast_cells);
+    assert!(
+        identical,
+        "fast-forward diverged from naive stepping — bit-identity contract broken"
+    );
+
+    let timing = |wall_s: f64| ModeTiming {
+        wall_s,
+        cells_per_sec: cells as f64 / wall_s.max(1e-12),
+        sim_cycles_per_sec: nominal_sim_cycles as f64 / wall_s.max(1e-12),
+    };
+    let speedup = naive_s / fast_s.max(1e-12);
+
+    eprintln!("bench: fault-policy sweep");
+    let mut sweep_opts = FaultSweepOptions {
+        seed,
+        ..FaultSweepOptions::default()
+    };
+    if smoke {
+        sweep_opts.loads = vec![0.5];
+        sweep_opts.queue = Mg1Options {
+            max_samples: 60_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        };
+    }
+    let t2 = Instant::now();
+    let points = fault_sweep(&sweep_opts);
+    let sweep_s = t2.elapsed().as_secs_f64();
+
+    let report = BenchReport {
+        seed,
+        threads,
+        smoke,
+        fig5: Fig5Bench {
+            designs: grid.designs.clone(),
+            workloads: grid.workloads.clone(),
+            loads: grid.loads.clone(),
+            horizon_cycles: horizon,
+            cells,
+            nominal_sim_cycles,
+            naive: timing(naive_s),
+            fast_forward: timing(fast_s),
+            speedup,
+            results_identical: identical,
+        },
+        fault_sweep: FaultSweepBench {
+            points: points.len(),
+            wall_s: sweep_s,
+            points_per_sec: points.len() as f64 / sweep_s.max(1e-12),
+        },
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bench: naive {naive_s:.2}s, fast-forward {fast_s:.2}s, speedup {speedup:.2}x -> {out}"
+    );
+}

@@ -19,7 +19,7 @@
 
 use crate::exec::ExecPool;
 use crate::server::ServerSim;
-use duplexity_cpu::designs::{Design, DesignMetrics};
+use duplexity_cpu::designs::{Design, DesignMetrics, Stepping};
 use duplexity_cpu::inorder::InoEngine;
 use duplexity_cpu::memsys::MemSys;
 use duplexity_cpu::pool::{ContextPool, VirtualContext};
@@ -56,6 +56,11 @@ pub struct Fig5Options {
     /// available parallelism (see [`crate::exec`]). Results are bit-identical
     /// for every value.
     pub threads: usize,
+    /// Cycle-loop stepping strategy for every cycle simulation in the grid.
+    /// [`Stepping::FastForward`] (the default) is bit-identical to
+    /// [`Stepping::Naive`]; `Naive` exists for differential testing and
+    /// benchmarking.
+    pub stepping: Stepping,
 }
 
 impl Default for Fig5Options {
@@ -69,6 +74,7 @@ impl Default for Fig5Options {
             queue: Mg1Options::default(),
             fault: FaultPlan::none(),
             threads: 0,
+            stepping: Stepping::FastForward,
         }
     }
 }
@@ -151,8 +157,7 @@ fn lender_reference(horizon: u64, seed: u64) -> LenderReference {
         ops_per_cycle: lender.stats().ipc(),
         remote_ops_per_cycle: lender.stats().remote_ops as f64 / wall,
         retired_per_ctx_per_cycle,
-        alone_ops_per_cycle: alone.stats().ipc() / alone_horizon.max(1) as f64
-            * alone_horizon.max(1) as f64, // = ipc
+        alone_ops_per_cycle: alone.stats().ipc(),
     }
 }
 
@@ -303,6 +308,7 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
             .load(load)
             .horizon_cycles(opts.horizon_cycles)
             .seed(opts.seed)
+            .stepping(opts.stepping)
             .run_traced(&tracer);
         let mut cell = build_raw(design, workload, load, metrics, &lender_ref);
         cell.slowdown = slowdowns
@@ -423,6 +429,7 @@ fn saturated_service_us(design: Design, workload: Workload, opts: &Fig5Options) 
         .saturated()
         .horizon_cycles(opts.horizon_cycles / 3)
         .seed(derive_stream(opts.seed, 0x5A7))
+        .stepping(opts.stepping)
         .run();
     // In saturated mode a request's recorded latency is its fetch-to-retire
     // service time.
@@ -575,6 +582,7 @@ mod tests {
             },
             fault: FaultPlan::none(),
             threads: 0,
+            stepping: Stepping::FastForward,
         }
     }
 
@@ -641,6 +649,28 @@ mod tests {
         assert!(dup.iso_p99_norm < 1.0, "iso p99 norm {}", dup.iso_p99_norm);
         // 5(d): and its straight p99 inflation is modest.
         assert!(dup.p99_norm < 1.6, "p99 norm {}", dup.p99_norm);
+    }
+
+    /// Pins the STP-denominator reference and the cell values derived from
+    /// it, to exact bit patterns. `alone_ops_per_cycle` was historically
+    /// computed as `ipc() / h * h` — a no-op divide-then-multiply now
+    /// simplified to `ipc()` — and this test proves the simplification (and
+    /// any future refactor of the reference runs) is value-preserving.
+    #[test]
+    fn lender_reference_and_derived_cells_are_pinned() {
+        let r = lender_reference(600_000, 42);
+        assert_eq!(r.ops_per_cycle, 2.713738333333333);
+        assert_eq!(r.remote_ops_per_cycle, 0.001015);
+        assert_eq!(r.alone_ops_per_cycle, 0.29205);
+
+        let cells = run_fig5(&tiny_opts());
+        let get = |d: Design| cells.iter().find(|c| c.design == d).unwrap();
+        assert_eq!(get(Design::Baseline).stp_norm, 1.0);
+        assert_eq!(get(Design::Baseline).perf_density_norm, 1.0);
+        assert_eq!(get(Design::Smt).stp_norm, 1.2172071367725825);
+        assert_eq!(get(Design::Smt).perf_density_norm, 1.1904130350524866);
+        assert_eq!(get(Design::Duplexity).stp_norm, 2.046106754335809);
+        assert_eq!(get(Design::Duplexity).perf_density_norm, 1.8896520651251965);
     }
 
     #[test]

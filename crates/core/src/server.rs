@@ -1,6 +1,8 @@
 //! High-level façade: one design serving one microservice at one load.
 
-use duplexity_cpu::designs::{run_design, run_design_traced, Design, DesignMetrics, Scenario};
+use duplexity_cpu::designs::{
+    run_design, run_design_traced_stepped, Design, DesignMetrics, Scenario, Stepping,
+};
 use duplexity_obs::Tracer;
 use duplexity_workloads::graph::FillerFactory;
 use duplexity_workloads::Workload;
@@ -27,11 +29,13 @@ pub struct ServerSim {
     load: Option<f64>,
     horizon_cycles: u64,
     seed: u64,
+    stepping: Stepping,
 }
 
 impl ServerSim {
     /// Creates a simulation of `design` serving `workload`, defaulting to
-    /// 50% load, a 4M-cycle horizon, and seed 42.
+    /// 50% load, a 4M-cycle horizon, seed 42, and quiescence fast-forward
+    /// stepping (bit-identical to naive stepping, just faster).
     #[must_use]
     pub fn new(design: Design, workload: Workload) -> Self {
         Self {
@@ -40,6 +44,7 @@ impl ServerSim {
             load: Some(0.5),
             horizon_cycles: 4_000_000,
             seed: 42,
+            stepping: Stepping::default(),
         }
     }
 
@@ -76,6 +81,16 @@ impl ServerSim {
         self
     }
 
+    /// Selects the cycle-loop stepping strategy. [`Stepping::FastForward`]
+    /// (the default) skips provably-quiescent µs-scale stall spans and is
+    /// bit-identical to [`Stepping::Naive`]; `Naive` exists for differential
+    /// testing and benchmarking.
+    #[must_use]
+    pub fn stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
+        self
+    }
+
     /// The design under simulation.
     #[must_use]
     pub fn design(&self) -> Design {
@@ -98,16 +113,18 @@ impl ServerSim {
             seed: self.seed,
         };
         let fillers = FillerFactory::paper(self.seed);
-        run_design(
+        run_design_traced_stepped(
             self.design,
             &scenario,
             self.workload.kernel(self.seed),
             |id| fillers.stream(id),
+            &Tracer::disabled(),
+            self.stepping,
         )
     }
 
     /// [`ServerSim::run`] with a cycle-domain tracer attached (see
-    /// [`run_design_traced`]). Tracing consumes no RNG draws, so the
+    /// [`run_design_traced_stepped`]). Tracing consumes no RNG draws, so the
     /// returned metrics are bit-identical to [`ServerSim::run`] whether the
     /// tracer is enabled or not.
     #[must_use]
@@ -119,12 +136,13 @@ impl ServerSim {
             seed: self.seed,
         };
         let fillers = FillerFactory::paper(self.seed);
-        run_design_traced(
+        run_design_traced_stepped(
             self.design,
             &scenario,
             self.workload.kernel(self.seed),
             |id| fillers.stream(id),
             tracer,
+            self.stepping,
         )
     }
 }

@@ -119,6 +119,22 @@ impl std::fmt::Display for Design {
     }
 }
 
+/// Outer-loop strategy for advancing a cycle engine to its horizon.
+///
+/// Fast-forward is bit-identical to naive stepping: quiescent cycles draw
+/// no RNG and retire nothing, and their counters are folded arithmetically
+/// (`tests/fastforward_determinism.rs` proves it per design; the golden
+/// fixtures pin it end to end). It is the default everywhere; `Naive` is
+/// kept for differential tests and the perf benchmark's reference timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stepping {
+    /// Step every cycle (reference semantics).
+    Naive,
+    /// Skip provably quiescent spans via `next_event_cycle` probes.
+    #[default]
+    FastForward,
+}
+
 /// Offered-load and duration parameters for one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
@@ -229,6 +245,24 @@ pub fn run_design(
     )
 }
 
+/// [`run_design`] with an explicit [`Stepping`] strategy (untraced).
+pub fn run_design_stepped(
+    design: Design,
+    scenario: &Scenario,
+    master_kernel: Box<dyn RequestKernel>,
+    filler_factory: impl FnMut(usize) -> Box<dyn InstructionStream>,
+    stepping: Stepping,
+) -> DesignMetrics {
+    run_design_traced_stepped(
+        design,
+        scenario,
+        master_kernel,
+        filler_factory,
+        &Tracer::disabled(),
+        stepping,
+    )
+}
+
 /// [`run_design`] with an attached [`Tracer`]. The tracer's tick domain is
 /// set to the design's cycles-per-µs so exported timestamps convert
 /// correctly; trace events consume no RNG draws, so the returned metrics
@@ -237,8 +271,27 @@ pub fn run_design_traced(
     design: Design,
     scenario: &Scenario,
     master_kernel: Box<dyn RequestKernel>,
+    filler_factory: impl FnMut(usize) -> Box<dyn InstructionStream>,
+    tracer: &Tracer,
+) -> DesignMetrics {
+    run_design_traced_stepped(
+        design,
+        scenario,
+        master_kernel,
+        filler_factory,
+        tracer,
+        Stepping::FastForward,
+    )
+}
+
+/// [`run_design_traced`] with an explicit [`Stepping`] strategy.
+pub fn run_design_traced_stepped(
+    design: Design,
+    scenario: &Scenario,
+    master_kernel: Box<dyn RequestKernel>,
     mut filler_factory: impl FnMut(usize) -> Box<dyn InstructionStream>,
     tracer: &Tracer,
+    stepping: Stepping,
 ) -> DesignMetrics {
     let clock = design.clock_ghz();
     let cycles_per_us = clock * 1000.0;
@@ -280,8 +333,44 @@ pub fn run_design_traced(
             }
             let mut mem = MemSys::table1(machine.latency);
             mem.set_tracer(tracer);
-            for now in 0..scenario.horizon_cycles {
-                engine.step(now, &mut mem, &mut rng);
+            let horizon = scenario.horizon_cycles;
+            match stepping {
+                Stepping::Naive => {
+                    for now in 0..horizon {
+                        engine.step(now, &mut mem, &mut rng);
+                    }
+                }
+                Stepping::FastForward => {
+                    // Probe after each step; back off exponentially (max 32
+                    // cycles) after failed probes. Backoff changes only when
+                    // skips are *attempted*, never what a skip folds, so
+                    // results stay bit-identical to the naive loop. The
+                    // memory system never wakes a core on its own
+                    // (`mem.next_event_cycle` is `None`), so the engine's
+                    // probe alone decides.
+                    let mut now = 0u64;
+                    let mut backoff: u64 = 0;
+                    let mut wait: u64 = 0;
+                    while now < horizon {
+                        engine.step(now, &mut mem, &mut rng);
+                        now += 1;
+                        if wait > 0 {
+                            wait -= 1;
+                            continue;
+                        }
+                        let target = engine
+                            .next_event_cycle(now)
+                            .map_or(horizon, |e| e.min(horizon));
+                        if target > now {
+                            engine.skip_quiescent(now, target - now);
+                            now = target;
+                            backoff = 0;
+                        } else {
+                            backoff = (backoff * 2).clamp(1, 32);
+                            wait = backoff;
+                        }
+                    }
+                }
             }
             let s = engine.stats();
             DesignMetrics {
@@ -328,9 +417,12 @@ pub fn run_design_traced(
                     dyad.add_fixed_filler(id, filler_factory(id));
                 }
             }
-            dyad.run(scenario.horizon_cycles, &mut rng);
+            match stepping {
+                Stepping::Naive => dyad.run_naive(scenario.horizon_cycles, &mut rng),
+                Stepping::FastForward => dyad.run(scenario.horizon_cycles, &mut rng),
+            }
             dyad.flush_trace_registry();
-            let m = dyad.metrics();
+            let m = dyad.take_metrics();
             DesignMetrics {
                 wall_cycles: m.wall_cycles,
                 clock_ghz: clock,

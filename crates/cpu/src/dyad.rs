@@ -467,8 +467,130 @@ impl DyadSim {
         self.now += 1;
     }
 
-    /// Runs until `horizon` cycles have elapsed.
+    /// Earliest cycle `t >= now` at which [`DyadSim::step`] could change
+    /// state: the minimum over the lender-core, the context pool, and the
+    /// mode-dependent master engine, plus the morph-window `start`/`until`
+    /// boundaries. Morph *triggers* are handled by evaluating the hole-check
+    /// at `now` directly: a trigger can only newly fire when an issued op's
+    /// completion passes `now`, and every future completion is already a
+    /// bumped event, so mid-span firings land exactly on span boundaries.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let from = self.now;
+        let mut best: Option<u64> = None;
+        let bump = |best: &mut Option<u64>, t: u64| {
+            *best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if let Some(lender) = self.lender_ino.as_ref() {
+            match lender.next_event_cycle(from, Some(&self.pool)) {
+                Some(t) if t <= from => return Some(from),
+                Some(t) => bump(&mut best, t),
+                None => {}
+            }
+        }
+        match self.mode {
+            Mode::Master => {
+                // The morph hole-check runs after every master step, and it
+                // reads completions *at or before* `now` (a stalled front
+                // with drained co-work) that the engine probe rightly treats
+                // as inert — nothing can commit past the stalled head. If
+                // the check would fire at `from`, that step is a state
+                // change (`begin_morph`) all the same. Mid-span firings
+                // always coincide with a completion the engine probe bumps,
+                // so checking `from` alone closes the gap.
+                let hole = self
+                    .master_ooo
+                    .primary_stalled_on_remote(from)
+                    .or_else(|| self.master_ooo.primary_idle_until(from));
+                if let Some(end) = hole {
+                    if end > from.saturating_add(self.cfg.min_morph_gain_cycles) {
+                        return Some(from);
+                    }
+                }
+                match self.master_ooo.next_event_cycle(from) {
+                    Some(t) if t <= from => return Some(from),
+                    Some(t) => bump(&mut best, t),
+                    None => {}
+                }
+            }
+            Mode::Filler { start, until } => {
+                if from >= until {
+                    return Some(from); // end_morph + master restart
+                }
+                bump(&mut best, until);
+                if from < start {
+                    bump(&mut best, start);
+                } else {
+                    let pool_opt = self.cfg.hsmt_fillers.then_some(&self.pool);
+                    match self.master_ino.next_event_cycle(from, pool_opt) {
+                        Some(t) if t <= from => return Some(from),
+                        Some(t) => bump(&mut best, t),
+                        None => {}
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Folds `count` provably quiescent cycles into every engine that the
+    /// naive loop would have stepped, mirroring [`DyadSim::step`]'s
+    /// per-mode accounting (the lender always runs; the master OoO engine
+    /// only in [`Mode::Master`]; the filler engine and its mode-cycle
+    /// counter only once a morph window has opened). Callers must only pass
+    /// spans vouched for by [`DyadSim::next_event_cycle`].
+    fn skip_quiescent(&mut self, count: u64) {
+        let from = self.now;
+        if let Some(lender) = self.lender_ino.as_mut() {
+            lender.skip_quiescent(count);
+        }
+        match self.mode {
+            Mode::Master => self.master_ooo.skip_quiescent(from, count),
+            Mode::Filler { start, until: _ } => {
+                if from >= start {
+                    self.filler_mode_cycles += count;
+                    self.master_ino.skip_quiescent(count);
+                }
+                // Before `start` the naive loop steps nothing on the master
+                // core either (and the span never crosses `start`: it is an
+                // event).
+            }
+        }
+        self.now += count;
+    }
+
+    /// Runs until `horizon` cycles have elapsed, fast-forwarding through
+    /// quiescent spans (µs-scale stalls and inter-request idleness with
+    /// every engine drained). Bit-identical to [`DyadSim::run_naive`]:
+    /// skipped cycles perform no RNG draws and retire nothing, and their
+    /// cycle/idle/phase accounting is folded arithmetically.
     pub fn run(&mut self, horizon: u64, rng: &mut SimRng) {
+        // After a failed probe, back off exponentially (up to 32 cycles)
+        // before probing again: probing only *when* to skip never changes
+        // *what* is skipped, so results are unaffected, but busy phases
+        // don't pay the probe on every cycle.
+        let mut backoff: u64 = 0;
+        let mut wait: u64 = 0;
+        while self.now < horizon {
+            self.step(rng);
+            if wait > 0 {
+                wait -= 1;
+                continue;
+            }
+            let target = self.next_event_cycle().map_or(horizon, |e| e.min(horizon));
+            if target > self.now {
+                self.skip_quiescent(target - self.now);
+                backoff = 0;
+            } else {
+                backoff = (backoff * 2).clamp(1, 32);
+                wait = backoff;
+            }
+        }
+    }
+
+    /// Runs until `horizon` cycles have elapsed, stepping every cycle.
+    /// Reference loop for differential tests and the perf benchmark.
+    pub fn run_naive(&mut self, horizon: u64, rng: &mut SimRng) {
         while self.now < horizon {
             self.step(rng);
         }
@@ -502,6 +624,25 @@ impl DyadSim {
             retired_by_ctx,
             master_uarch: crate::metrics::UarchStats::collect(&self.master_mem, ooo),
         }
+    }
+
+    /// Collects the aggregate metrics, draining the request-latency vector
+    /// instead of cloning it. Preferred by experiment harvesters that call
+    /// it once at the end of a run; [`DyadSim::metrics`] stays available
+    /// for mid-run snapshots.
+    #[must_use]
+    pub fn take_metrics(&mut self) -> DyadMetrics {
+        let latencies = std::mem::take(&mut self.master_ooo.stats_mut().request_latencies_cycles);
+        let mut m = self.metrics(); // clones the now-empty vector: free
+        m.request_latencies_cycles = latencies;
+        m
+    }
+
+    /// Completed master request latencies so far, in cycles, by reference
+    /// (no clone).
+    #[must_use]
+    pub fn request_latencies_cycles(&self) -> &[u64] {
+        &self.master_ooo.stats().request_latencies_cycles
     }
 
     /// Read access to the master-core's memory system (tests inspect

@@ -107,11 +107,11 @@ impl std::fmt::Debug for ThreadCtx {
 }
 
 impl ThreadCtx {
-    fn new(stream: Box<dyn InstructionStream>, class: ThreadClass) -> Self {
+    fn new(stream: Box<dyn InstructionStream>, class: ThreadClass, rob_capacity: usize) -> Self {
         Self {
             stream,
             class,
-            rob: VecDeque::new(),
+            rob: VecDeque::with_capacity(rob_capacity),
             base_seq: 0,
             next_seq: 0,
             scoreboard: [None; 32],
@@ -190,6 +190,9 @@ pub struct OooEngine {
     l1_hit: u64,
     stats: EngineStats,
     tracer: Tracer,
+    // Reusable per-cycle scratch (hot path: no per-step allocations).
+    issue_scratch: Vec<(u64, bool, usize, usize)>,
+    fetch_blocked_scratch: Vec<bool>,
 }
 
 impl OooEngine {
@@ -224,6 +227,8 @@ impl OooEngine {
             l1_hit: 3,
             stats: EngineStats::default(),
             tracer: Tracer::disabled(),
+            issue_scratch: Vec::with_capacity(cfg.iq_entries),
+            fetch_blocked_scratch: Vec::new(),
         }
     }
 
@@ -272,7 +277,8 @@ impl OooEngine {
 
     /// Adds a hardware thread running `stream`; returns its thread id.
     pub fn add_thread(&mut self, stream: Box<dyn InstructionStream>, class: ThreadClass) -> usize {
-        self.threads.push(ThreadCtx::new(stream, class));
+        self.threads
+            .push(ThreadCtx::new(stream, class, self.cfg.rob_entries));
         self.threads.len() - 1
     }
 
@@ -342,6 +348,192 @@ impl OooEngine {
             .all(|t| t.done && t.rob.is_empty() && t.pending.is_none())
     }
 
+    /// Earliest cycle `t >= from` at which [`OooEngine::step`] could change
+    /// architectural state: a commit, an issue, a fetch/dispatch (including
+    /// any `stream.next` call, which may draw RNG), or runahead activity.
+    ///
+    /// `Some(from)` means "not quiescent — step every cycle". `Some(t)` with
+    /// `t > from` guarantees that stepping cycles `from..t` would only bump
+    /// the cycle/idle counters (no RNG draws, no retirement), so a caller
+    /// may fold them arithmetically with [`OooEngine::skip_quiescent`] and
+    /// resume stepping at `t`. `None` means no future step can ever act
+    /// (e.g. every thread is done and drained).
+    ///
+    /// The checks mirror [`OooEngine::step`]'s own comparisons exactly:
+    /// commit (`front.complete <= now`), in-window wake-up (`dep_ready`),
+    /// thread fetch eligibility, and the structural dispatch gates.
+    #[must_use]
+    pub fn next_event_cycle(&self, from: u64) -> Option<u64> {
+        if self.threads.is_empty() {
+            return None;
+        }
+        // Runahead pseudo-execution draws RNG from the stream: never skip
+        // while it is active, nor when this cycle's entry check would fire.
+        // (`primary_stalled_on_remote` is frozen over a quiescent span and
+        // its `resume > now + 200` entry gate only weakens as `now` grows,
+        // so "would not enter at `from`" extends to the whole span.)
+        if self.runahead {
+            if self.runahead_until != 0 {
+                return Some(from);
+            }
+            if let Some(resume) = self.primary_stalled_on_remote(from) {
+                if resume > from + 200 {
+                    return Some(from);
+                }
+            }
+        }
+
+        let mut best: Option<u64> = None;
+        let bump = |best: &mut Option<u64>, t: u64| {
+            *best = Some(best.map_or(t, |b| b.min(t)));
+        };
+
+        let window = self.cfg.iq_entries;
+        for t in &self.threads {
+            // Commit: the in-order front retires the moment it completes.
+            if let Some(front) = t.rob.front() {
+                if front.issued && front.complete <= from {
+                    return Some(from);
+                }
+            }
+            let mut scanned = 0usize;
+            for e in &t.rob {
+                if e.issued {
+                    // A future completion wakes dependants and unblocks the
+                    // commit front.
+                    if e.complete > from {
+                        bump(&mut best, e.complete);
+                    }
+                    continue;
+                }
+                // Only the first `window` un-issued entries are scanned by
+                // `issue`; deeper entries cannot act until the window moves
+                // (a commit/issue event).
+                if scanned < window {
+                    scanned += 1;
+                    if t.dep_ready(e.deps[0], from) && t.dep_ready(e.deps[1], from) {
+                        return Some(from); // would issue this cycle
+                    }
+                }
+            }
+        }
+
+        // Fetch: mirror `select_thread` eligibility, then the dispatch gates.
+        let primary_napping = self
+            .threads
+            .first()
+            .is_some_and(|t| t.idle_until > from && t.rob.is_empty() && t.pending.is_none());
+        for (tid, t) in self.threads.iter().enumerate() {
+            if t.done || t.awaiting_branch {
+                continue; // freed only by an issue event, bumped above
+            }
+            if self.elfen && t.class == ThreadClass::Secondary && !primary_napping {
+                continue; // eligibility can only flip at a primary event
+            }
+            let resume = t.fetch_blocked_until.max(t.idle_until);
+            if resume > from {
+                bump(&mut best, resume);
+                continue;
+            }
+            if self.fetch_would_act(tid) {
+                return Some(from);
+            }
+            // Structurally gated: frees only at a commit/issue event, and
+            // those completions are already bumped above.
+        }
+        best
+    }
+
+    /// Whether an eligible thread's fetch/dispatch would do anything this
+    /// cycle: either its pending buffer needs a refill (a `stream.next`
+    /// call — possibly an RNG draw — or a runahead replay pop), or the
+    /// buffered op passes every structural dispatch gate.
+    fn fetch_would_act(&self, tid: usize) -> bool {
+        let rob_cap = self.cfg.rob_entries;
+        let iq_cap = self.cfg.iq_entries;
+        let n_threads = self.threads.len();
+        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        let iq_total: usize = self.threads.iter().map(|t| t.unissued).sum();
+        if rob_total >= rob_cap || iq_total >= iq_cap {
+            return false;
+        }
+        let (rob_lim, iq_lim, lq_lim, sq_lim) = if self.partition.is_some() || n_threads <= 1 {
+            (rob_cap, iq_cap, self.cfg.lq_entries, self.cfg.sq_entries)
+        } else {
+            (
+                rob_cap.div_ceil(n_threads).max(4),
+                iq_cap.div_ceil(n_threads).max(2),
+                self.cfg.lq_entries.div_ceil(n_threads).max(1),
+                self.cfg.sq_entries.div_ceil(n_threads).max(1),
+            )
+        };
+        let t = &self.threads[tid];
+        if t.rob.len() >= rob_lim || t.unissued >= iq_lim {
+            return false;
+        }
+        let Some(op) = t.pending else {
+            return true; // refill: replay pop or stream.next
+        };
+        let (lq_total, sq_total): (usize, usize) = self
+            .threads
+            .iter()
+            .fold((0, 0), |(l, s), t| (l + t.lq_used, s + t.sq_used));
+        if op.op.is_load() && (lq_total >= self.cfg.lq_entries.max(1) || t.lq_used >= lq_lim) {
+            return false;
+        }
+        if op.op.is_store() && (sq_total >= self.cfg.sq_entries.max(1) || t.sq_used >= sq_lim) {
+            return false;
+        }
+        if op.dst.is_some() && self.rename_free == 0 {
+            return false;
+        }
+        if let Some(p) = self.partition {
+            if t.class == ThreadClass::Secondary {
+                let cap = |total: usize| ((total as f64) * p.secondary_share) as usize;
+                let sec = |f: fn(&ThreadCtx) -> usize| -> usize {
+                    self.threads
+                        .iter()
+                        .filter(|t| t.class == ThreadClass::Secondary)
+                        .map(f)
+                        .sum()
+                };
+                if sec(|t| t.rob.len()) >= cap(rob_cap).max(1)
+                    || (op.op.is_load() && sec(|t| t.lq_used) >= cap(self.cfg.lq_entries).max(1))
+                    || (op.op.is_store() && sec(|t| t.sq_used) >= cap(self.cfg.sq_entries).max(1))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Folds `count` provably quiescent cycles starting at `from` into the
+    /// counters, exactly as if [`OooEngine::step`] had been called for each
+    /// of `from..from + count`: total cycles, the all-threads-idle counter
+    /// (clamped at the earliest `idle_until`), and the round-robin pointer.
+    /// Callers must only pass spans vouched for by
+    /// [`OooEngine::next_event_cycle`].
+    pub fn skip_quiescent(&mut self, from: u64, count: u64) {
+        self.stats.cycles += count;
+        let n = self.threads.len() as u64;
+        if n == 0 {
+            return;
+        }
+        // `step` counts an idle cycle when every thread is drained and
+        // napping; over a quiescent span the drained shape is frozen and
+        // only the `idle_until > now` comparison varies with `now`.
+        if self
+            .threads
+            .iter()
+            .all(|t| !t.done && t.rob.is_empty() && t.pending.is_none())
+        {
+            let min_idle = self.threads.iter().map(|t| t.idle_until).min().unwrap_or(0);
+            self.stats.idle_cycles += min_idle.saturating_sub(from).min(count);
+        }
+        self.rr_next = ((self.rr_next as u64 + count % n) % n) as usize;
+    }
+
     /// Advances the engine by one cycle against `mem`.
     pub fn step(&mut self, now: u64, mem: &mut MemSys, rng: &mut SimRng) {
         self.stats.cycles += 1;
@@ -409,8 +601,10 @@ impl OooEngine {
     }
 
     fn issue(&mut self, now: u64, mem: &mut MemSys, rng: &mut SimRng) {
-        // Gather ready, un-issued entries from each thread's window.
-        let mut cands: Vec<(u64, bool, usize, usize)> = Vec::new(); // (order, is_secondary, tid, idx)
+        // Gather ready, un-issued entries from each thread's window into the
+        // engine's reusable scratch buffer: (order, is_secondary, tid, idx).
+        let mut cands = std::mem::take(&mut self.issue_scratch);
+        cands.clear();
         let window = self.cfg.iq_entries;
         for (tid, t) in self.threads.iter().enumerate() {
             let mut scanned = 0;
@@ -436,7 +630,7 @@ impl OooEngine {
 
         let mut slots = self.cfg.width;
         let mut mem_slots = 2usize;
-        for (_, _, tid, idx) in cands {
+        for &(_, _, tid, idx) in &cands {
             if slots == 0 {
                 break;
             }
@@ -510,6 +704,7 @@ impl OooEngine {
                 mem_slots -= 1;
             }
         }
+        self.issue_scratch = cands;
     }
 
     fn fetch_dispatch(&mut self, now: u64, mem: &mut MemSys, rng: &mut SimRng) {
@@ -531,7 +726,9 @@ impl OooEngine {
             )
         };
         let mut slots = self.cfg.width;
-        let mut blocked_this_cycle = vec![false; self.threads.len()];
+        let mut blocked_this_cycle = std::mem::take(&mut self.fetch_blocked_scratch);
+        blocked_this_cycle.clear();
+        blocked_this_cycle.resize(self.threads.len(), false);
 
         while slots > 0 {
             let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
@@ -628,6 +825,7 @@ impl OooEngine {
             slots -= 1;
         }
         self.rr_next = (self.rr_next + 1) % self.threads.len().max(1);
+        self.fetch_blocked_scratch = blocked_this_cycle;
     }
 
     /// One cycle of runahead: if the (single) thread is blocked on a remote

@@ -345,8 +345,7 @@ impl Parser<'_> {
                         .bytes
                         .get(self.pos..self.pos + len)
                         .ok_or_else(|| Error::msg("truncated utf-8 sequence"))?;
-                    let s =
-                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid utf-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid utf-8"))?;
                     out.push_str(s);
                     self.pos += len;
                 }
