@@ -8,8 +8,9 @@
 //! once with [`Stepping::Naive`] (step every cycle) and once with
 //! [`Stepping::FastForward`] (skip provably quiescent spans) — asserts the
 //! two grids are cell-for-cell identical, then times the fault-policy sweep
-//! once. Writes the measurements as JSON (default `BENCH_cycles.json`) so
-//! CI can archive a perf trajectory across commits.
+//! and the cluster balancing sweep once each. Writes the measurements as
+//! JSON (default `BENCH_cycles.json`) so CI can archive a perf trajectory
+//! across commits.
 //!
 //! `--smoke` shrinks horizons for a fast CI pass; `--threads 1` (the
 //! default here) keeps per-mode wall times comparable across machines with
@@ -17,9 +18,11 @@
 //! never-skipped lender-reference calibration and the queueing runs both
 //! modes share, so it under-states the raw cycle-loop gain.
 
+use duplexity::experiments::cluster_sweep::cluster_sweep;
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::{Design, Workload};
+use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
 use duplexity_queueing::des::Mg1Options;
 use serde::Serialize;
@@ -58,12 +61,21 @@ struct FaultSweepBench {
 }
 
 #[derive(Debug, Serialize)]
+struct ClusterSweepBench {
+    points: usize,
+    saturated: usize,
+    wall_s: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     seed: u64,
     threads: usize,
     smoke: bool,
     fig5: Fig5Bench,
     fault_sweep: FaultSweepBench,
+    cluster_sweep: ClusterSweepBench,
 }
 
 fn stall_heavy_opts(seed: u64, threads: usize, horizon: u64, stepping: Stepping) -> Fig5Options {
@@ -172,6 +184,18 @@ fn main() {
     let points = fault_sweep(&sweep_opts);
     let sweep_s = t2.elapsed().as_secs_f64();
 
+    eprintln!("bench: cluster balancing sweep");
+    let fid = if smoke {
+        Fidelity::Bench
+    } else {
+        Fidelity::Quick
+    };
+    let mut cluster_opts = fid.cluster_sweep_options(seed);
+    cluster_opts.threads = threads;
+    let t3 = Instant::now();
+    let cluster_points = cluster_sweep(&cluster_opts);
+    let cluster_s = t3.elapsed().as_secs_f64();
+
     let report = BenchReport {
         seed,
         threads,
@@ -192,6 +216,12 @@ fn main() {
             points: points.len(),
             wall_s: sweep_s,
             points_per_sec: points.len() as f64 / sweep_s.max(1e-12),
+        },
+        cluster_sweep: ClusterSweepBench {
+            points: cluster_points.len(),
+            saturated: cluster_points.iter().filter(|p| p.saturated).count(),
+            wall_s: cluster_s,
+            points_per_sec: cluster_points.len() as f64 / cluster_s.max(1e-12),
         },
     };
 

@@ -3,7 +3,8 @@
 //! ```text
 //! report [--quick] [--seed N] [--threads N] [--json DIR] [--trace FILE]
 //!        [--metrics FILE] [--fig1a] [--fig1b] [--fig1c] [--fig2a] [--fig2b]
-//!        [--table1] [--table2] [--fig5] [--fig6] [--faults] [--all]
+//!        [--table1] [--table2] [--fig5] [--fig6] [--faults] [--cluster]
+//!        [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -20,7 +21,7 @@
 //! Both are deterministic: byte-identical for every `--threads` value, and
 //! the figure output itself is unchanged by tracing.
 
-use duplexity::experiments::{fault_sweep, fig1, fig2, fig5, fig6, tables};
+use duplexity::experiments::{cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, tables};
 use duplexity::report as render;
 use duplexity_bench::Fidelity;
 use std::path::PathBuf;
@@ -91,6 +92,7 @@ fn main() {
         "--fig5",
         "--fig6",
         "--faults",
+        "--cluster",
         "--extensions",
         "--power",
     ];
@@ -183,6 +185,15 @@ fn main() {
         let points = fault_sweep::fault_sweep(&opts);
         println!("{}", render::render_fault_sweep(&points));
         export(json_dir, "fault_sweep", &points);
+    }
+
+    if want("--cluster") {
+        eprintln!("running the cluster balancing sweep...");
+        let mut opts = fidelity.cluster_sweep_options(seed);
+        opts.threads = threads;
+        let points = cluster_sweep::cluster_sweep(&opts);
+        println!("{}", render::render_cluster_sweep(&points));
+        export(json_dir, "cluster_sweep", &points);
     }
 
     if want("--fig5") || want("--fig6") {

@@ -7,8 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use duplexity::experiments::cluster_sweep::ClusterSweepOptions;
 use duplexity::experiments::fault_sweep::FaultSweepOptions;
 use duplexity::experiments::fig5::Fig5Options;
+use duplexity::BalancerPolicy;
 use duplexity_queueing::des::Mg1Options;
 
 /// Fidelity presets for regenerating the figures.
@@ -91,6 +93,39 @@ impl Fidelity {
         opts
     }
 
+    /// The cluster balancing sweep grid at this fidelity (the `--cluster`
+    /// artifact).
+    #[must_use]
+    pub fn cluster_sweep_options(self, seed: u64) -> ClusterSweepOptions {
+        let mut opts = ClusterSweepOptions {
+            seed,
+            calibration_cycles: self.horizon_cycles(),
+            ..ClusterSweepOptions::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.designs = vec![duplexity::Design::Baseline];
+                opts.policies = vec![BalancerPolicy::Random, BalancerPolicy::Jsq];
+                opts.server_counts = vec![4];
+                opts.loads = vec![0.5];
+                opts.queue = Mg1Options {
+                    max_samples: 60_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
     /// SMT-sweep horizon for Figures 1(c) and 2(a).
     #[must_use]
     pub fn sweep_horizon_cycles(self) -> u64 {
@@ -122,5 +157,16 @@ mod tests {
                 < Fidelity::Full.fault_sweep_options(1).queue.max_samples
         );
         assert_eq!(Fidelity::Full.fault_sweep_options(7).seed, 7);
+    }
+
+    #[test]
+    fn cluster_sweep_presets_scale_with_fidelity() {
+        let bench = Fidelity::Bench.cluster_sweep_options(1);
+        assert_eq!(bench.server_counts, vec![4]);
+        assert_eq!(bench.loads, vec![0.5]);
+        assert!(
+            bench.queue.max_samples < Fidelity::Full.cluster_sweep_options(1).queue.max_samples
+        );
+        assert_eq!(Fidelity::Full.cluster_sweep_options(9).seed, 9);
     }
 }

@@ -1,0 +1,370 @@
+//! Cluster-scale tail sweep: many dyads behind one load balancer.
+//!
+//! The paper evaluates single-dyad tails; real deployments run *farms* of
+//! servers behind a balancer, and RackSched-style results (PAPERS.md) show
+//! the balancing policy moves the microsecond tail as much as the
+//! microarchitecture does. This driver lifts the Figure-5(d) methodology to
+//! that setting: one saturated cycle-level calibration per design (exactly
+//! as [`sweep`](crate::experiments::sweep) does), then a multi-server
+//! queueing simulation per (design, policy, cluster size, load) cell via
+//! [`try_simulate_cluster`], with common random numbers so the policy and
+//! design axes are paired comparisons rather than sampling noise.
+//!
+//! Saturated cells — whether caught by the cheap pre-guard or by the DES
+//! pilot's typed [`Unstable`](duplexity_queueing::des::Unstable) verdict —
+//! render as `sat` instead of killing the grid.
+
+use crate::exec::ExecPool;
+use crate::server::ServerSim;
+use duplexity_cpu::designs::Design;
+use duplexity_net::{EventKind, FaultPlan};
+use duplexity_obs::{log_enabled, log_line, Tracer};
+use duplexity_queueing::cluster::{try_simulate_cluster, BalancerPolicy, ClusterOptions};
+use duplexity_queueing::des::Mg1Options;
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Grid and fidelity parameters for the cluster sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterSweepOptions {
+    /// Microservice under test.
+    pub workload: Workload,
+    /// Designs to sweep (must include [`Design::Baseline`], the slowdown
+    /// reference).
+    pub designs: Vec<Design>,
+    /// Balancing policies to compare.
+    pub policies: Vec<BalancerPolicy>,
+    /// Cluster sizes (servers behind the balancer) to evaluate.
+    pub server_counts: Vec<usize>,
+    /// Per-server offered loads to evaluate (fractions of nominal
+    /// capacity; aggregate arrival rate scales with the cluster size).
+    pub loads: Vec<f64>,
+    /// Cycle horizon for the per-design service calibration.
+    pub calibration_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queueing controls (lifted per-cell to [`ClusterOptions`]).
+    pub queue: Mg1Options,
+    /// Fault plan applied to each request's µs-scale stall leg
+    /// ([`FaultPlan::none`] reproduces the fault-free sample path
+    /// byte-for-byte).
+    pub fault: FaultPlan,
+    /// Worker threads for calibrations and grid cells; `0` resolves
+    /// `DUPLEXITY_THREADS` / available parallelism (see [`crate::exec`]).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
+}
+
+impl Default for ClusterSweepOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::McRouter,
+            designs: vec![Design::Baseline, Design::Smt, Design::Duplexity],
+            policies: vec![
+                BalancerPolicy::Random,
+                BalancerPolicy::RoundRobin,
+                BalancerPolicy::PowerOfD(2),
+                BalancerPolicy::Jsq,
+            ],
+            server_counts: vec![4, 16],
+            loads: vec![0.3, 0.5, 0.7],
+            calibration_cycles: 2_000_000,
+            seed: 42,
+            queue: Mg1Options {
+                max_samples: 300_000,
+                ..Mg1Options::default()
+            },
+            fault: FaultPlan::none(),
+            threads: 0,
+        }
+    }
+}
+
+/// One (design, policy, cluster size, load) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSweepPoint {
+    /// Design.
+    pub design: Design,
+    /// Balancing policy name (e.g. `jsq`, `power_of_2`).
+    pub policy: String,
+    /// Servers behind the balancer.
+    pub servers: usize,
+    /// Per-server offered load fraction.
+    pub load: f64,
+    /// 99th-percentile sojourn, µs (`inf` once the cell saturates).
+    pub p99_us: f64,
+    /// Median sojourn, µs.
+    pub p50_us: f64,
+    /// Mean sojourn, µs.
+    pub mean_us: f64,
+    /// Mean queueing delay, µs.
+    pub mean_wait_us: f64,
+    /// Mean per-server busy fraction.
+    pub utilization: f64,
+    /// Measured requests.
+    pub samples: usize,
+    /// Whether the CI stopping rule was met before the sample cap.
+    pub converged: bool,
+    /// Whether this cell saturated (pre-guard or DES pilot verdict).
+    pub saturated: bool,
+}
+
+fn saturated_point(
+    design: Design,
+    policy: BalancerPolicy,
+    servers: usize,
+    load: f64,
+) -> ClusterSweepPoint {
+    ClusterSweepPoint {
+        design,
+        policy: policy.to_string(),
+        servers,
+        load,
+        p99_us: f64::INFINITY,
+        p50_us: f64::INFINITY,
+        mean_us: f64::INFINITY,
+        mean_wait_us: f64::INFINITY,
+        utilization: 1.0,
+        samples: 0,
+        converged: false,
+        saturated: true,
+    }
+}
+
+/// Runs the cluster sweep: one saturated calibration per design, then a
+/// multi-server queueing simulation per (design, policy, cluster size,
+/// load) cell.
+///
+/// Every cell derives its queueing RNG from `(seed, load, servers)` only —
+/// common random numbers across designs *and* policies — so for a given
+/// (load, cluster size) all policies see the same marked point process and
+/// the per-policy tail columns are paired comparisons. The grid is
+/// bit-identical under [`ExecPool`] at any worker count.
+///
+/// # Panics
+///
+/// Panics if the options contain no loads, designs, policies, or server
+/// counts, contain a zero server count, or omit [`Design::Baseline`] (the
+/// slowdown reference).
+#[must_use]
+pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
+    assert!(
+        !opts.loads.is_empty()
+            && !opts.designs.is_empty()
+            && !opts.policies.is_empty()
+            && !opts.server_counts.is_empty(),
+        "empty cluster sweep"
+    );
+    assert!(
+        opts.designs.contains(&Design::Baseline),
+        "baseline required as the slowdown reference"
+    );
+    assert!(
+        opts.server_counts.iter().all(|&n| n >= 1),
+        "cluster sizes must be >= 1"
+    );
+    let model = opts.workload.service_model();
+    let nominal = opts.workload.nominal_service_us();
+    let stall = model.mean_stall_us();
+
+    let pool = ExecPool::new(opts.threads);
+
+    // Same calibration as the latency-load sweep: one saturated cycle sim
+    // per design, slowdown = compute inflation vs the baseline dyad.
+    let saturated_service = |design: Design| -> Option<f64> {
+        let m = ServerSim::new(design, opts.workload)
+            .saturated()
+            .horizon_cycles(opts.calibration_cycles)
+            .seed(derive_stream(opts.seed, 0x53E9))
+            .run();
+        if m.request_latencies_us.len() < 10 {
+            return None;
+        }
+        Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
+    };
+    let services = pool.run("cluster_sweep/calibrate", opts.designs.len(), |i| {
+        saturated_service(opts.designs[i])
+    });
+    let base_service = opts
+        .designs
+        .iter()
+        .position(|&d| d == Design::Baseline)
+        .and_then(|i| services[i]);
+    let slowdowns: Vec<f64> = services
+        .iter()
+        .map(|mine| match (base_service, *mine) {
+            (Some(b), Some(m)) => {
+                let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
+                (mc / bc).clamp(1.0, 6.0)
+            }
+            _ => 1.0,
+        })
+        .collect();
+
+    // Grid in (design, policy, servers, load) lexicographic order; each
+    // cell is independent so the pool slots are index-addressed.
+    let grid: Vec<(usize, usize, usize, f64)> = (0..opts.designs.len())
+        .flat_map(|di| {
+            let policies = &opts.policies;
+            let counts = &opts.server_counts;
+            let loads = &opts.loads;
+            (0..policies.len()).flat_map(move |pi| {
+                counts
+                    .iter()
+                    .flat_map(move |&n| loads.iter().map(move |&l| (di, pi, n, l)))
+            })
+        })
+        .collect();
+
+    let points = pool.run("cluster_sweep/points", grid.len(), |i| {
+        let (di, pi, servers, load) = grid[i];
+        let design = opts.designs[di];
+        let policy = opts.policies[pi];
+        let slowdown = slowdowns[di];
+        // Aggregate arrivals scale with the farm: each server is offered
+        // `load` of its nominal capacity.
+        let lambda = servers as f64 * load / nominal;
+        let scaled_mean =
+            model.mean_compute_us() * slowdown + opts.fault.effective_mean_bound_us(stall);
+        if load / nominal * scaled_mean >= 0.95 {
+            return saturated_point(design, policy, servers, load);
+        }
+        let scaled = model.scale_compute(slowdown);
+        let fault = opts.fault;
+        let mut service = |rng: &mut SimRng| {
+            // Split sampling keeps the identity plan's RNG stream identical
+            // to the historical `sample_parts` path (golden contract).
+            let c = scaled.sample_compute(rng);
+            if fault.is_none() {
+                c + scaled.sample_stall(rng)
+            } else {
+                c + fault
+                    .sample_event(EventKind::RemoteMemory, rng, |r| scaled.sample_stall(r))
+                    .latency_us
+            }
+        };
+        let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
+        // Common random numbers across designs and policies at a given
+        // (load, cluster size): the marked point process is shared, and
+        // each policy's private balancer stream is derived inside the
+        // simulator.
+        copts.seed = derive_stream(
+            opts.seed,
+            0xC105 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+        );
+        let mut balancer = policy.build();
+        // The pre-guard above is a cheap bound; the DES pilot is the
+        // authoritative stability check, and its typed Unstable verdict
+        // marks the cell saturated instead of killing the sweep.
+        match try_simulate_cluster(
+            lambda,
+            &mut service,
+            balancer.as_mut(),
+            &copts,
+            &Tracer::disabled(),
+        ) {
+            Ok(r) => ClusterSweepPoint {
+                design,
+                policy: policy.to_string(),
+                servers,
+                load,
+                p99_us: r.tail_us,
+                p50_us: r.p50_us,
+                mean_us: r.mean_sojourn_us,
+                mean_wait_us: r.mean_wait_us,
+                utilization: r.utilization,
+                samples: r.samples,
+                converged: r.converged,
+                saturated: false,
+            },
+            Err(_) => saturated_point(design, policy, servers, load),
+        }
+    });
+    if log_enabled() {
+        let saturated = points.iter().filter(|p| p.saturated).count();
+        log_line(&format!(
+            "cluster_sweep: {} points ({} designs × {} policies × {} sizes × {} loads) on {}, {} saturated",
+            points.len(),
+            opts.designs.len(),
+            opts.policies.len(),
+            opts.server_counts.len(),
+            opts.loads.len(),
+            opts.workload,
+            saturated,
+        ));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ClusterSweepOptions {
+        ClusterSweepOptions {
+            designs: vec![Design::Baseline, Design::Duplexity],
+            policies: vec![BalancerPolicy::Random, BalancerPolicy::Jsq],
+            server_counts: vec![4],
+            loads: vec![0.4, 0.7],
+            calibration_cycles: 800_000,
+            queue: Mg1Options {
+                max_samples: 80_000,
+                warmup: 1_000,
+                ..Mg1Options::default()
+            },
+            ..ClusterSweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn jsq_beats_random_at_every_cell() {
+        let points = cluster_sweep(&quick_opts());
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(!p.saturated, "unexpected saturation at {p:?}");
+        }
+        for design in [Design::Baseline, Design::Duplexity] {
+            for load in [0.4, 0.7] {
+                let at = |name: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.design == design && p.policy == name && p.load == load)
+                        .unwrap()
+                        .p99_us
+                };
+                assert!(
+                    at("jsq") <= at("random"),
+                    "{design} @{load}: jsq {} vs random {}",
+                    at("jsq"),
+                    at("random")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_cells_render_instead_of_panicking() {
+        let mut opts = quick_opts();
+        opts.designs = vec![Design::Baseline];
+        opts.policies = vec![BalancerPolicy::Jsq];
+        opts.loads = vec![0.5, 0.99];
+        let points = cluster_sweep(&opts);
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].saturated);
+        assert!(points[1].saturated, "load 0.99 must report saturation");
+        assert!(points[1].p99_us.is_infinite());
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let opts = quick_opts();
+        let points = cluster_sweep(&opts);
+        for p in points.iter().filter(|p| !p.saturated) {
+            assert!(
+                p.utilization > p.load * 0.6 && p.utilization < (p.load * 1.6).min(1.0),
+                "{p:?}"
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@
 use crate::exec::ExecPool;
 use duplexity_net::{FaultPlan, RetryPolicy};
 use duplexity_obs::{log_enabled, log_line};
-use duplexity_queueing::des::{simulate_mg1_faulted, Mg1Options};
+use duplexity_queueing::des::{try_simulate_mg1_faulted, Mg1Options};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -183,7 +183,24 @@ pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
         let mut qopts = opts.queue;
         // Common random numbers across policies at a given load.
         qopts.seed = derive_stream(opts.seed, 0xFA17 ^ (load * 1000.0) as u64);
-        let (r, tally) = simulate_mg1_faulted(lambda, &mut compute, &leg, &policy.plan, &qopts);
+        // The pre-guard above is a cheap bound; the pilot inside the DES is
+        // the authoritative stability check, and its typed Unstable verdict
+        // marks the cell saturated instead of killing the sweep.
+        let Ok((r, tally)) =
+            try_simulate_mg1_faulted(lambda, &mut compute, &leg, &policy.plan, &qopts)
+        else {
+            return FaultSweepPoint {
+                policy: policy.name.clone(),
+                load,
+                p50_us: f64::INFINITY,
+                p99_us: f64::INFINITY,
+                mean_us: f64::INFINITY,
+                mean_attempts: 0.0,
+                drop_rate: 0.0,
+                fail_rate: 0.0,
+                saturated: true,
+            };
+        };
         let (mean_attempts, drop_rate, fail_rate) = if tally.events == 0 {
             (1.0, 0.0, 0.0)
         } else {

@@ -26,7 +26,7 @@ use duplexity_cpu::pool::{ContextPool, VirtualContext};
 use duplexity_net::{EventKind, FaultPlan};
 use duplexity_obs::{log_enabled, log_line, Registry, TraceLog, Tracer};
 use duplexity_power::{chip_area_mm2, core_kind_for, power_w, CoreKind, LLC_MM2_PER_MB};
-use duplexity_queueing::des::{simulate_mg1_traced, Mg1Options};
+use duplexity_queueing::des::{try_simulate_mg1_traced, Mg1Options};
 use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
 use duplexity_uarch::config::LatencyModel;
 use duplexity_workloads::graph::FillerFactory;
@@ -560,8 +560,13 @@ fn tail_latency(
         opts.seed,
         0x5D00 ^ ((cell.load * 1000.0) as u64) ^ ((nominal * 16.0) as u64) << 16,
     );
-    let r = simulate_mg1_traced(lambda, &mut service, &qopts, tracer);
-    (r.tail_us, false)
+    // The pre-guard above is a cheap bound; the DES pilot is the
+    // authoritative stability check, and its typed Unstable verdict marks
+    // the cell saturated instead of killing the whole figure.
+    match try_simulate_mg1_traced(lambda, &mut service, &qopts, tracer) {
+        Ok(r) => (r.tail_us, false),
+        Err(_) => (f64::INFINITY, true),
+    }
 }
 
 #[cfg(test)]

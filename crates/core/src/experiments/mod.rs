@@ -1,5 +1,6 @@
 //! One driver per table and figure of the paper's evaluation.
 
+pub mod cluster_sweep;
 pub mod fault_sweep;
 pub mod fig1;
 pub mod fig2;

@@ -12,7 +12,7 @@ use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
 use duplexity_net::{EventKind, FaultPlan};
 use duplexity_obs::{log_enabled, log_line};
-use duplexity_queueing::des::{simulate_mg1, Mg1Options};
+use duplexity_queueing::des::{try_simulate_mg1, Mg1Options};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -167,13 +167,24 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
         };
         let mut qopts = opts.queue;
         qopts.seed = derive_stream(opts.seed, 0x53EA ^ (load * 1000.0) as u64);
-        let r = simulate_mg1(lambda, &mut service, &qopts);
-        SweepPoint {
-            design,
-            load,
-            p99_us: r.tail_us,
-            mean_us: r.mean_sojourn_us,
-            saturated: false,
+        // The pre-guard above is a cheap bound; the DES pilot is the
+        // authoritative stability check, and its typed Unstable verdict
+        // marks the point saturated instead of killing the sweep.
+        match try_simulate_mg1(lambda, &mut service, &qopts) {
+            Ok(r) => SweepPoint {
+                design,
+                load,
+                p99_us: r.tail_us,
+                mean_us: r.mean_sojourn_us,
+                saturated: false,
+            },
+            Err(_) => SweepPoint {
+                design,
+                load,
+                p99_us: f64::INFINITY,
+                mean_us: f64::INFINITY,
+                saturated: true,
+            },
         }
     });
     if log_enabled() {

@@ -48,6 +48,7 @@
 //! | Fig. 5(a)–(f) | [`experiments::fig5::run_fig5`] |
 //! | Fig. 6 NIC utilization | [`experiments::fig6::fig6`] |
 //! | Fault-policy tail sweep (extension) | [`experiments::fault_sweep::fault_sweep`] |
+//! | Cluster balancing sweep (extension) | [`experiments::cluster_sweep::cluster_sweep`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,8 +66,10 @@ pub use duplexity_net::{Event, EventKind, EventSource, FaultPlan, LatencyDist, R
 pub use duplexity_obs::{
     chrome_trace_json, PoolReport, Registry, TraceEvent, TraceLog, Tracer, WorkerLoad,
 };
+pub use duplexity_queueing::cluster::BalancerPolicy;
 pub use duplexity_workloads::Workload;
 pub use exec::ExecPool;
+pub use experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions, ClusterSweepPoint};
 pub use experiments::fault_sweep::{
     default_policies, fault_sweep, FaultPolicy, FaultSweepOptions, FaultSweepPoint,
 };

@@ -1,6 +1,7 @@
 //! Plain-text rendering of experiment results, in the same rows/series the
 //! paper's figures report.
 
+use crate::experiments::cluster_sweep::ClusterSweepPoint;
 use crate::experiments::fault_sweep::FaultSweepPoint;
 use crate::experiments::fig1::{Fig1bSeries, Fig1cPoint, FlannVariant};
 use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
@@ -247,6 +248,67 @@ pub fn render_fault_sweep(points: &[FaultSweepPoint]) -> String {
     out
 }
 
+/// Renders the cluster balancing sweep: one design × cluster-size block,
+/// one row per policy, per-load p99 columns plus the mean per-server
+/// utilization at the highest stable load.
+#[must_use]
+pub fn render_cluster_sweep(points: &[ClusterSweepPoint]) -> String {
+    let mut out =
+        String::from("Cluster sweep: p99 sojourn (µs) per policy, design, and farm size\n");
+    let mut loads: Vec<f64> = Vec::new();
+    for p in points {
+        if !loads.contains(&p.load) {
+            loads.push(p.load);
+        }
+    }
+    let mut blocks: Vec<(Design, usize)> = Vec::new();
+    for p in points {
+        if !blocks.contains(&(p.design, p.servers)) {
+            blocks.push((p.design, p.servers));
+        }
+    }
+    for (design, servers) in blocks {
+        let _ = writeln!(out, "\n{} × {servers} servers", design.name());
+        let _ = write!(out, "{:<14}", "policy");
+        for l in &loads {
+            let _ = write!(out, " {:>9}", format!("p99@{:.0}%", l * 100.0));
+        }
+        let _ = writeln!(out, " {:>9}", "util");
+        let mut names: Vec<&str> = Vec::new();
+        for p in points
+            .iter()
+            .filter(|p| p.design == design && p.servers == servers)
+        {
+            if !names.contains(&p.policy.as_str()) {
+                names.push(&p.policy);
+            }
+        }
+        for name in names {
+            let rows: Vec<&ClusterSweepPoint> = points
+                .iter()
+                .filter(|p| p.design == design && p.servers == servers && p.policy == name)
+                .collect();
+            let _ = write!(out, "{name:<14}");
+            for l in &loads {
+                let v = rows
+                    .iter()
+                    .find(|p| p.load == *l)
+                    .map_or(f64::NAN, |p| p.p99_us);
+                let _ = write!(out, " {:>9}", norm(v));
+            }
+            match rows.iter().rev().find(|p| !p.saturated) {
+                Some(p) => {
+                    let _ = writeln!(out, " {:>9.3}", p.utilization);
+                }
+                None => {
+                    let _ = writeln!(out, " {:>9}", "sat");
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Renders Figure 6.
 #[must_use]
 pub fn render_fig6(cells: &[Fig6Cell]) -> String {
@@ -321,6 +383,43 @@ mod tests {
         assert!(s.lines().any(|l| l.starts_with("none")), "{s}");
         assert!(s.lines().any(|l| l.starts_with("drop-retry")), "{s}");
         assert!(s.contains("1.050"), "{s}");
+    }
+
+    #[test]
+    fn cluster_sweep_rendering_groups_by_design_and_size() {
+        let mk = |policy: &str, load: f64, p99: f64, saturated: bool| ClusterSweepPoint {
+            design: Design::Baseline,
+            policy: policy.to_string(),
+            servers: 4,
+            load,
+            p99_us: p99,
+            p50_us: p99 / 4.0,
+            mean_us: p99 / 3.0,
+            mean_wait_us: p99 / 8.0,
+            utilization: if saturated { 1.0 } else { load },
+            samples: if saturated { 0 } else { 1000 },
+            converged: !saturated,
+            saturated,
+        };
+        let points = vec![
+            mk("random", 0.3, 40.0, false),
+            mk("random", 0.9, f64::INFINITY, true),
+            mk("jsq", 0.3, 25.0, false),
+            mk("jsq", 0.9, 60.0, false),
+        ];
+        let s = render_cluster_sweep(&points);
+        assert!(s.contains("Baseline × 4 servers"), "{s}");
+        assert!(s.contains("p99@30%") && s.contains("p99@90%"), "{s}");
+        assert!(
+            s.lines()
+                .any(|l| l.starts_with("random") && l.contains("sat")),
+            "{s}"
+        );
+        assert!(
+            s.lines()
+                .any(|l| l.starts_with("jsq") && l.contains("60.000")),
+            "{s}"
+        );
     }
 
     #[test]

@@ -31,8 +31,39 @@
 use crate::event::{Event, EventKind};
 use crate::latency::LatencyDist;
 use duplexity_obs::{RemoteKind, TraceEvent, Tracer};
-use duplexity_stats::rng::SimRng;
+use duplexity_stats::rng::{rng_from_seed, SimRng};
 use rand::RngExt;
+
+/// Why [`FaultPlan::effective_moments`] has no closed form for a plan.
+///
+/// The duplicate-and-race winning-leg law is only tractable when the min of
+/// two i.i.d. legs stays in the same family — true for exponentials, false
+/// in general. Plans outside that regime get a typed error (and can fall
+/// back to [`FaultPlan::effective_moments_mc`]) instead of a panic, so one
+/// exotic preset cannot abort a whole sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MomentsError {
+    /// Duplicate-and-race with a non-exponential leg law.
+    NonExponentialDuplicate(LatencyDist),
+    /// Duplicate-and-race combined with the slow-replica mode.
+    SlowDuplicate,
+}
+
+impl std::fmt::Display for MomentsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MomentsError::NonExponentialDuplicate(leg) => write!(
+                f,
+                "closed-form duplicate moments require exponential legs, got {leg:?}"
+            ),
+            MomentsError::SlowDuplicate => {
+                f.write_str("closed-form duplicate moments do not support slow replicas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MomentsError {}
 
 /// Maps a net [`EventKind`] onto the observability layer's [`RemoteKind`].
 #[must_use]
@@ -301,26 +332,24 @@ impl FaultPlan {
     /// `max_attempts` failures the abandoned event charges the elapsed
     /// time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for plans whose winning-leg law has no closed form here:
-    /// duplicate-and-race requires exponential legs and no slow-replica
-    /// mode (the min of two i.i.d. exponentials stays exponential; the min
-    /// of arbitrary laws does not).
-    #[must_use]
-    pub fn effective_moments(&self, leg: &LatencyDist) -> (f64, f64) {
+    /// Returns a [`MomentsError`] for plans whose winning-leg law has no
+    /// closed form here: duplicate-and-race requires exponential legs and
+    /// no slow-replica mode (the min of two i.i.d. exponentials stays
+    /// exponential; the min of arbitrary laws does not). Callers that just
+    /// need numbers can fall back to
+    /// [`FaultPlan::effective_moments_or_mc`].
+    pub fn effective_moments(&self, leg: &LatencyDist) -> Result<(f64, f64), MomentsError> {
         // Per-successful-attempt winning-leg moments m1, m2 and per-attempt
         // failure probability r.
         let (r, m1, m2) = if self.duplicate {
-            assert!(
-                self.slow_prob == 0.0,
-                "closed-form duplicate moments do not support slow replicas"
-            );
+            if self.slow_prob > 0.0 {
+                return Err(MomentsError::SlowDuplicate);
+            }
             let m = match leg {
                 LatencyDist::Exponential { mean_us } => *mean_us,
-                other => {
-                    panic!("closed-form duplicate moments require exponential legs, got {other:?}")
-                }
+                other => return Err(MomentsError::NonExponentialDuplicate(other.clone())),
             };
             let p = self.drop_prob;
             let both = (1.0 - p) * (1.0 - p);
@@ -347,9 +376,42 @@ impl FaultPlan {
         };
         let (et, et2) = self.attempt_moments(r, m1, m2);
         if et <= 0.0 {
+            return Ok((0.0, 0.0));
+        }
+        Ok((et, ((et2 - et * et) / (et * et)).max(0.0)))
+    }
+
+    /// Seeded Monte-Carlo estimate of the effective event mean and SCV:
+    /// `samples` events through [`FaultPlan::sample_event`] on a private
+    /// RNG derived from `seed`. Works for *every* plan/leg combination,
+    /// deterministically — the fallback when [`FaultPlan::effective_moments`]
+    /// has no closed form.
+    #[must_use]
+    pub fn effective_moments_mc(&self, leg: &LatencyDist, seed: u64, samples: u32) -> (f64, f64) {
+        let n = samples.max(1);
+        let mut rng = rng_from_seed(seed);
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for _ in 0..n {
+            let ev = self.sample_event(EventKind::RemoteMemory, &mut rng, |r| leg.sample(r));
+            sum += ev.latency_us;
+            sum2 += ev.latency_us * ev.latency_us;
+        }
+        let mean = sum / f64::from(n);
+        if mean <= 0.0 {
             return (0.0, 0.0);
         }
-        ((et), ((et2 - et * et) / (et * et)).max(0.0))
+        let var = (sum2 / f64::from(n) - mean * mean).max(0.0);
+        (mean, var / (mean * mean))
+    }
+
+    /// The closed form when it exists, otherwise the seeded Monte-Carlo
+    /// fallback (2²⁰ samples) — never panics, so sweep grids can mix
+    /// exotic duplicate presets with tractable ones.
+    #[must_use]
+    pub fn effective_moments_or_mc(&self, leg: &LatencyDist, seed: u64) -> (f64, f64) {
+        self.effective_moments(leg)
+            .unwrap_or_else(|_| self.effective_moments_mc(leg, seed, 1 << 20))
     }
 
     /// Conservative upper bound on the effective mean latency for legs with
@@ -483,7 +545,7 @@ mod tests {
             .with_retry(RetryPolicy::new(4, 5.0, 1.0, 8.0))
             .with_slow_replica(0.1, 4.0);
         let leg = LatencyDist::Exponential { mean_us: 2.0 };
-        let (mean, scv) = plan.effective_moments(&leg);
+        let (mean, scv) = plan.effective_moments(&leg).unwrap();
         let mut rng = rng_from_seed(6);
         let n = 400_000;
         let mut sum = 0.0;
@@ -513,7 +575,7 @@ mod tests {
             .with_duplicate()
             .with_retry(RetryPolicy::new(3, 4.0, 0.5, 4.0));
         let leg = LatencyDist::Exponential { mean_us: 3.0 };
-        let (mean, _) = plan.effective_moments(&leg);
+        let (mean, _) = plan.effective_moments(&leg).unwrap();
         let mut rng = rng_from_seed(7);
         let n = 400_000;
         let sum: f64 = (0..n)
@@ -541,7 +603,7 @@ mod tests {
             FaultPlan::none().with_drop(0.2).with_duplicate(),
         ] {
             let bound = plan.effective_mean_bound_us(leg.mean_us());
-            let (mean, _) = plan.effective_moments(&leg);
+            let (mean, _) = plan.effective_moments(&leg).unwrap();
             assert!(
                 bound >= mean - 1e-12,
                 "{plan:?}: bound {bound} < mean {mean}"
@@ -552,10 +614,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "require exponential legs")]
-    fn duplicate_moments_reject_non_exponential_legs() {
-        let _ = FaultPlan::none()
+    fn duplicate_moments_reject_non_exponential_legs_as_typed_errors() {
+        // Non-exponential duplicate legs: typed error, not a panic.
+        let err = FaultPlan::none()
             .with_duplicate()
-            .effective_moments(&LatencyDist::rpc_leaf());
+            .effective_moments(&LatencyDist::rpc_leaf())
+            .unwrap_err();
+        assert!(matches!(err, MomentsError::NonExponentialDuplicate(_)));
+        assert!(err.to_string().contains("require exponential legs"));
+        // Duplicate + slow replicas: the other intractable combination.
+        let err = FaultPlan::none()
+            .with_duplicate()
+            .with_slow_replica(0.1, 4.0)
+            .effective_moments(&LatencyDist::Exponential { mean_us: 1.0 })
+            .unwrap_err();
+        assert_eq!(err, MomentsError::SlowDuplicate);
+    }
+
+    #[test]
+    fn mc_fallback_matches_closed_form_where_both_exist() {
+        let plan = FaultPlan::none()
+            .with_drop(0.2)
+            .with_retry(RetryPolicy::new(4, 5.0, 1.0, 8.0));
+        let leg = LatencyDist::Exponential { mean_us: 2.0 };
+        let (mean, scv) = plan.effective_moments(&leg).unwrap();
+        let (mc_mean, mc_scv) = plan.effective_moments_mc(&leg, 0xFA11, 1 << 18);
+        assert!(
+            (mc_mean - mean).abs() / mean < 0.03,
+            "mc {mc_mean} vs closed {mean}"
+        );
+        assert!(
+            (mc_scv - scv).abs() / scv < 0.08,
+            "mc {mc_scv} vs closed {scv}"
+        );
+        // Determinism: same seed, same estimate.
+        assert_eq!(
+            plan.effective_moments_mc(&leg, 0xFA11, 1 << 18),
+            (mc_mean, mc_scv)
+        );
+    }
+
+    #[test]
+    fn or_mc_never_panics_on_exotic_duplicate_plans() {
+        // The exact case that used to abort a sweep: duplicate-and-race
+        // over a non-exponential leg law.
+        let plan = FaultPlan::none()
+            .with_drop(0.1)
+            .with_duplicate()
+            .with_retry(RetryPolicy::new(3, 6.0, 1.0, 8.0));
+        let leg = LatencyDist::rpc_leaf();
+        let (mean, scv) = plan.effective_moments_or_mc(&leg, 0xFA12);
+        assert!(mean > 0.0 && mean.is_finite());
+        assert!(scv >= 0.0 && scv.is_finite());
+        // Duplication can only shorten the winning leg, and retries only
+        // add time, so the mean stays below the retry-free single-leg mean
+        // plus the worst-case retry charge.
+        assert!(mean <= plan.effective_mean_bound_us(leg.mean_us()) + 1e-9);
+        // Closed-form plans route through the exact path (no MC noise).
+        let exact_plan = FaultPlan::none().with_drop(0.2);
+        let exact_leg = LatencyDist::Exponential { mean_us: 2.0 };
+        assert_eq!(
+            exact_plan.effective_moments_or_mc(&exact_leg, 1),
+            exact_plan.effective_moments(&exact_leg).unwrap()
+        );
     }
 }

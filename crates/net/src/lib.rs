@@ -37,7 +37,7 @@ pub mod nic;
 pub mod source;
 
 pub use event::{Event, EventKind};
-pub use fault::{obs_kind, trace_fault_events, FaultPlan, RetryPolicy};
+pub use fault::{obs_kind, trace_fault_events, FaultPlan, MomentsError, RetryPolicy};
 pub use latency::LatencyDist;
 pub use nic::{ops_per_second, NicModel};
 pub use source::{EventSource, SourceStats};

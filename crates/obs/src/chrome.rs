@@ -23,6 +23,7 @@ const TID_STALL_FILLER: u64 = 3;
 const TID_STALL_LENDER: u64 = 4;
 const TID_FAULTS: u64 = 5;
 const TID_REQUESTS: u64 = 6;
+const TID_DISPATCH: u64 = 7;
 /// Borrow rows start here (one per virtual-context id, modulo 32).
 const TID_BORROW_BASE: u64 = 16;
 
@@ -163,6 +164,18 @@ pub fn chrome_trace_json(cells: &[(String, TraceLog)]) -> String {
                 TraceEvent::RequestArrive { at } => {
                     w.instant("request_arrive", TID_REQUESTS, at, "");
                 }
+                TraceEvent::Dispatch {
+                    at,
+                    server,
+                    queue_len,
+                } => {
+                    w.instant(
+                        "dispatch",
+                        TID_DISPATCH,
+                        at,
+                        &format!("\"server\":{server},\"queue_len\":{queue_len}"),
+                    );
+                }
                 TraceEvent::RequestComplete { at, latency } => {
                     let lat_us = json_f64(latency as f64 / log.ticks_per_us.max(f64::MIN_POSITIVE));
                     w.instant(
@@ -214,6 +227,56 @@ pub fn chrome_trace_json(cells: &[(String, TraceLog)]) -> String {
     out
 }
 
+/// Why a Chrome trace payload failed validation in [`parse_trace_events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The payload is not valid JSON at all.
+    InvalidJson(String),
+    /// The top level is valid JSON but not an object.
+    NotAnObject,
+    /// The top-level object has no `traceEvents` field.
+    MissingTraceEvents,
+    /// `traceEvents` exists but is not an array.
+    TraceEventsNotArray,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::InvalidJson(e) => write!(f, "malformed trace JSON: {e}"),
+            TraceParseError::NotAnObject => f.write_str("trace document is not a JSON object"),
+            TraceParseError::MissingTraceEvents => {
+                f.write_str("trace document has no `traceEvents` field")
+            }
+            TraceParseError::TraceEventsNotArray => f.write_str("`traceEvents` is not an array"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a Chrome `trace_event` document and extracts the `traceEvents`
+/// array, reporting malformed payloads as a typed [`TraceParseError`]
+/// instead of panicking — external trace files (or truncated exports)
+/// must not abort the tooling that inspects them.
+///
+/// # Errors
+///
+/// [`TraceParseError::InvalidJson`] on a syntax error, `NotAnObject` /
+/// `MissingTraceEvents` / `TraceEventsNotArray` on shape mismatches.
+pub fn parse_trace_events(json: &str) -> Result<Vec<serde_json::Value>, TraceParseError> {
+    let v =
+        serde_json::parse_value(json).map_err(|e| TraceParseError::InvalidJson(e.to_string()))?;
+    if !matches!(v, serde_json::Value::Object(_)) {
+        return Err(TraceParseError::NotAnObject);
+    }
+    match v.get_field("traceEvents") {
+        None => Err(TraceParseError::MissingTraceEvents),
+        Some(serde_json::Value::Array(items)) => Ok(items.clone()),
+        Some(_) => Err(TraceParseError::TraceEventsNotArray),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,17 +321,60 @@ mod tests {
     #[test]
     fn export_parses_and_contains_the_morph_window() {
         let json = chrome_trace_json(&[("dyad0".to_string(), sample_log())]);
-        let v = serde_json::parse_value(&json).expect("valid JSON");
-        let evs = v.get_field("traceEvents").expect("traceEvents");
-        let serde_json::Value::Array(items) = evs else {
-            panic!("traceEvents must be an array")
-        };
+        let items = parse_trace_events(&json).expect("well-formed export");
         assert!(items.len() >= 6, "got {}", items.len());
         assert!(json.contains("\"name\":\"morph\""));
         assert!(json.contains("\"cause\":\"stall\""));
         assert!(json.contains("borrow:ctx2"));
         assert!(json.contains("fault_retry"));
         assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_not_panics() {
+        // Truncated JSON (a cut-off export is the common real-world case).
+        assert!(matches!(
+            parse_trace_events("{\"traceEvents\":[{\"name\":"),
+            Err(TraceParseError::InvalidJson(_))
+        ));
+        // Valid JSON, wrong top-level shape.
+        assert_eq!(
+            parse_trace_events("[1,2,3]"),
+            Err(TraceParseError::NotAnObject)
+        );
+        // An object without the required field.
+        assert_eq!(
+            parse_trace_events("{\"displayTimeUnit\":\"ms\"}"),
+            Err(TraceParseError::MissingTraceEvents)
+        );
+        // The field present but not an array.
+        assert_eq!(
+            parse_trace_events("{\"traceEvents\":42}"),
+            Err(TraceParseError::TraceEventsNotArray)
+        );
+        // And every error renders a human-readable message.
+        let msg = parse_trace_events("not json").unwrap_err().to_string();
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn dispatch_events_render_on_their_own_row() {
+        let t = Tracer::enabled(8, 1000.0);
+        t.emit(|| TraceEvent::RequestArrive { at: 1000 });
+        t.emit(|| TraceEvent::Dispatch {
+            at: 1000,
+            server: 3,
+            queue_len: 2,
+        });
+        t.emit(|| TraceEvent::RequestComplete {
+            at: 5000,
+            latency: 4000,
+        });
+        let json = chrome_trace_json(&[("farm".to_string(), t.take())]);
+        assert!(parse_trace_events(&json).is_ok(), "{json}");
+        assert!(json.contains("\"name\":\"dispatch\""));
+        assert!(json.contains("\"server\":3,\"queue_len\":2"));
+        assert!(json.contains(&format!("\"tid\":{TID_DISPATCH},")));
     }
 
     #[test]

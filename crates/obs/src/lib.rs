@@ -44,7 +44,7 @@ pub mod poolobs;
 pub mod registry;
 pub mod trace;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, parse_trace_events, TraceParseError};
 pub use logx::{log_enabled, log_line};
 pub use poolobs::{PoolReport, WorkerLoad};
 pub use registry::{Observation, Registry};

@@ -177,6 +177,15 @@ pub enum TraceEvent {
         /// Arrival tick.
         at: u64,
     },
+    /// A cluster balancer routed a request to a server.
+    Dispatch {
+        /// Dispatch tick (the request's arrival instant).
+        at: u64,
+        /// Chosen server index.
+        server: u32,
+        /// The chosen server's queue length *before* this request joined.
+        queue_len: u32,
+    },
     /// A request completed.
     RequestComplete {
         /// Completion tick.
@@ -201,6 +210,7 @@ impl TraceEvent {
             | TraceEvent::FaultRetry { at, .. }
             | TraceEvent::FaultTimeout { at, .. }
             | TraceEvent::RequestArrive { at }
+            | TraceEvent::Dispatch { at, .. }
             | TraceEvent::RequestComplete { at, .. } => at,
         }
     }
@@ -219,6 +229,7 @@ impl TraceEvent {
             TraceEvent::FaultRetry { .. } => "fault_retry",
             TraceEvent::FaultTimeout { .. } => "fault_timeout",
             TraceEvent::RequestArrive { .. } => "request_arrive",
+            TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::RequestComplete { .. } => "request_complete",
         }
     }

@@ -1,0 +1,641 @@
+//! Load-balanced n-server farm: many dyads behind one balancer.
+//!
+//! The paper's server-level results come from BigHouse-style simulation of
+//! a *cluster* of servers fed by a load balancer, not a lone M/G/1 queue.
+//! This module scales [`des`](crate::des) to that setting: `n` FCFS servers
+//! whose service times are drawn from a caller-supplied closure (calibrated
+//! per-design by the cycle-level dyad sims upstream), with arrivals routed
+//! by a pluggable [`Balancer`]. RackSched-style results say the policy
+//! choice — Random vs JSQ vs power-of-d — dominates the tail at
+//! microsecond scale, so the policy is a first-class grid axis.
+//!
+//! Determinism contract: the arrival/service draws and the balancer's own
+//! randomness come from two *independent* derived streams
+//! ([`derive_stream`]). Every policy therefore sees the identical marked
+//! point process (arrival time, service demand) and differs only in
+//! assignments — common random numbers across the policy axis — and results
+//! are a pure function of `(inputs, seed)`, bit-identical at any worker
+//! count. With `n = 1` every policy degenerates to the same single queue
+//! and consumes the exact RNG draw sequence of
+//! [`simulate_mg1`](crate::des::simulate_mg1); waits agree up to
+//! floating-point rounding (absolute-time bookkeeping here vs the
+//! incremental Lindley recursion there).
+
+use crate::des::{Mg1Options, Unstable};
+use duplexity_obs::{TraceEvent, Tracer};
+use duplexity_stats::ci::ConfidenceInterval;
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::quantile::QuantileEstimator;
+use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
+use duplexity_stats::summary::Summary;
+use rand::RngExt;
+use std::collections::VecDeque;
+
+/// Cluster traces share the DES clock domain: 1000 ticks per simulated µs.
+const CLUSTER_TICKS_PER_US: f64 = 1000.0;
+
+/// Stream label for the balancer's private RNG (vs the arrival stream).
+const BALANCER_STREAM: u64 = 0xBA1A;
+
+fn ns_ticks(us: f64) -> u64 {
+    (us * CLUSTER_TICKS_PER_US).round().max(0.0) as u64
+}
+
+/// A load-balancing policy: given the per-server queue lengths and
+/// unfinished-work backlogs at an arrival instant (both measured *before*
+/// the new request is placed), pick a server index.
+///
+/// Implementations may consume `rng` (Random, power-of-d) or not (JSQ,
+/// RoundRobin, LeastWork); either way the stream is private to the
+/// balancer, so policies are interchangeable without perturbing the
+/// arrival/service sample path.
+pub trait Balancer {
+    /// Short policy name for reports and trace labels.
+    fn name(&self) -> &'static str;
+    /// Chooses a server in `0..queues.len()`.
+    fn pick(&mut self, queues: &[u32], backlog_us: &[f64], rng: &mut SimRng) -> usize;
+}
+
+/// Uniform-random assignment: the memoryless baseline every other policy
+/// must beat.
+#[derive(Debug, Default)]
+pub struct RandomBalancer;
+
+impl Balancer for RandomBalancer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn pick(&mut self, queues: &[u32], _backlog_us: &[f64], rng: &mut SimRng) -> usize {
+        rng.random_range(0..queues.len())
+    }
+}
+
+/// Strict rotation: request k goes to server k mod n.
+#[derive(Debug, Default)]
+pub struct RoundRobinBalancer {
+    next: usize,
+}
+
+impl Balancer for RoundRobinBalancer {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+    fn pick(&mut self, queues: &[u32], _backlog_us: &[f64], _rng: &mut SimRng) -> usize {
+        let i = self.next % queues.len();
+        self.next = (self.next + 1) % queues.len();
+        i
+    }
+}
+
+/// Join-the-shortest-queue: argmin of instantaneous queue *length*
+/// (waiting + in service), ties to the lowest index.
+#[derive(Debug, Default)]
+pub struct JsqBalancer;
+
+impl Balancer for JsqBalancer {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+    fn pick(&mut self, queues: &[u32], _backlog_us: &[f64], _rng: &mut SimRng) -> usize {
+        argmin_u32(queues)
+    }
+}
+
+/// Power-of-d choices: probe `d` uniformly random servers (with
+/// replacement), join the shortest of the probes. `d = 2` is the classic
+/// "power of two choices"; `d = n` converges to JSQ in expectation but
+/// still pays `d` probes of randomness.
+#[derive(Debug)]
+pub struct PowerOfDBalancer {
+    d: usize,
+}
+
+impl PowerOfDBalancer {
+    /// A power-of-`d` balancer. `d` is clamped to at least 1.
+    pub fn new(d: usize) -> Self {
+        Self { d: d.max(1) }
+    }
+}
+
+impl Balancer for PowerOfDBalancer {
+    fn name(&self) -> &'static str {
+        "power_of_d"
+    }
+    fn pick(&mut self, queues: &[u32], _backlog_us: &[f64], rng: &mut SimRng) -> usize {
+        let mut best = rng.random_range(0..queues.len());
+        for _ in 1..self.d {
+            let probe = rng.random_range(0..queues.len());
+            if queues[probe] < queues[best] {
+                best = probe;
+            }
+        }
+        best
+    }
+}
+
+/// Least-unfinished-work: argmin of the per-server backlog in µs, ties to
+/// the lowest index. With FCFS servers this is *exactly* equivalent to a
+/// single central FCFS queue feeding `n` servers (every request starts as
+/// early as possible), which is what makes the M/M/k Erlang-C cross-check
+/// exact — JSQ by queue length is not, because a short queue can hide a
+/// long residual service.
+#[derive(Debug, Default)]
+pub struct LeastWorkBalancer;
+
+impl Balancer for LeastWorkBalancer {
+    fn name(&self) -> &'static str {
+        "least_work"
+    }
+    fn pick(&mut self, _queues: &[u32], backlog_us: &[f64], _rng: &mut SimRng) -> usize {
+        let mut best = 0;
+        for (i, &b) in backlog_us.iter().enumerate().skip(1) {
+            if b < backlog_us[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+fn argmin_u32(xs: &[u32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Value-level balancer selector, so experiment grids can enumerate
+/// policies in config structs and serialize them by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerPolicy {
+    /// Uniform-random assignment.
+    Random,
+    /// Strict rotation.
+    RoundRobin,
+    /// Join the shortest queue.
+    Jsq,
+    /// Probe `d` random servers, join the shortest probe.
+    PowerOfD(usize),
+    /// Join the server with the least unfinished work (central-queue
+    /// equivalent).
+    LeastWork,
+}
+
+impl BalancerPolicy {
+    /// Instantiates the policy's balancer state.
+    pub fn build(&self) -> Box<dyn Balancer> {
+        match self {
+            BalancerPolicy::Random => Box::new(RandomBalancer),
+            BalancerPolicy::RoundRobin => Box::new(RoundRobinBalancer::default()),
+            BalancerPolicy::Jsq => Box::new(JsqBalancer),
+            BalancerPolicy::PowerOfD(d) => Box::new(PowerOfDBalancer::new(*d)),
+            BalancerPolicy::LeastWork => Box::new(LeastWorkBalancer),
+        }
+    }
+
+    /// Stable snake_case name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancerPolicy::Random => "random",
+            BalancerPolicy::RoundRobin => "round_robin",
+            BalancerPolicy::Jsq => "jsq",
+            BalancerPolicy::PowerOfD(_) => "power_of_d",
+            BalancerPolicy::LeastWork => "least_work",
+        }
+    }
+}
+
+impl std::fmt::Display for BalancerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalancerPolicy::PowerOfD(d) => write!(f, "power_of_{d}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Cluster simulation control parameters. Mirrors [`Mg1Options`] (same
+/// BigHouse stopping rule) plus the server count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterOptions {
+    /// Number of servers behind the balancer (≥ 1).
+    pub servers: usize,
+    /// Target quantile of sojourn time (the paper reports p99).
+    pub quantile: f64,
+    /// Confidence level for the stopping rule.
+    pub confidence: f64,
+    /// Maximum relative CI half-width before stopping.
+    pub max_relative_error: f64,
+    /// Requests discarded as warm-up before measuring.
+    pub warmup: usize,
+    /// Hard cap on measured requests.
+    pub max_samples: usize,
+    /// Convergence is checked every this many samples.
+    pub check_every: usize,
+    /// RNG seed; arrival/service and balancer streams are derived from it.
+    pub seed: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        let q = Mg1Options::default();
+        Self {
+            servers: 4,
+            quantile: q.quantile,
+            confidence: q.confidence,
+            max_relative_error: q.max_relative_error,
+            warmup: q.warmup,
+            max_samples: q.max_samples,
+            check_every: q.check_every,
+            seed: q.seed,
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// Lifts single-queue options to a cluster of `servers`.
+    pub fn from_mg1(servers: usize, q: &Mg1Options) -> Self {
+        Self {
+            servers,
+            quantile: q.quantile,
+            confidence: q.confidence,
+            max_relative_error: q.max_relative_error,
+            warmup: q.warmup,
+            max_samples: q.max_samples,
+            check_every: q.check_every,
+            seed: q.seed,
+        }
+    }
+}
+
+/// Results of one cluster simulation.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// The target quantile of sojourn time, µs.
+    pub tail_us: f64,
+    /// Confidence interval around [`ClusterResult::tail_us`], if computable.
+    pub tail_ci: Option<ConfidenceInterval>,
+    /// Mean sojourn time, µs.
+    pub mean_sojourn_us: f64,
+    /// Median sojourn time, µs.
+    pub p50_us: f64,
+    /// Mean queueing delay (time between arrival and service start), µs.
+    pub mean_wait_us: f64,
+    /// Queueing-delay statistics, µs (feeds the Erlang-C cross-check).
+    pub wait: Summary,
+    /// Sojourn-time statistics, µs.
+    pub sojourn: Summary,
+    /// Mean per-server busy fraction over the measured window.
+    pub utilization: f64,
+    /// Measured requests dispatched to each server.
+    pub per_server_requests: Vec<u64>,
+    /// Measured requests.
+    pub samples: usize,
+    /// Whether the CI stopping rule was met before the cap.
+    pub converged: bool,
+}
+
+/// Simulates `n` FCFS servers behind `balancer` with aggregate Poisson
+/// arrivals at `lambda_per_us` and iid service demands from `service`,
+/// panicking on a saturated configuration.
+///
+/// # Panics
+///
+/// Panics if `lambda_per_us` is not positive, `opts.servers` is zero, or
+/// the pilot load estimate `λ·E[S]/n` is ≥ 1. Sweep drivers should call
+/// [`try_simulate_cluster`] and render the [`Unstable`] cell instead.
+pub fn simulate_cluster(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    balancer: &mut dyn Balancer,
+    opts: &ClusterOptions,
+) -> ClusterResult {
+    try_simulate_cluster(lambda_per_us, service, balancer, opts, &Tracer::disabled())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking cluster simulation with an optional tracer attached.
+///
+/// Each measured request emits [`TraceEvent::RequestArrive`], a
+/// [`TraceEvent::Dispatch`] carrying the chosen server and its pre-arrival
+/// queue length, and [`TraceEvent::RequestComplete`], all stamped in the
+/// DES nanosecond-tick domain (1000 ticks per simulated µs). The tracer
+/// consumes no RNG draws, so tracing never perturbs results.
+///
+/// A pilot estimate of `λ·E[S]/n ≥ 1` yields `Err(Unstable)` — the typed
+/// saturated-cell verdict — instead of panicking, so grids probing ρ → 1
+/// survive their hopeless cells.
+pub fn try_simulate_cluster(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    balancer: &mut dyn Balancer,
+    opts: &ClusterOptions,
+    tracer: &Tracer,
+) -> Result<ClusterResult, Unstable> {
+    assert!(lambda_per_us > 0.0, "arrival rate must be positive");
+    assert!(opts.servers >= 1, "cluster needs at least one server");
+    tracer.set_ticks_per_us(CLUSTER_TICKS_PER_US);
+    let traced = tracer.is_enabled();
+    let n = opts.servers;
+
+    // Two independent streams: the arrival stream reproduces the exact
+    // draw order of the M/G/1 DES (service then interarrival), and the
+    // balancer stream is private, so every policy sees the same marked
+    // point process (common random numbers across the policy axis).
+    let mut rng = rng_from_seed(opts.seed);
+    let mut brng = rng_from_seed(derive_stream(opts.seed, BALANCER_STREAM));
+    let interarrival = Exponential::from_rate(lambda_per_us);
+
+    // Pilot: estimate the mean service demand to reject saturated inputs.
+    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    let rho_estimate = lambda_per_us * pilot / n as f64;
+    if rho_estimate >= 1.0 {
+        return Err(Unstable { rho_estimate });
+    }
+
+    // Per-server FCFS state: `free_at[i]` is when server i drains its
+    // backlog (so wait = max(0, free_at[i] - t)), and `in_system[i]` holds
+    // the completion times of requests still present, pruned lazily, for
+    // queue-length balancers.
+    let mut free_at = vec![0.0f64; n];
+    let mut in_system: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
+    let mut queues = vec![0u32; n];
+    let mut backlog = vec![0.0f64; n];
+    let mut per_server = vec![0u64; n];
+
+    let mut sojourns = QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20));
+    let mut sojourn_sum = Summary::new();
+    let mut wait_sum = Summary::new();
+    let mut busy_time = 0.0f64;
+    let mut clock = 0.0f64;
+    let mut converged = false;
+    let mut t = 0.0f64;
+
+    let total = opts.warmup + opts.max_samples;
+    for k in 0..total {
+        // Same draw order as the M/G/1 DES: service first, then the
+        // interarrival gap — with n = 1 the RNG sequence is draw-for-draw
+        // identical to `simulate_mg1`.
+        let s = service(&mut rng);
+        let measured = k >= opts.warmup;
+
+        for i in 0..n {
+            let q = &mut in_system[i];
+            while q.front().is_some_and(|&done| done <= t) {
+                q.pop_front();
+            }
+            queues[i] = q.len() as u32;
+            backlog[i] = (free_at[i] - t).max(0.0);
+        }
+
+        let pick = balancer.pick(&queues, &backlog, &mut brng);
+        debug_assert!(pick < n, "balancer picked out-of-range server {pick}");
+        let wait = backlog[pick];
+        let done = t + wait + s;
+        free_at[pick] = done;
+        in_system[pick].push_back(done);
+
+        if measured {
+            sojourns.record(wait + s);
+            sojourn_sum.record(wait + s);
+            wait_sum.record(wait);
+            busy_time += s;
+            per_server[pick] += 1;
+            if traced {
+                let at = ns_ticks(t);
+                let fin = ns_ticks(done);
+                tracer.emit(|| TraceEvent::RequestArrive { at });
+                tracer.emit(|| TraceEvent::Dispatch {
+                    at,
+                    server: pick as u32,
+                    queue_len: queues[pick],
+                });
+                tracer.emit(|| TraceEvent::RequestComplete {
+                    at: fin,
+                    latency: fin.saturating_sub(at),
+                });
+                tracer.count("cluster/requests", 1);
+                tracer.count(&format!("cluster/server/{pick}/requests"), 1);
+                tracer.observe("cluster/sojourn_us", wait + s);
+                tracer.observe("cluster/wait_us", wait);
+            }
+        }
+
+        let a = interarrival.sample(&mut rng);
+        t += a;
+        if measured {
+            clock += a;
+        }
+
+        if measured && sojourns.count().is_multiple_of(opts.check_every) {
+            if let Some(ci) = sojourns.quantile_ci(opts.quantile, opts.confidence) {
+                if ci.converged(opts.max_relative_error) {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let samples = sojourns.count();
+    Ok(ClusterResult {
+        tail_us: sojourns.quantile(opts.quantile).unwrap_or(0.0),
+        tail_ci: sojourns.quantile_ci(opts.quantile, opts.confidence),
+        mean_sojourn_us: sojourns.mean().unwrap_or(0.0),
+        p50_us: sojourns.quantile(0.5).unwrap_or(0.0),
+        mean_wait_us: if wait_sum.count() > 0 {
+            wait_sum.mean()
+        } else {
+            0.0
+        },
+        wait: wait_sum,
+        sojourn: sojourn_sum,
+        utilization: if clock > 0.0 {
+            (busy_time / (n as f64 * clock)).min(1.0)
+        } else {
+            0.0
+        },
+        per_server_requests: per_server,
+        samples,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate_mg1;
+
+    fn fast_opts(servers: usize, seed: u64) -> ClusterOptions {
+        ClusterOptions {
+            servers,
+            max_samples: 200_000,
+            warmup: 2_000,
+            seed,
+            ..ClusterOptions::default()
+        }
+    }
+
+    fn exp_service(mean: f64) -> impl FnMut(&mut SimRng) -> f64 {
+        move |rng: &mut SimRng| Exponential::new(mean).sample(rng)
+    }
+
+    #[test]
+    fn single_server_cluster_matches_mg1() {
+        // With n = 1 every policy picks server 0 and the RNG draw sequence
+        // is identical to the M/G/1 DES; waits differ only by FP rounding
+        // (absolute completion times here vs the Lindley recursion there).
+        let copts = fast_opts(1, 7);
+        let mut svc = exp_service(2.0);
+        let cluster = simulate_cluster(0.3, &mut svc, &mut JsqBalancer, &copts);
+        let qopts = Mg1Options {
+            max_samples: copts.max_samples,
+            warmup: copts.warmup,
+            seed: copts.seed,
+            ..Mg1Options::default()
+        };
+        let mut svc2 = exp_service(2.0);
+        let single = simulate_mg1(0.3, &mut svc2, &qopts);
+        assert_eq!(cluster.samples, single.samples);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(
+            close(cluster.tail_us, single.tail_us),
+            "{} vs {}",
+            cluster.tail_us,
+            single.tail_us
+        );
+        assert!(close(cluster.mean_sojourn_us, single.mean_sojourn_us));
+        assert!(close(cluster.sojourn.mean(), single.sojourn.mean()));
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        for policy in [
+            BalancerPolicy::Random,
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::Jsq,
+            BalancerPolicy::PowerOfD(2),
+            BalancerPolicy::LeastWork,
+        ] {
+            let run = |_| {
+                let mut svc = exp_service(1.0);
+                simulate_cluster(2.0, &mut svc, &mut *policy.build(), &fast_opts(4, 11))
+            };
+            let (a, b) = (run(0), run(1));
+            assert_eq!(a.tail_us, b.tail_us, "{policy}");
+            assert_eq!(a.sojourn, b.sojourn, "{policy}");
+            assert_eq!(a.per_server_requests, b.per_server_requests, "{policy}");
+        }
+    }
+
+    #[test]
+    fn jsq_beats_random_p99_at_equal_load() {
+        // rho = 0.7 on 4 servers; CRN means both policies see the same
+        // arrivals and service demands, so the comparison is paired.
+        let lambda = 2.8;
+        let mut svc = exp_service(1.0);
+        let random = simulate_cluster(lambda, &mut svc, &mut RandomBalancer, &fast_opts(4, 21));
+        let mut svc = exp_service(1.0);
+        let jsq = simulate_cluster(lambda, &mut svc, &mut JsqBalancer, &fast_opts(4, 21));
+        assert!(
+            jsq.tail_us <= random.tail_us,
+            "jsq p99 {} must not exceed random p99 {}",
+            jsq.tail_us,
+            random.tail_us
+        );
+    }
+
+    #[test]
+    fn power_of_two_sits_between_random_and_jsq_on_mean() {
+        let lambda = 3.2; // rho = 0.8 on 4 servers
+        let run = |policy: BalancerPolicy| {
+            let mut svc = exp_service(1.0);
+            simulate_cluster(lambda, &mut svc, &mut *policy.build(), &fast_opts(4, 33))
+        };
+        let random = run(BalancerPolicy::Random);
+        let pod2 = run(BalancerPolicy::PowerOfD(2));
+        let jsq = run(BalancerPolicy::Jsq);
+        assert!(
+            pod2.mean_sojourn_us <= random.mean_sojourn_us,
+            "pod2 {} vs random {}",
+            pod2.mean_sojourn_us,
+            random.mean_sojourn_us
+        );
+        assert!(
+            jsq.mean_sojourn_us <= pod2.mean_sojourn_us * 1.05,
+            "jsq {} vs pod2 {}",
+            jsq.mean_sojourn_us,
+            pod2.mean_sojourn_us
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let mut svc = exp_service(1.0);
+        let r = simulate_cluster(
+            2.0,
+            &mut svc,
+            &mut RoundRobinBalancer::default(),
+            &fast_opts(4, 44),
+        );
+        let min = *r.per_server_requests.iter().min().unwrap();
+        let max = *r.per_server_requests.iter().max().unwrap();
+        assert!(max - min <= 1, "round robin spread {min}..{max}");
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load_per_server() {
+        let mut svc = exp_service(1.0);
+        let r = simulate_cluster(2.8, &mut svc, &mut JsqBalancer, &fast_opts(4, 55));
+        assert!(
+            (r.utilization - 0.7).abs() < 0.03,
+            "utilization {} vs rho 0.7",
+            r.utilization
+        );
+    }
+
+    #[test]
+    fn saturated_cluster_is_a_typed_error_not_a_panic() {
+        let mut svc = exp_service(1.0);
+        let err = try_simulate_cluster(
+            4.8, // rho = 1.2 on 4 servers
+            &mut svc,
+            &mut JsqBalancer,
+            &fast_opts(4, 66),
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.rho_estimate >= 1.0, "rho {}", err.rho_estimate);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_and_emits_dispatches() {
+        let opts = ClusterOptions {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(4, 77)
+        };
+        let mut svc = exp_service(1.0);
+        let plain = simulate_cluster(2.0, &mut svc, &mut JsqBalancer, &opts);
+        let tracer = Tracer::enabled(1 << 20, CLUSTER_TICKS_PER_US);
+        let mut svc = exp_service(1.0);
+        let traced = try_simulate_cluster(2.0, &mut svc, &mut JsqBalancer, &opts, &tracer).unwrap();
+        assert_eq!(plain.tail_us, traced.tail_us);
+        assert_eq!(plain.sojourn, traced.sojourn);
+        assert_eq!(plain.per_server_requests, traced.per_server_requests);
+        let log = tracer.take();
+        let dispatches = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dispatch { .. }))
+            .count();
+        assert_eq!(dispatches, traced.samples);
+        assert_eq!(
+            log.registry.counter("cluster/requests"),
+            traced.samples as u64
+        );
+    }
+}

@@ -17,6 +17,30 @@ use duplexity_stats::quantile::QuantileEstimator;
 use duplexity_stats::rng::{rng_from_seed, SimRng};
 use duplexity_stats::summary::Summary;
 
+/// Typed instability verdict: the pilot service-mean estimate implies an
+/// offered load at or past 1, so the queue has no steady state to report.
+///
+/// Experiment drivers treat this as a *saturated cell* (rendered as `sat` /
+/// `inf`), not a crash: one hopeless grid point must never abort a
+/// multi-cell sweep, which probes loads arbitrarily close to ρ → 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unstable {
+    /// The pilot estimate of the offered load ρ (≥ 1).
+    pub rho_estimate: f64,
+}
+
+impl std::fmt::Display for Unstable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "offered load {:.3} >= 1: the queue is unstable",
+            self.rho_estimate
+        )
+    }
+}
+
+impl std::error::Error for Unstable {}
+
 /// Simulation control parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mg1Options {
@@ -100,7 +124,7 @@ fn simulate_mg1_inner(
     service: &mut dyn FnMut(&mut SimRng, f64) -> f64,
     opts: &Mg1Options,
     tracer: &Tracer,
-) -> Mg1Result {
+) -> Result<Mg1Result, Unstable> {
     assert!(lambda_per_us > 0.0, "arrival rate must be positive");
     tracer.set_ticks_per_us(DES_TICKS_PER_US);
     let traced = tracer.is_enabled();
@@ -110,10 +134,9 @@ fn simulate_mg1_inner(
     // Pilot: estimate the mean service time to reject unstable inputs early.
     let pilot: f64 = (0..512).map(|_| service(&mut rng, 0.0)).sum::<f64>() / 512.0;
     let rho_estimate = lambda_per_us * pilot;
-    assert!(
-        rho_estimate < 1.0,
-        "offered load {rho_estimate:.3} >= 1: the queue is unstable"
-    );
+    if rho_estimate >= 1.0 {
+        return Err(Unstable { rho_estimate });
+    }
 
     let mut wait = 0.0f64; // W(n)
     let mut sojourns = QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20));
@@ -174,7 +197,7 @@ fn simulate_mg1_inner(
     let tail_ci = sojourns.quantile_ci(opts.quantile, opts.confidence);
     let tail_us = sojourns.quantile(opts.quantile).unwrap_or(0.0);
     let p50_us = sojourns.quantile(0.5).unwrap_or(0.0);
-    Mg1Result {
+    Ok(Mg1Result {
         tail_us,
         tail_ci,
         mean_sojourn_us: mean,
@@ -189,7 +212,7 @@ fn simulate_mg1_inner(
         idle_histogram: idle_hist,
         samples,
         converged,
-    }
+    })
 }
 
 /// Simulates an M/G/1 FCFS queue with Poisson arrivals at `lambda_per_us`
@@ -199,13 +222,25 @@ fn simulate_mg1_inner(
 ///
 /// Panics if `lambda_per_us` is not positive, or the implied load (from a
 /// pilot service-mean estimate) is ≥ 1 — an unstable queue has no steady
-/// state to report.
+/// state to report. Sweep drivers that probe near saturation should call
+/// [`try_simulate_mg1`] instead and render the [`Unstable`] cell.
 pub fn simulate_mg1(
     lambda_per_us: f64,
     service: &mut dyn FnMut(&mut SimRng) -> f64,
     opts: &Mg1Options,
 ) -> Mg1Result {
-    simulate_mg1_traced(lambda_per_us, service, opts, &Tracer::disabled())
+    try_simulate_mg1(lambda_per_us, service, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_mg1`]: a pilot load estimate ≥ 1 yields
+/// `Err(Unstable)` instead of aborting, so one saturated cell cannot kill a
+/// whole sweep grid.
+pub fn try_simulate_mg1(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    opts: &Mg1Options,
+) -> Result<Mg1Result, Unstable> {
+    try_simulate_mg1_traced(lambda_per_us, service, opts, &Tracer::disabled())
 }
 
 /// [`simulate_mg1`] with a cycle-domain tracer attached: every measured
@@ -227,6 +262,16 @@ pub fn simulate_mg1_traced(
     opts: &Mg1Options,
     tracer: &Tracer,
 ) -> Mg1Result {
+    try_simulate_mg1_traced(lambda_per_us, service, opts, tracer).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_mg1_traced`]: saturation yields `Err(Unstable)`.
+pub fn try_simulate_mg1_traced(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    opts: &Mg1Options,
+    tracer: &Tracer,
+) -> Result<Mg1Result, Unstable> {
     let mut f = |rng: &mut SimRng, _now_us: f64| service(rng);
     simulate_mg1_inner(lambda_per_us, &mut f, opts, tracer)
 }
@@ -291,6 +336,24 @@ pub fn simulate_mg1_faulted(
     )
 }
 
+/// Non-panicking [`simulate_mg1_faulted`]: saturation yields `Err(Unstable)`.
+pub fn try_simulate_mg1_faulted(
+    lambda_per_us: f64,
+    compute: &mut dyn FnMut(&mut SimRng) -> f64,
+    stall_leg: &LatencyDist,
+    plan: &FaultPlan,
+    opts: &Mg1Options,
+) -> Result<(Mg1Result, FaultTally), Unstable> {
+    try_simulate_mg1_faulted_traced(
+        lambda_per_us,
+        compute,
+        stall_leg,
+        plan,
+        opts,
+        &Tracer::disabled(),
+    )
+}
+
 /// [`simulate_mg1_faulted`] with a tracer attached: request events as in
 /// [`simulate_mg1_traced`], plus per-event fault instants
 /// (inject/retry/timeout) stamped at the arrival time of the request whose
@@ -311,6 +374,20 @@ pub fn simulate_mg1_faulted_traced(
     opts: &Mg1Options,
     tracer: &Tracer,
 ) -> (Mg1Result, FaultTally) {
+    try_simulate_mg1_faulted_traced(lambda_per_us, compute, stall_leg, plan, opts, tracer)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_mg1_faulted_traced`]: saturation yields
+/// `Err(Unstable)`.
+pub fn try_simulate_mg1_faulted_traced(
+    lambda_per_us: f64,
+    compute: &mut dyn FnMut(&mut SimRng) -> f64,
+    stall_leg: &LatencyDist,
+    plan: &FaultPlan,
+    opts: &Mg1Options,
+    tracer: &Tracer,
+) -> Result<(Mg1Result, FaultTally), Unstable> {
     let mut tally = FaultTally::default();
     let identity = plan.is_none();
     let result = {
@@ -328,9 +405,9 @@ pub fn simulate_mg1_faulted_traced(
             trace_fault_events(&ev, ns_ticks(now_us), tracer);
             c + ev.latency_us
         };
-        simulate_mg1_inner(lambda_per_us, &mut service, opts, tracer)
+        simulate_mg1_inner(lambda_per_us, &mut service, opts, tracer)?
     };
-    (result, tally)
+    Ok((result, tally))
 }
 
 #[cfg(test)]
@@ -437,6 +514,19 @@ mod tests {
     fn rejects_overload() {
         let service = Exponential::new(2.0);
         let _ = simulate_mg1_dist(0.6, &service, &fast_opts(7)); // rho = 1.2
+    }
+
+    #[test]
+    fn try_variant_reports_overload_as_typed_error() {
+        // rho = 1.2: the try_ entry point must return Unstable, not panic,
+        // so sweep drivers can mark the cell saturated and continue.
+        let mut svc = |rng: &mut SimRng| Exponential::new(2.0).sample(rng);
+        let err = try_simulate_mg1(0.6, &mut svc, &fast_opts(7)).unwrap_err();
+        assert!(err.rho_estimate >= 1.0, "rho {}", err.rho_estimate);
+        assert!(err.to_string().contains("unstable"));
+        // A stable load through the same entry point succeeds.
+        let ok = try_simulate_mg1(0.25, &mut svc, &fast_opts(7)).unwrap();
+        assert!(ok.samples > 0);
     }
 
     #[test]

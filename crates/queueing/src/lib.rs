@@ -16,20 +16,32 @@
 //!   latencies and idle-period distributions;
 //! * [`fanout`] — max-of-k leaf waits for mid-tier fan-out scenarios
 //!   ("tail at scale"), an extension beyond the paper's single-leaf
-//!   McRouter model.
+//!   McRouter model;
+//! * [`cluster`] — the n-server load-balanced farm (Random / RoundRobin /
+//!   JSQ / power-of-d / least-work balancers over per-server FCFS queues),
+//!   scaling the single dyad to the paper's server-level results;
+//! * [`mmk`] — analytic M/M/k (Erlang-C) cross-checks for the cluster
+//!   simulator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod closed_loop;
+pub mod cluster;
 pub mod des;
 pub mod fanout;
 pub mod mg1;
+pub mod mmk;
 
 pub use closed_loop::{closed_loop_utilization, utilization_surface};
+pub use cluster::{
+    simulate_cluster, try_simulate_cluster, BalancerPolicy, ClusterOptions, ClusterResult,
+};
 pub use des::{
     simulate_mg1, simulate_mg1_faulted, simulate_mg1_faulted_traced, simulate_mg1_traced,
-    FaultTally, Mg1Options, Mg1Result,
+    try_simulate_mg1, try_simulate_mg1_faulted, try_simulate_mg1_faulted_traced,
+    try_simulate_mg1_traced, FaultTally, Mg1Options, Mg1Result, Unstable,
 };
 pub use fanout::{exponential_fanout_mean, exponential_fanout_quantile, FanOut};
 pub use mg1::{idle_period_cdf, mean_idle_period_us, Mg1Analytic};
+pub use mmk::MmkAnalytic;

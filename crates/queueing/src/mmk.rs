@@ -1,0 +1,153 @@
+//! Analytic M/M/k (Erlang-C) results.
+//!
+//! Oracle for the [`cluster`](crate::cluster) simulator: a k-server farm
+//! with a *central* FCFS queue, Poisson arrivals, and exponential service
+//! admits the Erlang-C closed form. The simulator's least-work balancer is
+//! exactly equivalent to the central queue (every request starts as early
+//! as possible), so its mean wait must match `C(k, a) / (kµ − λ)` within
+//! statistical error — the cross-check the cluster test-suite runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic M/M/k queue description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmkAnalytic {
+    /// Aggregate arrival rate λ, requests per µs.
+    pub lambda_per_us: f64,
+    /// Mean service time E\[S\] = 1/µ at one server, µs.
+    pub mean_service_us: f64,
+    /// Number of servers k.
+    pub servers: usize,
+}
+
+impl MmkAnalytic {
+    /// Offered load per server, ρ = λ E\[S\] / k.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.offered_erlangs() / self.servers as f64
+    }
+
+    /// Total offered traffic a = λ E\[S\] in Erlangs.
+    #[must_use]
+    pub fn offered_erlangs(&self) -> f64 {
+        self.lambda_per_us * self.mean_service_us
+    }
+
+    /// Erlang-C: the probability an arriving request must queue,
+    /// `C(k, a)`, computed with the numerically stable iterative sum
+    /// (no explicit factorials, so large k does not overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or the system is not stable (ρ ≥ 1).
+    #[must_use]
+    pub fn erlang_c(&self) -> f64 {
+        let k = self.servers;
+        assert!(k >= 1, "need at least one server");
+        let a = self.offered_erlangs();
+        let rho = self.rho();
+        assert!(rho < 1.0, "Erlang-C needs rho < 1, got {rho}");
+        // sum_{j=0}^{k-1} a^j/j! via the running term t_j = a^j/j!.
+        let mut term = 1.0f64;
+        let mut sum = 1.0f64;
+        for j in 1..k {
+            term *= a / j as f64;
+            sum += term;
+        }
+        // a^k/k! = t_{k-1} * a/k; the queueing term scales it by 1/(1-rho).
+        let tail = term * a / k as f64 / (1.0 - rho);
+        tail / (sum + tail)
+    }
+
+    /// Mean waiting time E\[W\] = C(k, a) / (kµ − λ) in µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MmkAnalytic::erlang_c`].
+    #[must_use]
+    pub fn mean_wait_us(&self) -> f64 {
+        let mu = 1.0 / self.mean_service_us;
+        self.erlang_c() / (self.servers as f64 * mu - self.lambda_per_us)
+    }
+
+    /// Mean sojourn (response) time E\[T\] = E\[W\] + E\[S\] in µs.
+    #[must_use]
+    pub fn mean_sojourn_us(&self) -> f64 {
+        self.mean_wait_us() + self.mean_service_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::Mg1Analytic;
+
+    #[test]
+    fn k_equals_one_reduces_to_mm1() {
+        let mmk = MmkAnalytic {
+            lambda_per_us: 0.3,
+            mean_service_us: 2.0,
+            servers: 1,
+        };
+        let mm1 = Mg1Analytic {
+            lambda_per_us: 0.3,
+            mean_service_us: 2.0,
+            service_scv: 1.0,
+        };
+        // C(1, a) = rho, so the waits coincide exactly.
+        assert!((mmk.erlang_c() - mmk.rho()).abs() < 1e-12);
+        assert!((mmk.mean_wait_us() - mm1.mean_wait_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_erlang_c_anchor() {
+        // Classic anchor: k = 2, a = 1 (rho = 0.5) gives C = 1/3.
+        let q = MmkAnalytic {
+            lambda_per_us: 1.0,
+            mean_service_us: 1.0,
+            servers: 2,
+        };
+        assert!((q.erlang_c() - 1.0 / 3.0).abs() < 1e-12, "{}", q.erlang_c());
+        // E[W] = C / (k mu - lambda) = (1/3) / 1 = 1/3.
+        assert!((q.mean_wait_us() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_beats_split_queues() {
+        // A k-server pool waits less than k separate M/M/1 queues each fed
+        // lambda/k — the classic resource-pooling result.
+        let pooled = MmkAnalytic {
+            lambda_per_us: 2.8,
+            mean_service_us: 1.0,
+            servers: 4,
+        };
+        let split = Mg1Analytic {
+            lambda_per_us: 0.7,
+            mean_service_us: 1.0,
+            service_scv: 1.0,
+        };
+        assert!(pooled.mean_wait_us() < split.mean_wait_us());
+    }
+
+    #[test]
+    fn wait_diverges_near_saturation() {
+        let mk = |rho: f64| MmkAnalytic {
+            lambda_per_us: 4.0 * rho,
+            mean_service_us: 1.0,
+            servers: 4,
+        };
+        assert!(mk(0.99).mean_wait_us() > 20.0 * mk(0.7).mean_wait_us());
+    }
+
+    #[test]
+    fn large_k_stays_finite() {
+        // The iterative sum must not overflow where factorials would.
+        let q = MmkAnalytic {
+            lambda_per_us: 180.0,
+            mean_service_us: 1.0,
+            servers: 200,
+        };
+        let c = q.erlang_c();
+        assert!(c.is_finite() && (0.0..1.0).contains(&c), "C = {c}");
+    }
+}

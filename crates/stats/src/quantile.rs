@@ -99,8 +99,13 @@ impl QuantileEstimator {
     /// confidence level, via the normal approximation to order-statistic
     /// ranks: rank ± z·√(n·q·(1−q)).
     ///
-    /// Returns `None` when there are too few samples for the interval to be
-    /// defined (both bounding ranks must exist).
+    /// Returns `None` below 8 samples. With more, the bounding ranks are
+    /// clamped to `[1, n]` — at small `n` an extreme quantile's nominal
+    /// rank band extends past the order statistics that exist, and the
+    /// clamped interval (pinned at the sample min/max) is the honest
+    /// distribution-free answer. Clamping also guards the index
+    /// arithmetic: an unclamped rank of 0 used to underflow
+    /// `rank as usize - 1`.
     ///
     /// # Panics
     ///
@@ -120,11 +125,8 @@ impl QuantileEstimator {
         let nf = n as f64;
         let center = q * nf;
         let half = z * (nf * q * (1.0 - q)).sqrt();
-        let lo_rank = (center - half).floor();
-        let hi_rank = (center + half).ceil();
-        if lo_rank < 1.0 || hi_rank > nf {
-            return None;
-        }
+        let lo_rank = (center - half).floor().clamp(1.0, nf);
+        let hi_rank = (center + half).ceil().clamp(1.0, nf);
         let point = self.quantile(q).expect("non-empty");
         Some(ConfidenceInterval {
             point,
@@ -238,6 +240,40 @@ mod tests {
     fn ci_none_for_tiny_samples() {
         let mut q: QuantileEstimator = [1.0, 2.0, 3.0].into_iter().collect();
         assert!(q.quantile_ci(0.99, 0.95).is_none());
+    }
+
+    #[test]
+    fn small_sample_extreme_quantile_ranks_clamp_instead_of_underflowing() {
+        // Regression: at small n an extreme quantile's rank band extends
+        // past the order statistics that exist. The low rank floors to ≤ 0
+        // (which used to underflow `rank as usize - 1` once past the old
+        // early-return) and the high rank exceeds n; both must clamp.
+        let mut q: QuantileEstimator = (1..=10).map(f64::from).collect();
+        // p99 at n=10: hi_rank = ceil(9.9 + 0.62) = 11 > n, clamps to max.
+        let hi = q.quantile_ci(0.99, 0.95).expect("clamped CI at n=10");
+        assert_eq!(hi.high, 10.0, "high rank clamps to the sample maximum");
+        assert!(hi.low <= hi.point && hi.point <= hi.high);
+        // p1 at n=10: lo_rank = floor(0.1 - 0.62) < 0, clamps to min —
+        // the exact underflow case.
+        let lo = q.quantile_ci(0.01, 0.95).expect("clamped CI at n=10");
+        assert_eq!(lo.low, 1.0, "low rank clamps to the sample minimum");
+        assert!(lo.low <= lo.point && lo.point <= lo.high);
+        // Wide band at the minimum n: p20 at 99% confidence puts the
+        // unclamped low rank at floor(1.6 - 2.91) = -2.
+        let mut tiny: QuantileEstimator = (1..=8).map(f64::from).collect();
+        let ci = tiny.quantile_ci(0.2, 0.99).expect("CI at n=8");
+        assert_eq!(ci.low, 1.0);
+        assert!(ci.low <= ci.point && ci.point <= ci.high);
+    }
+
+    #[test]
+    fn large_sample_intervals_are_unaffected_by_clamping() {
+        // At n where the rank band fits inside [1, n], clamping is a no-op:
+        // the p99 CI of 1..=100_000 stays strictly inside the extremes.
+        let mut q: QuantileEstimator = (1..=100_000).map(f64::from).collect();
+        let ci = q.quantile_ci(0.99, 0.95).unwrap();
+        assert!(ci.low > 1.0 && ci.high < 100_000.0);
+        assert!(ci.low <= ci.point && ci.point <= ci.high);
     }
 
     #[test]

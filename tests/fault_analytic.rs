@@ -62,7 +62,9 @@ fn assert_ci_matches(ci: &duplexity_stats::ci::ConfidenceInterval, analytic: f64
 /// P-K prediction for a deterministic compute plus a faulted stall whose
 /// first two moments come from [`FaultPlan::effective_moments`].
 fn pk_prediction(lambda_per_us: f64, compute_us: f64, leg: &LatencyDist, plan: &FaultPlan) -> f64 {
-    let (m1, scv) = plan.effective_moments(leg);
+    let (m1, scv) = plan
+        .effective_moments(leg)
+        .expect("closed-form moments exist for these plans");
     let mean_service = compute_us + m1;
     // Deterministic compute shifts the mean but not the variance.
     let var = scv * m1 * m1;
@@ -106,7 +108,9 @@ fn dropped_legs_with_retries_match_pk_on_effective_moments() {
     let plan = FaultPlan::none()
         .with_drop(0.1)
         .with_retry(RetryPolicy::new(3, 8.0, 1.0, 4.0));
-    let (m1, _) = plan.effective_moments(&leg);
+    let (m1, _) = plan
+        .effective_moments(&leg)
+        .expect("drop+retry over an exponential leg has closed-form moments");
     let mean_service = 1.0 + m1;
     let lambda = 0.6 / mean_service; // rho = 0.6 on the effective service
     let predicted = pk_prediction(lambda, 1.0, &leg, &plan);
@@ -124,7 +128,9 @@ fn duplicate_exponential_legs_collapse_to_mm1_at_half_the_mean() {
     // lambda = 0.5 the queue is M/M/1 at rho = 0.5: mean sojourn 2 µs.
     let leg = LatencyDist::Exponential { mean_us: 2.0 };
     let plan = FaultPlan::none().with_duplicate();
-    let (m1, scv) = plan.effective_moments(&leg);
+    let (m1, scv) = plan
+        .effective_moments(&leg)
+        .expect("duplicated exponential legs have closed-form moments");
     assert!(
         (m1 - 1.0).abs() < 1e-12,
         "min of two Exp(2) has mean 1: {m1}"

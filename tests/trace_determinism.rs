@@ -99,13 +99,8 @@ fn trace_artifacts_are_bit_identical_across_worker_counts() {
 fn chrome_export_parses_and_holds_the_morph_story() {
     let run = run_fig5_traced(&fig5_opts(1), Some(&TraceConfig::default()));
     let json = chrome_trace_json(&run.traces);
-    let value = serde_json::parse_value(&json).expect("chrome trace JSON parses");
-    let events = value
-        .get_field("traceEvents")
-        .expect("traceEvents key exists");
-    let serde_json::Value::Array(items) = events else {
-        panic!("traceEvents must be an array");
-    };
+    let items =
+        duplexity_obs::parse_trace_events(&json).expect("chrome trace JSON parses as traceEvents");
     assert!(!items.is_empty(), "a traced grid produces events");
 
     // Duplexity cells morph; the baseline never does. Count morph windows by
