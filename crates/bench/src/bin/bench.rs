@@ -7,8 +7,9 @@
 //! Times a stall-heavy Figure 5 configuration twice in the same process —
 //! once with [`Stepping::Naive`] (step every cycle) and once with
 //! [`Stepping::FastForward`] (skip provably quiescent spans) — asserts the
-//! two grids are cell-for-cell identical, then times the fault-policy sweep
-//! and the cluster balancing sweep once each. Writes the measurements as
+//! two grids are cell-for-cell identical, then times the fault-policy sweep,
+//! the cluster balancing sweep, and the duplication/hedging sweep once
+//! each. Writes the measurements as
 //! JSON (default `BENCH_cycles.json`) so CI can archive a perf trajectory
 //! across commits.
 //!
@@ -21,6 +22,7 @@
 use duplexity::experiments::cluster_sweep::cluster_sweep;
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
+use duplexity::experiments::hedge_sweep::hedge_sweep;
 use duplexity::{Design, Workload};
 use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
@@ -69,6 +71,17 @@ struct ClusterSweepBench {
 }
 
 #[derive(Debug, Serialize)]
+struct HedgeSweepBench {
+    points: usize,
+    saturated: usize,
+    /// Duplicate copies issued across the grid — a sanity signal that the
+    /// timed work actually exercised the duplication machinery.
+    dup_copies: u64,
+    wall_s: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     seed: u64,
     threads: usize,
@@ -76,6 +89,7 @@ struct BenchReport {
     fig5: Fig5Bench,
     fault_sweep: FaultSweepBench,
     cluster_sweep: ClusterSweepBench,
+    hedge_sweep: HedgeSweepBench,
 }
 
 fn stall_heavy_opts(seed: u64, threads: usize, horizon: u64, stepping: Stepping) -> Fig5Options {
@@ -100,21 +114,56 @@ fn stall_heavy_opts(seed: u64, threads: usize, horizon: u64, stepping: Stepping)
     }
 }
 
-fn cells_equal(a: &[Fig5Cell], b: &[Fig5Cell]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.design == y.design
-                && x.workload == y.workload
-                && x.load == y.load
-                && x.utilization == y.utilization
-                && x.perf_density_norm == y.perf_density_norm
-                && x.energy_norm == y.energy_norm
-                && x.p99_us == y.p99_us
-                && x.iso_p99_us == y.iso_p99_us
-                && x.stp_norm == y.stp_norm
-                && x.service_slowdown == y.service_slowdown
-                && x.remote_ops_per_us == y.remote_ops_per_us
-        })
+/// Returns a description of the first naive/fast-forward disagreement, or
+/// `None` when the grids are cell-for-cell identical. Naming the cell and
+/// field turns a bit-identity violation from a yes/no verdict into a
+/// reproducible bug report.
+fn first_mismatch(a: &[Fig5Cell], b: &[Fig5Cell]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("grid sizes differ: {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        let cell = format!(
+            "{} / {} @ load {:.2}",
+            x.design.name(),
+            y.workload.name(),
+            x.load
+        );
+        if x.design != y.design || x.workload != y.workload || x.load != y.load {
+            return Some(format!(
+                "grid order diverged at {cell} vs {} / {} @ load {:.2}",
+                y.design.name(),
+                y.workload.name(),
+                y.load
+            ));
+        }
+        let fields: [(&str, f64, f64); 8] = [
+            ("utilization", x.utilization, y.utilization),
+            (
+                "perf_density_norm",
+                x.perf_density_norm,
+                y.perf_density_norm,
+            ),
+            ("energy_norm", x.energy_norm, y.energy_norm),
+            ("p99_us", x.p99_us, y.p99_us),
+            ("iso_p99_us", x.iso_p99_us, y.iso_p99_us),
+            ("stp_norm", x.stp_norm, y.stp_norm),
+            ("service_slowdown", x.service_slowdown, y.service_slowdown),
+            (
+                "remote_ops_per_us",
+                x.remote_ops_per_us,
+                y.remote_ops_per_us,
+            ),
+        ];
+        for (name, naive, fast) in fields {
+            if naive.to_bits() != fast.to_bits() {
+                return Some(format!(
+                    "{cell}: {name} naive {naive:?} vs fast-forward {fast:?}"
+                ));
+            }
+        }
+    }
+    None
 }
 
 fn main() {
@@ -154,10 +203,12 @@ fn main() {
     let fast_cells = run_fig5(&opts_of(Stepping::FastForward));
     let fast_s = t1.elapsed().as_secs_f64();
 
-    let identical = cells_equal(&naive_cells, &fast_cells);
+    let mismatch = first_mismatch(&naive_cells, &fast_cells);
+    let identical = mismatch.is_none();
     assert!(
         identical,
-        "fast-forward diverged from naive stepping — bit-identity contract broken"
+        "fast-forward diverged from naive stepping — bit-identity contract broken at {}",
+        mismatch.as_deref().unwrap_or("unknown cell")
     );
 
     let timing = |wall_s: f64| ModeTiming {
@@ -196,6 +247,13 @@ fn main() {
     let cluster_points = cluster_sweep(&cluster_opts);
     let cluster_s = t3.elapsed().as_secs_f64();
 
+    eprintln!("bench: duplication/hedging sweep");
+    let mut hedge_opts = fid.hedge_sweep_options(seed);
+    hedge_opts.threads = threads;
+    let t4 = Instant::now();
+    let hedge_points = hedge_sweep(&hedge_opts);
+    let hedge_s = t4.elapsed().as_secs_f64();
+
     let report = BenchReport {
         seed,
         threads,
@@ -222,6 +280,13 @@ fn main() {
             saturated: cluster_points.iter().filter(|p| p.saturated).count(),
             wall_s: cluster_s,
             points_per_sec: cluster_points.len() as f64 / cluster_s.max(1e-12),
+        },
+        hedge_sweep: HedgeSweepBench {
+            points: hedge_points.len(),
+            saturated: hedge_points.iter().filter(|p| p.saturated).count(),
+            dup_copies: hedge_points.iter().map(|p| p.dup_copies).sum(),
+            wall_s: hedge_s,
+            points_per_sec: hedge_points.len() as f64 / hedge_s.max(1e-12),
         },
     };
 

@@ -4,7 +4,7 @@
 //! report [--quick] [--seed N] [--threads N] [--json DIR] [--trace FILE]
 //!        [--metrics FILE] [--fig1a] [--fig1b] [--fig1c] [--fig2a] [--fig2b]
 //!        [--table1] [--table2] [--fig5] [--fig6] [--faults] [--cluster]
-//!        [--all]
+//!        [--hedge] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -21,7 +21,9 @@
 //! Both are deterministic: byte-identical for every `--threads` value, and
 //! the figure output itself is unchanged by tracing.
 
-use duplexity::experiments::{cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, tables};
+use duplexity::experiments::{
+    cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, tables,
+};
 use duplexity::report as render;
 use duplexity_bench::Fidelity;
 use std::path::PathBuf;
@@ -93,6 +95,7 @@ fn main() {
         "--fig6",
         "--faults",
         "--cluster",
+        "--hedge",
         "--extensions",
         "--power",
     ];
@@ -194,6 +197,15 @@ fn main() {
         let points = cluster_sweep::cluster_sweep(&opts);
         println!("{}", render::render_cluster_sweep(&points));
         export(json_dir, "cluster_sweep", &points);
+    }
+
+    if want("--hedge") {
+        eprintln!("running the duplication/hedging sweep...");
+        let mut opts = fidelity.hedge_sweep_options(seed);
+        opts.threads = threads;
+        let points = hedge_sweep::hedge_sweep(&opts);
+        println!("{}", render::render_hedge_sweep(&points));
+        export(json_dir, "hedge_sweep", &points);
     }
 
     if want("--fig5") || want("--fig6") {

@@ -10,6 +10,7 @@
 use duplexity::experiments::cluster_sweep::ClusterSweepOptions;
 use duplexity::experiments::fault_sweep::FaultSweepOptions;
 use duplexity::experiments::fig5::Fig5Options;
+use duplexity::experiments::hedge_sweep::HedgeSweepOptions;
 use duplexity::BalancerPolicy;
 use duplexity_queueing::des::Mg1Options;
 
@@ -126,6 +127,40 @@ impl Fidelity {
         opts
     }
 
+    /// The duplication/hedging sweep grid at this fidelity (the `--hedge`
+    /// artifact). Bench trims to one policy and loads the eager no-purge
+    /// plan still survives; Full keeps the default grid, whose no-purge
+    /// cells saturate by design (the report renders them as `sat`).
+    #[must_use]
+    pub fn hedge_sweep_options(self, seed: u64) -> HedgeSweepOptions {
+        let mut opts = HedgeSweepOptions {
+            seed,
+            ..HedgeSweepOptions::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.policies = vec![BalancerPolicy::Jsq];
+                opts.server_counts = vec![4];
+                opts.loads = vec![0.4];
+                opts.queue = Mg1Options {
+                    max_samples: 60_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
+                opts.loads = vec![0.25, 0.4];
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
     /// SMT-sweep horizon for Figures 1(c) and 2(a).
     #[must_use]
     pub fn sweep_horizon_cycles(self) -> u64 {
@@ -168,5 +203,22 @@ mod tests {
             bench.queue.max_samples < Fidelity::Full.cluster_sweep_options(1).queue.max_samples
         );
         assert_eq!(Fidelity::Full.cluster_sweep_options(9).seed, 9);
+    }
+
+    #[test]
+    fn hedge_sweep_presets_scale_with_fidelity() {
+        let bench = Fidelity::Bench.hedge_sweep_options(1);
+        assert_eq!(bench.server_counts, vec![4]);
+        assert_eq!(bench.loads, vec![0.4]);
+        assert!(bench.queue.max_samples < Fidelity::Full.hedge_sweep_options(1).queue.max_samples);
+        // Every preset keeps the zero-duplication origin of the frontier.
+        for f in [Fidelity::Bench, Fidelity::Quick, Fidelity::Full] {
+            assert!(f
+                .hedge_sweep_options(1)
+                .plans
+                .iter()
+                .any(|p| p.label() == "none"));
+        }
+        assert_eq!(Fidelity::Full.hedge_sweep_options(9).seed, 9);
     }
 }

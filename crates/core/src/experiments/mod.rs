@@ -6,5 +6,6 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
+pub mod hedge_sweep;
 pub mod sweep;
 pub mod tables;

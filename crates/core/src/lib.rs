@@ -49,6 +49,7 @@
 //! | Fig. 6 NIC utilization | [`experiments::fig6::fig6`] |
 //! | Fault-policy tail sweep (extension) | [`experiments::fault_sweep::fault_sweep`] |
 //! | Cluster balancing sweep (extension) | [`experiments::cluster_sweep::cluster_sweep`] |
+//! | Duplication/hedging sweep (extension) | [`experiments::hedge_sweep::hedge_sweep`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,7 +67,7 @@ pub use duplexity_net::{Event, EventKind, EventSource, FaultPlan, LatencyDist, R
 pub use duplexity_obs::{
     chrome_trace_json, PoolReport, Registry, TraceEvent, TraceLog, Tracer, WorkerLoad,
 };
-pub use duplexity_queueing::cluster::BalancerPolicy;
+pub use duplexity_queueing::cluster::{BalancerPolicy, DupMode, DuplicationPolicy};
 pub use duplexity_workloads::Workload;
 pub use exec::ExecPool;
 pub use experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions, ClusterSweepPoint};
@@ -74,6 +75,7 @@ pub use experiments::fault_sweep::{
     default_policies, fault_sweep, FaultPolicy, FaultSweepOptions, FaultSweepPoint,
 };
 pub use experiments::fig5::{run_fig5, run_fig5_traced, Fig5Options, Fig5Run, TraceConfig};
+pub use experiments::hedge_sweep::{hedge_sweep, HedgeSweepOptions, HedgeSweepPoint};
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
     ProvisionerConfig,

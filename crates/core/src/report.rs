@@ -7,6 +7,7 @@ use crate::experiments::fig1::{Fig1bSeries, Fig1cPoint, FlannVariant};
 use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
 use crate::experiments::fig5::Fig5Cell;
 use crate::experiments::fig6::Fig6Cell;
+use crate::experiments::hedge_sweep::HedgeSweepPoint;
 use duplexity_cpu::designs::Design;
 use duplexity_queueing::closed_loop::SurfaceCell;
 use std::fmt::Write as _;
@@ -309,6 +310,95 @@ pub fn render_cluster_sweep(points: &[ClusterSweepPoint]) -> String {
     out
 }
 
+/// Renders the duplication/hedging sweep: one policy × cluster-size block,
+/// one row per duplication plan, per-load p99 columns, plus the frontier
+/// columns at the highest load every plan in the block survives: the added
+/// per-server utilization the plan buys its tail cut with, and the tail
+/// microseconds saved per percentage point of added load (`Δp99/+1%u`,
+/// `-` for the zero-duplication origin of the frontier).
+#[must_use]
+pub fn render_hedge_sweep(points: &[HedgeSweepPoint]) -> String {
+    let mut out =
+        String::from("Hedge sweep: p99 sojourn (µs) per duplication plan, policy, and farm size\n");
+    let mut loads: Vec<f64> = Vec::new();
+    for p in points {
+        if !loads.contains(&p.load) {
+            loads.push(p.load);
+        }
+    }
+    let mut blocks: Vec<(&str, usize)> = Vec::new();
+    for p in points {
+        if !blocks.contains(&(p.policy.as_str(), p.servers)) {
+            blocks.push((&p.policy, p.servers));
+        }
+    }
+    for (policy, servers) in blocks {
+        let _ = writeln!(out, "\n{policy} × {servers} servers");
+        let _ = write!(out, "{:<14}", "plan");
+        for l in &loads {
+            let _ = write!(out, " {:>9}", format!("p99@{:.0}%", l * 100.0));
+        }
+        let _ = writeln!(out, " {:>9} {:>9}", "+util", "Δp99/+1%u");
+        let block: Vec<&HedgeSweepPoint> = points
+            .iter()
+            .filter(|p| p.policy == policy && p.servers == servers)
+            .collect();
+        let mut plans: Vec<&str> = Vec::new();
+        for p in &block {
+            if !plans.contains(&p.plan.as_str()) {
+                plans.push(&p.plan);
+            }
+        }
+        // The frontier is evaluated at the highest load where *every* plan
+        // in the block is stable, so the added-load comparison is paired.
+        let frontier_load = loads
+            .iter()
+            .rev()
+            .find(|&&l| block.iter().filter(|p| p.load == l).all(|p| !p.saturated))
+            .copied();
+        let baseline = frontier_load.and_then(|l| {
+            block
+                .iter()
+                .find(|p| p.load == l && p.plan == "none")
+                .map(|p| p.p99_us)
+        });
+        for plan in plans {
+            let rows: Vec<&&HedgeSweepPoint> = block.iter().filter(|p| p.plan == plan).collect();
+            let _ = write!(out, "{plan:<14}");
+            for l in &loads {
+                let v = rows
+                    .iter()
+                    .find(|p| p.load == *l)
+                    .map_or(f64::NAN, |p| p.p99_us);
+                let _ = write!(out, " {:>9}", norm(v));
+            }
+            let at_frontier =
+                frontier_load.and_then(|l| rows.iter().find(|p| p.load == l).copied());
+            match at_frontier {
+                Some(p) => {
+                    let _ = write!(out, " {:>9.4}", p.added_utilization);
+                    match baseline {
+                        Some(base) if p.added_utilization > 0.0 => {
+                            let _ = writeln!(
+                                out,
+                                " {:>9.3}",
+                                (base - p.p99_us) / (p.added_utilization * 100.0)
+                            );
+                        }
+                        _ => {
+                            let _ = writeln!(out, " {:>9}", "-");
+                        }
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, " {:>9} {:>9}", "sat", "sat");
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Renders Figure 6.
 #[must_use]
 pub fn render_fig6(cells: &[Fig6Cell]) -> String {
@@ -418,6 +508,60 @@ mod tests {
         assert!(
             s.lines()
                 .any(|l| l.starts_with("jsq") && l.contains("60.000")),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn hedge_sweep_rendering_reports_the_paired_frontier() {
+        let mk = |plan: &str, load: f64, p99: f64, added: f64, saturated: bool| HedgeSweepPoint {
+            policy: "jsq".to_string(),
+            plan: plan.to_string(),
+            servers: 4,
+            load,
+            p99_us: p99,
+            p50_us: p99 / 4.0,
+            mean_us: p99 / 3.0,
+            mean_wait_us: p99 / 8.0,
+            dup_mean_wait_us: 0.0,
+            utilization: if saturated { 1.0 } else { load + added },
+            added_utilization: added,
+            dup_copies: if plan == "none" { 0 } else { 500 },
+            hedges_fired: 0,
+            purged: 0,
+            wasted_completions: 0,
+            samples: if saturated { 0 } else { 1000 },
+            converged: !saturated,
+            saturated,
+        };
+        let points = vec![
+            mk("none", 0.3, 40.0, 0.0, false),
+            mk("none", 0.5, 60.0, 0.0, false),
+            mk("dup2", 0.3, 25.0, 0.2, false),
+            mk("dup2", 0.5, 30.0, 0.25, false),
+            mk("dup2_np", 0.3, 26.0, 0.3, false),
+            // dup2_np saturates at 0.5, so the paired frontier must fall
+            // back to the 0.3 column for the whole block.
+            mk("dup2_np", 0.5, f64::INFINITY, 0.0, true),
+        ];
+        let s = render_hedge_sweep(&points);
+        assert!(s.contains("jsq × 4 servers"), "{s}");
+        assert!(s.contains("p99@30%") && s.contains("p99@50%"), "{s}");
+        // The origin plan shows no frontier slope.
+        assert!(
+            s.lines()
+                .any(|l| l.starts_with("none") && l.trim_end().ends_with('-')),
+            "{s}"
+        );
+        // Frontier @30%: dup2 saves (40-25)µs for 20% added load → 0.75.
+        assert!(
+            s.lines()
+                .any(|l| l.starts_with("dup2 ") && l.contains("0.750")),
+            "{s}"
+        );
+        assert!(
+            s.lines()
+                .any(|l| l.starts_with("dup2_np") && l.contains("sat")),
             "{s}"
         );
     }

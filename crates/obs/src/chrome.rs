@@ -24,6 +24,7 @@ const TID_STALL_LENDER: u64 = 4;
 const TID_FAULTS: u64 = 5;
 const TID_REQUESTS: u64 = 6;
 const TID_DISPATCH: u64 = 7;
+const TID_PURGE: u64 = 8;
 /// Borrow rows start here (one per virtual-context id, modulo 32).
 const TID_BORROW_BASE: u64 = 16;
 
@@ -183,6 +184,26 @@ pub fn chrome_trace_json(cells: &[(String, TraceLog)]) -> String {
                         TID_REQUESTS,
                         at,
                         &format!("\"latency_us\":{lat_us}"),
+                    );
+                }
+                TraceEvent::HedgeFire { at, server } => {
+                    w.instant(
+                        "hedge_fire",
+                        TID_DISPATCH,
+                        at,
+                        &format!("\"server\":{server}"),
+                    );
+                }
+                TraceEvent::Purge {
+                    at,
+                    server,
+                    in_service,
+                } => {
+                    w.instant(
+                        "purge",
+                        TID_PURGE,
+                        at,
+                        &format!("\"server\":{server},\"in_service\":{in_service}"),
                     );
                 }
             }
@@ -375,6 +396,27 @@ mod tests {
         assert!(json.contains("\"name\":\"dispatch\""));
         assert!(json.contains("\"server\":3,\"queue_len\":2"));
         assert!(json.contains(&format!("\"tid\":{TID_DISPATCH},")));
+    }
+
+    #[test]
+    fn hedge_and_purge_events_render_as_instants() {
+        let t = Tracer::enabled(8, 1000.0);
+        t.emit(|| TraceEvent::RequestArrive { at: 1000 });
+        t.emit(|| TraceEvent::HedgeFire {
+            at: 21_000,
+            server: 1,
+        });
+        t.emit(|| TraceEvent::Purge {
+            at: 30_000,
+            server: 1,
+            in_service: true,
+        });
+        let json = chrome_trace_json(&[("farm".to_string(), t.take())]);
+        assert!(parse_trace_events(&json).is_ok(), "{json}");
+        assert!(json.contains("\"name\":\"hedge_fire\""));
+        assert!(json.contains("\"name\":\"purge\""));
+        assert!(json.contains("\"server\":1,\"in_service\":true"));
+        assert!(json.contains(&format!("\"tid\":{TID_PURGE},")));
     }
 
     #[test]

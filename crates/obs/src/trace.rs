@@ -193,6 +193,24 @@ pub enum TraceEvent {
         /// End-to-end latency in ticks.
         latency: u64,
     },
+    /// A deadline-triggered hedge fired: the primary copy outlived its
+    /// latency budget, so a duplicate was dispatched.
+    HedgeFire {
+        /// Hedge-dispatch tick (primary arrival + hedge deadline).
+        at: u64,
+        /// Server the duplicate copy was routed to.
+        server: u32,
+    },
+    /// A sibling copy was purged after its request's first completion.
+    Purge {
+        /// Purge tick (the winning copy's completion instant).
+        at: u64,
+        /// Server the purged copy was queued on / running at.
+        server: u32,
+        /// `true` if the copy had already started service (abandoned
+        /// mid-service), `false` if it was still waiting in queue.
+        in_service: bool,
+    },
 }
 
 impl TraceEvent {
@@ -211,7 +229,9 @@ impl TraceEvent {
             | TraceEvent::FaultTimeout { at, .. }
             | TraceEvent::RequestArrive { at }
             | TraceEvent::Dispatch { at, .. }
-            | TraceEvent::RequestComplete { at, .. } => at,
+            | TraceEvent::RequestComplete { at, .. }
+            | TraceEvent::HedgeFire { at, .. }
+            | TraceEvent::Purge { at, .. } => at,
         }
     }
 
@@ -231,6 +251,8 @@ impl TraceEvent {
             TraceEvent::RequestArrive { .. } => "request_arrive",
             TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::RequestComplete { .. } => "request_complete",
+            TraceEvent::HedgeFire { .. } => "hedge_fire",
+            TraceEvent::Purge { .. } => "purge",
         }
     }
 }

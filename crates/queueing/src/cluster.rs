@@ -37,6 +37,13 @@ const CLUSTER_TICKS_PER_US: f64 = 1000.0;
 /// Stream label for the balancer's private RNG (vs the arrival stream).
 const BALANCER_STREAM: u64 = 0xBA1A;
 
+/// Stream label for duplicate-copy service demands. Like the balancer
+/// stream, this is derived independently from the seed so the primary
+/// arrival/service point process is untouched by duplication: a plan that
+/// issues zero duplicates draws nothing from it and is an RNG no-op,
+/// which is what keeps every pre-existing golden fixture byte-identical.
+const DUPLICATE_STREAM: u64 = 0xD0B7;
+
 fn ns_ticks(us: f64) -> u64 {
     (us * CLUSTER_TICKS_PER_US).round().max(0.0) as u64
 }
@@ -101,19 +108,26 @@ impl Balancer for JsqBalancer {
     }
 }
 
-/// Power-of-d choices: probe `d` uniformly random servers (with
-/// replacement), join the shortest of the probes. `d = 2` is the classic
-/// "power of two choices"; `d = n` converges to JSQ in expectation but
-/// still pays `d` probes of randomness.
+/// Power-of-d choices: probe `d` *distinct* uniformly random servers
+/// (sampled without replacement via a partial Fisher–Yates shuffle), join
+/// the shortest probe, ties to the lowest server index. `d = 2` is the
+/// classic "power of two choices"; `d ≥ n` probes every server and is
+/// therefore identical to JSQ on every sample path (same pick at every
+/// arrival), which the property suite asserts.
 #[derive(Debug)]
 pub struct PowerOfDBalancer {
     d: usize,
+    scratch: Vec<usize>,
 }
 
 impl PowerOfDBalancer {
-    /// A power-of-`d` balancer. `d` is clamped to at least 1.
+    /// A power-of-`d` balancer. `d` is clamped to at least 1 (and to the
+    /// server count at pick time).
     pub fn new(d: usize) -> Self {
-        Self { d: d.max(1) }
+        Self {
+            d: d.max(1),
+            scratch: Vec::new(),
+        }
     }
 }
 
@@ -122,10 +136,19 @@ impl Balancer for PowerOfDBalancer {
         "power_of_d"
     }
     fn pick(&mut self, queues: &[u32], _backlog_us: &[f64], rng: &mut SimRng) -> usize {
-        let mut best = rng.random_range(0..queues.len());
-        for _ in 1..self.d {
-            let probe = rng.random_range(0..queues.len());
-            if queues[probe] < queues[best] {
+        let n = queues.len();
+        let d = self.d.min(n);
+        self.scratch.clear();
+        self.scratch.extend(0..n);
+        let mut best = usize::MAX;
+        for j in 0..d {
+            let r = j + rng.random_range(0..n - j);
+            self.scratch.swap(j, r);
+            let probe = self.scratch[j];
+            if best == usize::MAX
+                || queues[probe] < queues[best]
+                || (queues[probe] == queues[best] && probe < best)
+            {
                 best = probe;
             }
         }
@@ -464,6 +487,789 @@ pub fn try_simulate_cluster(
     })
 }
 
+/// How duplicate copies of a request are launched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DupMode {
+    /// No duplication: the undecorated base policy.
+    None,
+    /// Eagerly dispatch `copies` total copies at the arrival instant,
+    /// masked to distinct servers where the farm allows it.
+    Duplicate {
+        /// Total copies including the primary (≥ 1; 1 means no extras).
+        copies: usize,
+    },
+    /// Dispatch one copy at arrival and launch a single duplicate only if
+    /// the request is still incomplete `deadline_us` later. A deadline of
+    /// `0` degenerates to eager `Duplicate { copies: 2 }` (the duplicate
+    /// launches in the same arrival instant, on the identical code path),
+    /// and an infinite deadline never fires, making the plan a bitwise
+    /// no-op over the base policy.
+    Hedge {
+        /// Latency budget before the duplicate launches, µs.
+        deadline_us: f64,
+    },
+}
+
+/// A cluster-level tail-cutting plan: when duplicates launch
+/// ([`DupMode`]), whether the losing siblings are purged on first
+/// completion (tied requests), and whether duplicates queue at low
+/// priority behind primaries (D-Stage style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicationPolicy {
+    /// When duplicate copies are launched.
+    pub mode: DupMode,
+    /// Purge sibling copies at the first completion: queued copies are
+    /// removed from their queue, an in-service copy is abandoned
+    /// mid-service (its remaining demand is never delivered).
+    pub purge: bool,
+    /// Queue duplicate copies behind *all* queued primaries
+    /// (non-preemptive two-class priority; primaries never wait behind a
+    /// queued duplicate).
+    pub low_priority: bool,
+}
+
+impl DuplicationPolicy {
+    /// The undecorated base policy: no duplicates, ever.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            mode: DupMode::None,
+            purge: true,
+            low_priority: false,
+        }
+    }
+
+    /// Eager duplicate-to-`copies`-servers with purge-on-first-completion.
+    #[must_use]
+    pub fn duplicate(copies: usize) -> Self {
+        Self {
+            mode: DupMode::Duplicate { copies },
+            purge: true,
+            low_priority: false,
+        }
+    }
+
+    /// Deadline-triggered hedge with purge-on-first-completion.
+    #[must_use]
+    pub fn hedge(deadline_us: f64) -> Self {
+        Self {
+            mode: DupMode::Hedge { deadline_us },
+            purge: true,
+            low_priority: false,
+        }
+    }
+
+    /// Disables purging: losing copies run to completion (eager
+    /// duplication at its most expensive).
+    #[must_use]
+    pub fn without_purge(mut self) -> Self {
+        self.purge = false;
+        self
+    }
+
+    /// Queues duplicates at low priority behind primaries.
+    #[must_use]
+    pub fn at_low_priority(mut self) -> Self {
+        self.low_priority = true;
+        self
+    }
+
+    /// Stable label for reports and JSON: `none`, `dup2`, `hedge20`, with
+    /// `_np` (no purge) and `_lp` (low-priority duplicates) suffixes.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut s = match self.mode {
+            DupMode::None => return "none".to_string(),
+            DupMode::Duplicate { copies } => format!("dup{copies}"),
+            DupMode::Hedge { deadline_us } => format!("hedge{deadline_us}"),
+        };
+        if !self.purge {
+            s.push_str("_np");
+        }
+        if self.low_priority {
+            s.push_str("_lp");
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for DuplicationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Duplication bookkeeping over the measured window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DupTally {
+    /// Measured requests admitted (each completes exactly once).
+    pub requests: u64,
+    /// Copies dispatched for measured requests, primaries included.
+    pub copies_issued: u64,
+    /// Duplicate copies only (eager extras + fired hedges).
+    pub dup_copies: u64,
+    /// Copies that ran to completion (first + redundant).
+    pub completions: u64,
+    /// Redundant completions: a sibling had already finished (only
+    /// possible with purging disabled).
+    pub wasted_completions: u64,
+    /// Hedge deadlines that fired a duplicate.
+    pub hedges_fired: u64,
+    /// Hedge deadlines that found the request already complete.
+    pub hedges_cancelled: u64,
+    /// Sibling copies purged while still queued (zero service delivered).
+    pub purged_queued: u64,
+    /// Sibling copies abandoned mid-service.
+    pub purged_in_service: u64,
+    /// Service time actually delivered to duplicate copies, µs (partial
+    /// service up to the purge instant for abandoned copies).
+    pub dup_delivered_us: f64,
+}
+
+/// Results of one duplication-aware cluster simulation.
+#[derive(Debug, Clone)]
+pub struct HedgedClusterResult {
+    /// The base cluster metrics. `wait` / `mean_wait_us` cover primary
+    /// copies only (the class the two-class priority closed form
+    /// predicts); `utilization` counts *delivered* service time, so
+    /// purged work is excluded.
+    pub cluster: ClusterResult,
+    /// Duplication/purge counters over the measured window.
+    pub tally: DupTally,
+    /// Queueing delay of duplicate copies that reached service, measured
+    /// from their own dispatch instant, µs.
+    pub dup_wait: Summary,
+    /// Per-server busy fraction attributable to duplicate copies — the
+    /// "added load" axis of the tail-latency-per-unit-added-load
+    /// frontier.
+    pub added_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyState {
+    Queued,
+    InService,
+    Done,
+    Purged,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CopyCell {
+    req: usize,
+    demand: f64,
+    server: usize,
+    issued_at: f64,
+    is_dup: bool,
+    state: CopyState,
+}
+
+#[derive(Debug)]
+struct ReqCell {
+    arrival: f64,
+    measured: bool,
+    completed: bool,
+    copies: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct ServerCell {
+    prim_q: VecDeque<usize>,
+    dup_q: VecDeque<usize>,
+    serving: Option<usize>,
+    serve_start: f64,
+    serve_end: f64,
+    /// Bumped at every service start *and* every in-service abort, so a
+    /// Depart event scheduled for an aborted service is recognized as
+    /// stale and ignored (lazy cancellation).
+    epoch: u64,
+    /// Live copies on this server: queued + in service.
+    in_system: u32,
+    /// Unstarted demand queued on this server, µs.
+    queued_work: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EvKind {
+    Arrive,
+    HedgeFire { req: usize },
+    Depart { server: usize, epoch: u64 },
+}
+
+/// One heap entry: ordered by time, ties broken by schedule order (`seq`),
+/// so the event sequence is a pure function of the inputs.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Duplication-aware cluster simulation, panicking on saturation. See
+/// [`try_simulate_cluster_hedged`].
+///
+/// # Panics
+///
+/// Panics on non-positive `lambda_per_us`, zero servers, or a saturated
+/// pilot estimate.
+pub fn simulate_cluster_hedged(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    balancer: &mut dyn Balancer,
+    plan: &DuplicationPolicy,
+    opts: &ClusterOptions,
+) -> HedgedClusterResult {
+    try_simulate_cluster_hedged(
+        lambda_per_us,
+        service,
+        balancer,
+        plan,
+        opts,
+        &Tracer::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Event-driven cluster simulation with request duplication and hedging.
+///
+/// Unlike [`try_simulate_cluster`] — which walks arrivals in order with a
+/// Lindley-style recursion and stays untouched as the zero-duplication
+/// reference — this engine runs a proper event heap (arrivals, hedge
+/// deadlines, departures) because a purge or hedge can change server state
+/// *between* arrivals. Three independent RNG streams keep plans
+/// comparable: the arrival stream draws exactly the legacy
+/// service-then-interarrival sequence, the balancer stream is private to
+/// placement, and duplicate-copy demands come from their own
+/// [`derive_stream`]-derived stream, so every `(policy, plan)` pair sees
+/// the identical marked point process and a plan issuing zero duplicates
+/// is a bitwise no-op over the base policy.
+///
+/// Purge semantics (`plan.purge`): at a request's first completion every
+/// sibling copy is purged — a queued copy is removed from its queue
+/// (lazily: it is marked and skipped when it reaches the head), an
+/// in-service copy is abandoned at that instant (its server moves on to
+/// the next copy; only the service delivered *before* the purge counts
+/// toward utilization). Scheduled departures of aborted services are
+/// cancelled by a per-server epoch check.
+///
+/// Trace vocabulary: `Dispatch` for every copy placement,
+/// [`TraceEvent::HedgeFire`] when a deadline launches a duplicate,
+/// [`TraceEvent::Purge`] per purged sibling, plus the arrival/completion
+/// events of the base simulator; counters land under `cluster/dup/*` and
+/// `cluster/purge/*`.
+///
+/// # Errors
+///
+/// `Err(Unstable)` when the pilot load estimate saturates: `λ·E[S]·c/n ≥
+/// 1`, where `c` is the eager copy count for no-purge eager plans (every
+/// copy must complete) and `1` otherwise (purged duplicates add a bounded
+/// extra load that vanishes as siblings win races; hedged/purged plans
+/// whose *primary* load is stable always drain).
+pub fn try_simulate_cluster_hedged(
+    lambda_per_us: f64,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    balancer: &mut dyn Balancer,
+    plan: &DuplicationPolicy,
+    opts: &ClusterOptions,
+    tracer: &Tracer,
+) -> Result<HedgedClusterResult, Unstable> {
+    assert!(lambda_per_us > 0.0, "arrival rate must be positive");
+    assert!(opts.servers >= 1, "cluster needs at least one server");
+    if let DupMode::Duplicate { copies } = plan.mode {
+        assert!(copies >= 1, "Duplicate needs at least the primary copy");
+    }
+    tracer.set_ticks_per_us(CLUSTER_TICKS_PER_US);
+    let n = opts.servers;
+
+    let mut rng = rng_from_seed(opts.seed);
+    let mut brng = rng_from_seed(derive_stream(opts.seed, BALANCER_STREAM));
+    let mut drng = rng_from_seed(derive_stream(opts.seed, DUPLICATE_STREAM));
+    let interarrival = Exponential::from_rate(lambda_per_us);
+
+    // Same 512-draw pilot as the base simulator (identical arrival-stream
+    // offset, so results are CRN-comparable across engines and plans).
+    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    let eager_copies = match plan.mode {
+        DupMode::Duplicate { copies } if !plan.purge => copies as f64,
+        _ => 1.0,
+    };
+    let rho_estimate = lambda_per_us * pilot * eager_copies / n as f64;
+    if rho_estimate >= 1.0 {
+        return Err(Unstable { rho_estimate });
+    }
+
+    let mut sim = HedgeSim {
+        plan,
+        opts,
+        tracer,
+        traced: tracer.is_enabled(),
+        servers: (0..n).map(|_| ServerCell::default()).collect(),
+        copies: Vec::new(),
+        reqs: Vec::new(),
+        heap: std::collections::BinaryHeap::new(),
+        seq: 0,
+        sojourns: QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20)),
+        sojourn_sum: Summary::new(),
+        wait_sum: Summary::new(),
+        dup_wait: Summary::new(),
+        per_server: vec![0u64; n],
+        tally: DupTally::default(),
+        delivered_us: 0.0,
+        clock: 0.0,
+        converged: false,
+        arrivals: 0,
+    };
+    sim.schedule(0.0, EvKind::Arrive);
+
+    let total = opts.warmup + opts.max_samples;
+    while let Some(std::cmp::Reverse(ev)) = sim.heap.pop() {
+        match ev.kind {
+            EvKind::Arrive => {
+                // A pending arrival is dropped (never admitted) once the
+                // stopping rule fires; in-flight work still drains so
+                // every admitted request completes.
+                if sim.converged || sim.arrivals >= total {
+                    continue;
+                }
+                sim.on_arrive(
+                    ev.t,
+                    total,
+                    service,
+                    balancer,
+                    &interarrival,
+                    &mut rng,
+                    &mut brng,
+                    &mut drng,
+                );
+            }
+            EvKind::HedgeFire { req } => {
+                sim.on_hedge_fire(req, ev.t, service, balancer, &mut brng, &mut drng);
+            }
+            EvKind::Depart { server, epoch } => {
+                sim.on_depart(server, epoch, ev.t);
+            }
+        }
+    }
+
+    let n_f = n as f64;
+    let clock = sim.clock;
+    let util = |busy: f64| {
+        if clock > 0.0 {
+            (busy / (n_f * clock)).min(1.0)
+        } else {
+            0.0
+        }
+    };
+    let samples = sim.sojourns.count();
+    let added_utilization = util(sim.tally.dup_delivered_us);
+    Ok(HedgedClusterResult {
+        cluster: ClusterResult {
+            tail_us: sim.sojourns.quantile(opts.quantile).unwrap_or(0.0),
+            tail_ci: sim.sojourns.quantile_ci(opts.quantile, opts.confidence),
+            mean_sojourn_us: sim.sojourns.mean().unwrap_or(0.0),
+            p50_us: sim.sojourns.quantile(0.5).unwrap_or(0.0),
+            mean_wait_us: if sim.wait_sum.count() > 0 {
+                sim.wait_sum.mean()
+            } else {
+                0.0
+            },
+            wait: sim.wait_sum,
+            sojourn: sim.sojourn_sum,
+            utilization: util(sim.delivered_us),
+            per_server_requests: sim.per_server,
+            samples,
+            converged: sim.converged,
+        },
+        tally: sim.tally,
+        dup_wait: sim.dup_wait,
+        added_utilization,
+    })
+}
+
+struct HedgeSim<'a> {
+    plan: &'a DuplicationPolicy,
+    opts: &'a ClusterOptions,
+    tracer: &'a Tracer,
+    traced: bool,
+    servers: Vec<ServerCell>,
+    copies: Vec<CopyCell>,
+    reqs: Vec<ReqCell>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<Ev>>,
+    seq: u64,
+    sojourns: QuantileEstimator,
+    sojourn_sum: Summary,
+    wait_sum: Summary,
+    dup_wait: Summary,
+    per_server: Vec<u64>,
+    tally: DupTally,
+    delivered_us: f64,
+    clock: f64,
+    converged: bool,
+    arrivals: usize,
+}
+
+impl HedgeSim<'_> {
+    fn schedule(&mut self, t: f64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse(Ev { t, seq, kind }));
+    }
+
+    /// How many duplicates launch *at the arrival instant*. A zero (or
+    /// negative) hedge deadline is eager duplication: same instant, same
+    /// code path, so `Hedge{0}` is event-for-event `Duplicate{2}`.
+    fn eager_extras(&self) -> usize {
+        match self.plan.mode {
+            DupMode::None => 0,
+            DupMode::Duplicate { copies } => copies - 1,
+            DupMode::Hedge { deadline_us } => usize::from(deadline_us <= 0.0),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_arrive(
+        &mut self,
+        t: f64,
+        total: usize,
+        service: &mut dyn FnMut(&mut SimRng) -> f64,
+        balancer: &mut dyn Balancer,
+        interarrival: &Exponential,
+        rng: &mut SimRng,
+        brng: &mut SimRng,
+        drng: &mut SimRng,
+    ) {
+        let k = self.arrivals;
+        self.arrivals += 1;
+        // Legacy draw order on the arrival stream: service first, then
+        // the interarrival gap.
+        let s = service(rng);
+        let measured = k >= self.opts.warmup;
+        let req = self.reqs.len();
+        self.reqs.push(ReqCell {
+            arrival: t,
+            measured,
+            completed: false,
+            copies: Vec::new(),
+        });
+        if measured {
+            self.tally.requests += 1;
+            if self.traced {
+                self.tracer
+                    .emit(|| TraceEvent::RequestArrive { at: ns_ticks(t) });
+                self.tracer.count("cluster/requests", 1);
+            }
+        }
+        self.dispatch_copy(req, s, t, false, balancer, brng);
+        for _ in 0..self.eager_extras() {
+            let d = service(drng);
+            self.dispatch_copy(req, d, t, true, balancer, brng);
+        }
+        if let DupMode::Hedge { deadline_us } = self.plan.mode {
+            if deadline_us > 0.0 && deadline_us.is_finite() {
+                self.schedule(t + deadline_us, EvKind::HedgeFire { req });
+            }
+        }
+        let a = interarrival.sample(rng);
+        if measured {
+            self.clock += a;
+        }
+        if self.arrivals < total && !self.converged {
+            self.schedule(t + a, EvKind::Arrive);
+        }
+    }
+
+    fn on_hedge_fire(
+        &mut self,
+        req: usize,
+        t: f64,
+        service: &mut dyn FnMut(&mut SimRng) -> f64,
+        balancer: &mut dyn Balancer,
+        brng: &mut SimRng,
+        drng: &mut SimRng,
+    ) {
+        let measured = self.reqs[req].measured;
+        if self.reqs[req].completed {
+            if measured {
+                self.tally.hedges_cancelled += 1;
+                if self.traced {
+                    self.tracer.count("cluster/dup/hedge_cancelled", 1);
+                }
+            }
+            return;
+        }
+        let d = service(drng);
+        let server = self.dispatch_copy(req, d, t, true, balancer, brng);
+        if measured {
+            self.tally.hedges_fired += 1;
+            if self.traced {
+                self.tracer.emit(|| TraceEvent::HedgeFire {
+                    at: ns_ticks(t),
+                    server: server as u32,
+                });
+                self.tracer.count("cluster/dup/hedge_fired", 1);
+            }
+        }
+    }
+
+    /// Places one copy: masked pick (servers already holding a copy of
+    /// this request are hidden from the balancer, unless that would leave
+    /// it nothing to choose from), enqueue at the plan's priority, and a
+    /// service start if the server is idle. Returns the chosen server.
+    fn dispatch_copy(
+        &mut self,
+        req: usize,
+        demand: f64,
+        t: f64,
+        is_dup: bool,
+        balancer: &mut dyn Balancer,
+        brng: &mut SimRng,
+    ) -> usize {
+        let n = self.servers.len();
+        let taken: Vec<usize> = self.reqs[req]
+            .copies
+            .iter()
+            .map(|&c| self.copies[c].server)
+            .collect();
+        let mut map: Vec<usize> = (0..n).filter(|i| !taken.contains(i)).collect();
+        if map.is_empty() {
+            map = (0..n).collect();
+        }
+        let mut queues = Vec::with_capacity(map.len());
+        let mut backlog = Vec::with_capacity(map.len());
+        for &i in &map {
+            let srv = &self.servers[i];
+            queues.push(srv.in_system);
+            let residual = if srv.serving.is_some() {
+                (srv.serve_end - t).max(0.0)
+            } else {
+                0.0
+            };
+            backlog.push(srv.queued_work + residual);
+        }
+        let local = balancer.pick(&queues, &backlog, brng);
+        debug_assert!(local < map.len(), "balancer picked out-of-range {local}");
+        let server = map[local];
+
+        let copy = self.copies.len();
+        self.copies.push(CopyCell {
+            req,
+            demand,
+            server,
+            issued_at: t,
+            is_dup,
+            state: CopyState::Queued,
+        });
+        self.reqs[req].copies.push(copy);
+        let measured = self.reqs[req].measured;
+        if measured {
+            self.per_server[server] += 1;
+            self.tally.copies_issued += 1;
+            if is_dup {
+                self.tally.dup_copies += 1;
+                if self.traced {
+                    self.tracer.count("cluster/dup/issued", 1);
+                }
+            }
+            if self.traced {
+                let queue_len = self.servers[server].in_system;
+                self.tracer.emit(|| TraceEvent::Dispatch {
+                    at: ns_ticks(t),
+                    server: server as u32,
+                    queue_len,
+                });
+                self.tracer
+                    .count(&format!("cluster/server/{server}/requests"), 1);
+            }
+        }
+        let srv = &mut self.servers[server];
+        srv.in_system += 1;
+        srv.queued_work += demand;
+        if is_dup && self.plan.low_priority {
+            srv.dup_q.push_back(copy);
+        } else {
+            srv.prim_q.push_back(copy);
+        }
+        self.maybe_start(server, t);
+        server
+    }
+
+    /// Starts the next live copy on an idle server: queued primaries
+    /// first, then queued duplicates (non-preemptive priority); purged
+    /// copies are skipped as they reach the head.
+    fn maybe_start(&mut self, server: usize, t: f64) {
+        if self.servers[server].serving.is_some() {
+            return;
+        }
+        let next = loop {
+            let srv = &mut self.servers[server];
+            let Some(c) = srv.prim_q.pop_front().or_else(|| srv.dup_q.pop_front()) else {
+                break None;
+            };
+            if self.copies[c].state == CopyState::Queued {
+                break Some(c);
+            }
+        };
+        let Some(c) = next else { return };
+        self.copies[c].state = CopyState::InService;
+        let demand = self.copies[c].demand;
+        let srv = &mut self.servers[server];
+        srv.serving = Some(c);
+        srv.serve_start = t;
+        srv.serve_end = t + demand;
+        srv.queued_work -= demand;
+        srv.epoch += 1;
+        let epoch = srv.epoch;
+        let end = srv.serve_end;
+        if self.reqs[self.copies[c].req].measured {
+            let w = t - self.copies[c].issued_at;
+            if self.copies[c].is_dup {
+                self.dup_wait.record(w);
+                if self.traced {
+                    self.tracer.observe("cluster/dup/wait_us", w);
+                }
+            } else {
+                self.wait_sum.record(w);
+                if self.traced {
+                    self.tracer.observe("cluster/wait_us", w);
+                }
+            }
+        }
+        self.schedule(end, EvKind::Depart { server, epoch });
+    }
+
+    fn on_depart(&mut self, server: usize, epoch: u64, t: f64) {
+        if self.servers[server].epoch != epoch {
+            return; // stale: this service was aborted by a purge
+        }
+        let c = self.servers[server]
+            .serving
+            .take()
+            .expect("live Depart on an idle server");
+        self.copies[c].state = CopyState::Done;
+        self.servers[server].in_system -= 1;
+        let req = self.copies[c].req;
+        let measured = self.reqs[req].measured;
+        if measured {
+            self.delivered_us += self.copies[c].demand;
+            self.tally.completions += 1;
+            if self.copies[c].is_dup {
+                self.tally.dup_delivered_us += self.copies[c].demand;
+            }
+        }
+        if self.reqs[req].completed {
+            if measured {
+                self.tally.wasted_completions += 1;
+                if self.traced {
+                    self.tracer.count("cluster/dup/wasted", 1);
+                }
+            }
+        } else {
+            self.reqs[req].completed = true;
+            let sojourn = t - self.reqs[req].arrival;
+            if measured {
+                self.sojourns.record(sojourn);
+                self.sojourn_sum.record(sojourn);
+                if self.traced {
+                    let at = ns_ticks(t);
+                    let arrived = ns_ticks(self.reqs[req].arrival);
+                    self.tracer.emit(|| TraceEvent::RequestComplete {
+                        at,
+                        latency: at.saturating_sub(arrived),
+                    });
+                    self.tracer.observe("cluster/sojourn_us", sojourn);
+                }
+                if self.sojourns.count().is_multiple_of(self.opts.check_every) {
+                    if let Some(ci) = self
+                        .sojourns
+                        .quantile_ci(self.opts.quantile, self.opts.confidence)
+                    {
+                        if ci.converged(self.opts.max_relative_error) {
+                            self.converged = true;
+                        }
+                    }
+                }
+            }
+            if self.plan.purge {
+                let siblings = self.reqs[req].copies.clone();
+                for sib in siblings {
+                    if sib != c {
+                        self.purge_copy(sib, t, measured);
+                    }
+                }
+            }
+        }
+        self.maybe_start(server, t);
+    }
+
+    /// Purges one sibling copy at the winning completion's instant `t`.
+    fn purge_copy(&mut self, c: usize, t: f64, measured: bool) {
+        let server = self.copies[c].server;
+        match self.copies[c].state {
+            CopyState::Queued => {
+                self.copies[c].state = CopyState::Purged;
+                let srv = &mut self.servers[server];
+                srv.in_system -= 1;
+                srv.queued_work -= self.copies[c].demand;
+                if measured {
+                    self.tally.purged_queued += 1;
+                    if self.traced {
+                        self.tracer.emit(|| TraceEvent::Purge {
+                            at: ns_ticks(t),
+                            server: server as u32,
+                            in_service: false,
+                        });
+                        self.tracer.count("cluster/purge/queued", 1);
+                    }
+                }
+            }
+            CopyState::InService => {
+                self.copies[c].state = CopyState::Purged;
+                let srv = &mut self.servers[server];
+                debug_assert_eq!(srv.serving, Some(c), "in-service copy not serving");
+                let part = (t - srv.serve_start).max(0.0);
+                srv.serving = None;
+                srv.epoch += 1; // the scheduled Depart is now stale
+                srv.in_system -= 1;
+                if measured {
+                    self.delivered_us += part;
+                    if self.copies[c].is_dup {
+                        self.tally.dup_delivered_us += part;
+                    }
+                    self.tally.purged_in_service += 1;
+                    if self.traced {
+                        self.tracer.emit(|| TraceEvent::Purge {
+                            at: ns_ticks(t),
+                            server: server as u32,
+                            in_service: true,
+                        });
+                        self.tracer.count("cluster/purge/in_service", 1);
+                    }
+                }
+                self.maybe_start(server, t);
+            }
+            CopyState::Done | CopyState::Purged => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +1415,220 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.rho_estimate >= 1.0, "rho {}", err.rho_estimate);
+    }
+
+    fn hedged(
+        lambda: f64,
+        plan: DuplicationPolicy,
+        policy: BalancerPolicy,
+        opts: &ClusterOptions,
+    ) -> HedgedClusterResult {
+        let mut svc = exp_service(1.0);
+        simulate_cluster_hedged(lambda, &mut svc, &mut *policy.build(), &plan, opts)
+    }
+
+    #[test]
+    fn hedged_engine_conserves_requests_and_copies() {
+        let opts = ClusterOptions {
+            max_samples: 20_000,
+            warmup: 1_000,
+            max_relative_error: 0.001, // run the full window
+            ..fast_opts(4, 91)
+        };
+        for plan in [
+            DuplicationPolicy::none(),
+            DuplicationPolicy::duplicate(2),
+            DuplicationPolicy::duplicate(2).without_purge(),
+            DuplicationPolicy::duplicate(2).at_low_priority(),
+            DuplicationPolicy::hedge(2.0),
+            DuplicationPolicy::hedge(2.0).at_low_priority(),
+        ] {
+            // rho_eff stays below 1 even for the eager no-purge plan
+            // (1.6 * 2 / 4 = 0.8).
+            let r = hedged(1.6, plan, BalancerPolicy::Jsq, &opts);
+            let t = &r.tally;
+            // Every admitted request completes exactly once.
+            assert_eq!(r.cluster.samples as u64, t.requests, "{plan}");
+            // Every issued copy either completes or is purged.
+            assert_eq!(
+                t.completions + t.purged_queued + t.purged_in_service,
+                t.copies_issued,
+                "{plan}"
+            );
+            assert!(t.completions <= t.copies_issued, "{plan}");
+            if plan.purge {
+                // A purged race has no redundant completions to waste.
+                assert_eq!(t.wasted_completions, 0, "{plan}");
+            }
+            assert!(r.cluster.utilization <= 1.0, "{plan}");
+            assert!(r.added_utilization <= r.cluster.utilization, "{plan}");
+        }
+    }
+
+    #[test]
+    fn eager_duplication_with_purge_cuts_p99_at_moderate_load() {
+        let opts = ClusterOptions {
+            max_samples: 60_000,
+            warmup: 2_000,
+            ..fast_opts(4, 101)
+        };
+        let none = hedged(2.0, DuplicationPolicy::none(), BalancerPolicy::Jsq, &opts);
+        let dup2 = hedged(
+            2.0,
+            DuplicationPolicy::duplicate(2),
+            BalancerPolicy::Jsq,
+            &opts,
+        );
+        assert!(
+            dup2.cluster.tail_us <= none.cluster.tail_us,
+            "dup2 p99 {} vs none {}",
+            dup2.cluster.tail_us,
+            none.cluster.tail_us
+        );
+        assert!(dup2.tally.dup_copies > 0);
+    }
+
+    #[test]
+    fn purge_delivers_strictly_less_duplicate_work_than_eager_no_purge() {
+        let opts = ClusterOptions {
+            max_samples: 30_000,
+            warmup: 1_000,
+            ..fast_opts(4, 111)
+        };
+        let purged = hedged(
+            1.6,
+            DuplicationPolicy::duplicate(2),
+            BalancerPolicy::Jsq,
+            &opts,
+        );
+        let eager = hedged(
+            1.6,
+            DuplicationPolicy::duplicate(2).without_purge(),
+            BalancerPolicy::Jsq,
+            &opts,
+        );
+        assert!(
+            purged.added_utilization < eager.added_utilization,
+            "purged {} vs eager {}",
+            purged.added_utilization,
+            eager.added_utilization
+        );
+    }
+
+    #[test]
+    fn low_priority_duplicates_never_delay_primaries_more_than_fcfs_duplicates() {
+        // D-Stage's whole point: queued duplicates yield to primaries, so
+        // the primary-class mean wait under low-priority duplication must
+        // not exceed the same plan with FCFS (shared-queue) duplicates.
+        let opts = ClusterOptions {
+            max_samples: 40_000,
+            warmup: 2_000,
+            ..fast_opts(2, 121)
+        };
+        let plan = DuplicationPolicy::duplicate(2).without_purge();
+        let fcfs = hedged(0.8, plan, BalancerPolicy::Jsq, &opts);
+        let lp = hedged(0.8, plan.at_low_priority(), BalancerPolicy::Jsq, &opts);
+        assert!(
+            lp.cluster.mean_wait_us <= fcfs.cluster.mean_wait_us,
+            "low-priority primary wait {} vs FCFS {}",
+            lp.cluster.mean_wait_us,
+            fcfs.cluster.mean_wait_us
+        );
+    }
+
+    #[test]
+    fn saturated_eager_no_purge_plan_is_a_typed_error() {
+        // rho_eff = lambda * copies * E[S] / n = 2.4 * 2 / 4 = 1.2.
+        let mut svc = exp_service(1.0);
+        let err = try_simulate_cluster_hedged(
+            2.4,
+            &mut svc,
+            &mut JsqBalancer,
+            &DuplicationPolicy::duplicate(2).without_purge(),
+            &fast_opts(4, 131),
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.rho_estimate >= 1.0, "rho {}", err.rho_estimate);
+    }
+
+    #[test]
+    fn hedged_tracing_emits_purges_and_does_not_perturb() {
+        let opts = ClusterOptions {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(4, 141)
+        };
+        let plan = DuplicationPolicy::hedge(0.5);
+        let plain = hedged(2.0, plan, BalancerPolicy::Jsq, &opts);
+        let tracer = Tracer::enabled(1 << 20, CLUSTER_TICKS_PER_US);
+        let mut svc = exp_service(1.0);
+        let traced =
+            try_simulate_cluster_hedged(2.0, &mut svc, &mut JsqBalancer, &plan, &opts, &tracer)
+                .unwrap();
+        assert_eq!(plain.cluster.tail_us, traced.cluster.tail_us);
+        assert_eq!(plain.tally, traced.tally);
+        let log = tracer.take();
+        assert_eq!(
+            log.registry.counter("cluster/dup/hedge_fired"),
+            traced.tally.hedges_fired
+        );
+        assert_eq!(
+            log.registry.counter("cluster/purge/queued")
+                + log.registry.counter("cluster/purge/in_service"),
+            traced.tally.purged_queued + traced.tally.purged_in_service
+        );
+        let purges = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Purge { .. }))
+            .count() as u64;
+        assert_eq!(
+            purges,
+            traced.tally.purged_queued + traced.tally.purged_in_service
+        );
+        assert!(traced.tally.hedges_fired > 0, "hedges must fire at 0.5us");
+    }
+
+    #[test]
+    fn duplication_plan_labels_are_stable() {
+        assert_eq!(DuplicationPolicy::none().label(), "none");
+        assert_eq!(DuplicationPolicy::duplicate(2).label(), "dup2");
+        assert_eq!(
+            DuplicationPolicy::duplicate(3).without_purge().label(),
+            "dup3_np"
+        );
+        assert_eq!(
+            DuplicationPolicy::duplicate(2).at_low_priority().label(),
+            "dup2_lp"
+        );
+        assert_eq!(DuplicationPolicy::hedge(20.0).label(), "hedge20");
+        assert_eq!(
+            DuplicationPolicy::hedge(2.5).at_low_priority().label(),
+            "hedge2.5_lp"
+        );
+    }
+
+    #[test]
+    fn power_of_n_matches_jsq_on_every_sample_path() {
+        let opts = ClusterOptions {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..fast_opts(4, 151)
+        };
+        let jsq = hedged(2.4, DuplicationPolicy::none(), BalancerPolicy::Jsq, &opts);
+        let pod = hedged(
+            2.4,
+            DuplicationPolicy::none(),
+            BalancerPolicy::PowerOfD(4),
+            &opts,
+        );
+        assert_eq!(jsq.cluster.tail_us.to_bits(), pod.cluster.tail_us.to_bits());
+        assert_eq!(jsq.cluster.sojourn, pod.cluster.sojourn);
+        assert_eq!(
+            jsq.cluster.per_server_requests,
+            pod.cluster.per_server_requests
+        );
     }
 
     #[test]

@@ -19,9 +19,12 @@
 //!   McRouter model;
 //! * [`cluster`] — the n-server load-balanced farm (Random / RoundRobin /
 //!   JSQ / power-of-d / least-work balancers over per-server FCFS queues),
-//!   scaling the single dyad to the paper's server-level results;
-//! * [`mmk`] — analytic M/M/k (Erlang-C) cross-checks for the cluster
-//!   simulator.
+//!   scaling the single dyad to the paper's server-level results, plus the
+//!   event-driven duplication/hedging engine (eager duplicate-to-d,
+//!   deadline hedges, purge-on-first-completion, low-priority duplicate
+//!   queues) that cuts cluster-level stragglers;
+//! * [`mmk`] — analytic M/M/k (Erlang-C) and two-class non-preemptive
+//!   priority M/M/1 cross-checks for the cluster simulator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +38,9 @@ pub mod mmk;
 
 pub use closed_loop::{closed_loop_utilization, utilization_surface};
 pub use cluster::{
-    simulate_cluster, try_simulate_cluster, BalancerPolicy, ClusterOptions, ClusterResult,
+    simulate_cluster, simulate_cluster_hedged, try_simulate_cluster, try_simulate_cluster_hedged,
+    BalancerPolicy, ClusterOptions, ClusterResult, DupMode, DupTally, DuplicationPolicy,
+    HedgedClusterResult,
 };
 pub use des::{
     simulate_mg1, simulate_mg1_faulted, simulate_mg1_faulted_traced, simulate_mg1_traced,
@@ -44,4 +49,4 @@ pub use des::{
 };
 pub use fanout::{exponential_fanout_mean, exponential_fanout_quantile, FanOut};
 pub use mg1::{idle_period_cdf, mean_idle_period_us, Mg1Analytic};
-pub use mmk::MmkAnalytic;
+pub use mmk::{Mm1PriorityAnalytic, MmkAnalytic};

@@ -77,6 +77,94 @@ impl MmkAnalytic {
     }
 }
 
+/// Analytic two-class non-preemptive priority M/M/1 queue (Cobham).
+///
+/// Oracle for the cluster duplication engine's low-priority duplicate
+/// queues: on a single server, a D-Stage plan (`Duplicate{2}`, no purge,
+/// low-priority duplicates) is exactly a two-class priority queue — the
+/// primaries are class 1 (high), the duplicates class 2 (low), and a
+/// queued duplicate never starts before a queued primary.
+///
+/// With exponential service (`E[S²] = 2·E[S]²`) the mean residual work in
+/// service is `R = λ₁E[S₁]² + λ₂E[S₂]²` and Cobham's formulas give
+///
+/// ```text
+/// W₁ = R / (1 − ρ₁)
+/// W₂ = R / ((1 − ρ₁)(1 − ρ₁ − ρ₂))
+/// ```
+///
+/// **Caveat for the duplicate-queue cross-check:** the engine's duplicates
+/// arrive in a batch *with* their primary, not as an independent Poisson
+/// stream. `W₁` survives this — primary arrivals are Poisson (PASTA) and a
+/// batch-mate duplicate always queues behind its own primary, so the
+/// high-priority class sees exactly the Cobham mean — but `W₂` assumes
+/// independent low-priority Poisson arrivals and is only an approximation
+/// there. The simulation test therefore asserts class 1 against the
+/// closed form and only a weak ordering for class 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1PriorityAnalytic {
+    /// High-priority (class 1) arrival rate λ₁, requests per µs.
+    pub lambda_high_per_us: f64,
+    /// High-priority mean service time E\[S₁\], µs.
+    pub mean_service_high_us: f64,
+    /// Low-priority (class 2) arrival rate λ₂, requests per µs.
+    pub lambda_low_per_us: f64,
+    /// Low-priority mean service time E\[S₂\], µs.
+    pub mean_service_low_us: f64,
+}
+
+impl Mm1PriorityAnalytic {
+    /// High-priority load ρ₁ = λ₁ E\[S₁\].
+    #[must_use]
+    pub fn rho_high(&self) -> f64 {
+        self.lambda_high_per_us * self.mean_service_high_us
+    }
+
+    /// Low-priority load ρ₂ = λ₂ E\[S₂\].
+    #[must_use]
+    pub fn rho_low(&self) -> f64 {
+        self.lambda_low_per_us * self.mean_service_low_us
+    }
+
+    /// Total load ρ = ρ₁ + ρ₂.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho_high() + self.rho_low()
+    }
+
+    /// Mean residual work in service seen by an arrival,
+    /// `R = Σᵢ λᵢ E[Sᵢ²] / 2` with exponential `E[Sᵢ²] = 2 E[Sᵢ]²`, µs.
+    #[must_use]
+    pub fn residual_us(&self) -> f64 {
+        self.lambda_high_per_us * self.mean_service_high_us.powi(2)
+            + self.lambda_low_per_us * self.mean_service_low_us.powi(2)
+    }
+
+    /// Mean high-priority wait `W₁ = R / (1 − ρ₁)`, µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the high-priority class alone saturates (ρ₁ ≥ 1).
+    #[must_use]
+    pub fn mean_wait_high_us(&self) -> f64 {
+        let rho1 = self.rho_high();
+        assert!(rho1 < 1.0, "priority class saturates: rho1 = {rho1}");
+        self.residual_us() / (1.0 - rho1)
+    }
+
+    /// Mean low-priority wait `W₂ = R / ((1 − ρ₁)(1 − ρ))`, µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue saturates (ρ ≥ 1).
+    #[must_use]
+    pub fn mean_wait_low_us(&self) -> f64 {
+        let (rho1, rho) = (self.rho_high(), self.rho());
+        assert!(rho < 1.0, "queue saturates: rho = {rho}");
+        self.residual_us() / ((1.0 - rho1) * (1.0 - rho))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +225,83 @@ mod tests {
             servers: 4,
         };
         assert!(mk(0.99).mean_wait_us() > 20.0 * mk(0.7).mean_wait_us());
+    }
+
+    #[test]
+    fn priority_with_no_low_class_reduces_to_mm1() {
+        let p = Mm1PriorityAnalytic {
+            lambda_high_per_us: 0.35,
+            mean_service_high_us: 2.0,
+            lambda_low_per_us: 0.0,
+            mean_service_low_us: 1.0,
+        };
+        let mm1 = Mg1Analytic {
+            lambda_per_us: 0.35,
+            mean_service_us: 2.0,
+            service_scv: 1.0,
+        };
+        assert!((p.mean_wait_high_us() - mm1.mean_wait_us()).abs() < 1e-12);
+        // A tagged low-priority arrival is still overtaken by every
+        // high-priority arrival during its own wait, so even at lambda2
+        // -> 0 its wait is W1 / (1 - rho1), strictly worse.
+        let expect = p.mean_wait_high_us() / (1.0 - p.rho_high());
+        assert!((p.mean_wait_low_us() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_brackets_the_fcfs_aggregate() {
+        // Priority redistributes waiting, it does not create or destroy
+        // it: W1 < W_fcfs < W2 for a shared service distribution.
+        let p = Mm1PriorityAnalytic {
+            lambda_high_per_us: 0.3,
+            mean_service_high_us: 1.0,
+            lambda_low_per_us: 0.3,
+            mean_service_low_us: 1.0,
+        };
+        let fcfs = Mg1Analytic {
+            lambda_per_us: 0.6,
+            mean_service_us: 1.0,
+            service_scv: 1.0,
+        };
+        assert!(p.mean_wait_high_us() < fcfs.mean_wait_us());
+        assert!(p.mean_wait_low_us() > fcfs.mean_wait_us());
+    }
+
+    #[test]
+    fn kleinrock_conservation_law_holds() {
+        // For any work-conserving non-preemptive discipline over the same
+        // classes: sum_i rho_i W_i = rho * R / (1 - rho).
+        let p = Mm1PriorityAnalytic {
+            lambda_high_per_us: 0.25,
+            mean_service_high_us: 1.5,
+            lambda_low_per_us: 0.2,
+            mean_service_low_us: 2.0,
+        };
+        let lhs = p.rho_high() * p.mean_wait_high_us() + p.rho_low() * p.mean_wait_low_us();
+        let rhs = p.rho() * p.residual_us() / (1.0 - p.rho());
+        assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn high_priority_wait_ignores_low_priority_queueing() {
+        // Piling more low-priority load on (below saturation) only moves
+        // W1 through the residual term — linear in lambda2, never through
+        // a 1/(1 - rho) blowup.
+        let mk = |l2: f64| Mm1PriorityAnalytic {
+            lambda_high_per_us: 0.3,
+            mean_service_high_us: 1.0,
+            lambda_low_per_us: l2,
+            mean_service_low_us: 1.0,
+        };
+        let w_a = mk(0.3).mean_wait_high_us();
+        let w_b = mk(0.6).mean_wait_high_us();
+        // Linearity in lambda2: dW1/dl2 = (E[S2^2]/2) / (1 - rho1) is
+        // constant — E[S2^2]/2 = E[S2]^2 = 1 for exponential unit mean.
+        let slope = (w_b - w_a) / 0.3;
+        let expect = 1.0 / (1.0 - 0.3);
+        assert!((slope - expect).abs() < 1e-9, "{slope} vs {expect}");
+        // While the low class does blow up as rho -> 1.
+        assert!(mk(0.69).mean_wait_low_us() > 10.0 * mk(0.3).mean_wait_low_us());
     }
 
     #[test]

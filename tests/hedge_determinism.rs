@@ -1,0 +1,333 @@
+//! The duplication/hedging sweep contract, end to end.
+//!
+//! Five guarantees (see `crates/queueing/src/cluster.rs` and the
+//! `hedge_sweep` driver):
+//!
+//! 1. **Worker-count independence** — the full hedge-sweep grid is
+//!    bit-identical at 1 and 8 `ExecPool` workers.
+//! 2. **Tail cutting** — with common random numbers, duplicated JSQ's p99
+//!    never exceeds plain JSQ's at moderate load, and the priority-queue
+//!    variant adds strictly less utilization than eager no-purge
+//!    duplication.
+//! 3. **Golden snapshot** — a small fixed-seed grid is byte-identical to
+//!    `tests/golden/hedge_sweep.json` (regenerate with `UPDATE_GOLDEN=1`).
+//! 4. **Engine parity** — the event-driven hedged engine under
+//!    [`DuplicationPolicy::none`] reproduces the legacy arrival-ordered
+//!    cluster loop to floating-point association error (the two engines
+//!    sum the same numbers in different orders, so bitwise equality is
+//!    not available across them — 1e-9 relative is).
+//! 5. **Queueing-theory fidelity** — low-priority duplicate queues on one
+//!    server form a two-class non-preemptive priority M/M/1, so the
+//!    primary-class wait must match the Cobham closed form within a
+//!    replication-level confidence interval. (Only the high-priority
+//!    class: duplicate arrivals are batch-correlated with primaries, which
+//!    PASTA tolerates for class 1 but not for the class-2 form.)
+
+use duplexity::experiments::hedge_sweep::{hedge_sweep, HedgeSweepOptions, HedgeSweepPoint};
+use duplexity::BalancerPolicy;
+use duplexity_obs::Tracer;
+use duplexity_queueing::cluster::{
+    try_simulate_cluster, try_simulate_cluster_hedged, ClusterOptions, DuplicationPolicy,
+};
+use duplexity_queueing::des::Mg1Options;
+use duplexity_queueing::mmk::Mm1PriorityAnalytic;
+use duplexity_stats::ci::mean_ci;
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_stats::summary::Summary;
+use std::path::PathBuf;
+
+fn sweep_opts(threads: usize) -> HedgeSweepOptions {
+    HedgeSweepOptions {
+        policies: vec![BalancerPolicy::Jsq, BalancerPolicy::PowerOfD(2)],
+        server_counts: vec![2, 8],
+        // Moderate loads: even the eager no-purge plan (which doubles the
+        // offered work) stays below the saturation guard.
+        loads: vec![0.25, 0.4],
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        ..HedgeSweepOptions::default()
+    }
+}
+
+#[test]
+fn hedge_sweep_grid_is_bit_identical_at_1_and_8_workers() {
+    let one = hedge_sweep(&sweep_opts(1));
+    let eight = hedge_sweep(&sweep_opts(8));
+    assert_eq!(one.len(), eight.len());
+    assert_eq!(one.len(), 2 * 6 * 2 * 2);
+    for (a, b) in one.iter().zip(&eight) {
+        let cell = format!("{}/{}/{}s@{}", a.policy, a.plan, a.servers, a.load);
+        assert_eq!(a.policy, b.policy, "{cell}");
+        assert_eq!(a.plan, b.plan, "{cell}");
+        assert_eq!(a.servers, b.servers, "{cell}");
+        assert_eq!(a.load, b.load, "{cell}");
+        // Bitwise equality, not tolerance: the determinism contract.
+        assert_eq!(a.p99_us.to_bits(), b.p99_us.to_bits(), "{cell}");
+        assert_eq!(a.p50_us.to_bits(), b.p50_us.to_bits(), "{cell}");
+        assert_eq!(a.mean_us.to_bits(), b.mean_us.to_bits(), "{cell}");
+        assert_eq!(a.mean_wait_us.to_bits(), b.mean_wait_us.to_bits(), "{cell}");
+        assert_eq!(
+            a.dup_mean_wait_us.to_bits(),
+            b.dup_mean_wait_us.to_bits(),
+            "{cell}"
+        );
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits(), "{cell}");
+        assert_eq!(
+            a.added_utilization.to_bits(),
+            b.added_utilization.to_bits(),
+            "{cell}"
+        );
+        assert_eq!(a.dup_copies, b.dup_copies, "{cell}");
+        assert_eq!(a.hedges_fired, b.hedges_fired, "{cell}");
+        assert_eq!(a.purged, b.purged, "{cell}");
+        assert_eq!(a.wasted_completions, b.wasted_completions, "{cell}");
+        assert_eq!(a.samples, b.samples, "{cell}");
+        assert_eq!(a.converged, b.converged, "{cell}");
+        assert_eq!(a.saturated, b.saturated, "{cell}");
+    }
+}
+
+#[test]
+fn duplicated_jsq_never_loses_to_plain_jsq_at_moderate_load() {
+    let points = hedge_sweep(&sweep_opts(0));
+    for p in &points {
+        assert!(!p.saturated, "unexpected saturation at {p:?}");
+    }
+    let at = |policy: &str, plan: &str, servers: usize, load: f64| -> &HedgeSweepPoint {
+        points
+            .iter()
+            .find(|p| {
+                p.policy == policy && p.plan == plan && p.servers == servers && p.load == load
+            })
+            .expect("paired cell")
+    };
+    for &servers in &[2usize, 8] {
+        for &load in &[0.25, 0.4] {
+            let none = at("jsq", "none", servers, load);
+            // Duplication needs spare servers to race the straggler on: on
+            // the 8-server farm every duplicated/hedged plan must cut the
+            // tail, while the 2-server farm (where a duplicate competes
+            // with the primary for the only other queue) is exactly the
+            // regime the added-load frontier exists to expose — no tail
+            // claim is made there.
+            if servers >= 8 {
+                for plan in ["dup2", "dup2_lp", "hedge20"] {
+                    let dup = at("jsq", plan, servers, load);
+                    assert!(
+                        dup.p99_us <= none.p99_us,
+                        "{servers}s @{load}: {plan} p99 {} vs none {}",
+                        dup.p99_us,
+                        none.p99_us
+                    );
+                }
+            }
+            // The priority-queue variant buys its (possibly smaller) tail
+            // cut for strictly less added load than eager no-purge
+            // duplication, and no-purge wastes completions while the
+            // purging plans waste none.
+            let np = at("jsq", "dup2_np", servers, load);
+            let lp = at("jsq", "dup2_lp", servers, load);
+            assert!(
+                lp.added_utilization < np.added_utilization,
+                "{servers}s @{load}: lp {} vs np {}",
+                lp.added_utilization,
+                np.added_utilization
+            );
+            assert!(np.wasted_completions > 0, "{servers}s @{load}");
+            assert_eq!(at("jsq", "dup2", servers, load).wasted_completions, 0);
+        }
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `value`'s pretty JSON against `tests/golden/<name>.json`, or
+/// rewrites the fixture when `UPDATE_GOLDEN=1` is set (same contract as
+/// `tests/golden.rs`).
+fn assert_matches_golden<T: serde::Serialize>(name: &str, value: &T) {
+    let path = golden_dir().join(format!("{name}.json"));
+    let mut actual = serde_json::to_string_pretty(value).expect("serialize artifact");
+    actual.push('\n');
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test hedge_determinism` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden fixture; if the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test hedge_determinism` \
+         and review `git diff tests/golden/`"
+    );
+}
+
+#[test]
+fn hedge_sweep_small_grid_matches_golden() {
+    let opts = HedgeSweepOptions {
+        policies: vec![BalancerPolicy::Jsq],
+        server_counts: vec![4],
+        loads: vec![0.25, 0.4],
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        ..HedgeSweepOptions::default()
+    };
+    let points = hedge_sweep(&opts);
+    assert!(
+        points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
+        "golden grid must stay unsaturated so every float round-trips"
+    );
+    assert_matches_golden("hedge_sweep", &points);
+}
+
+#[test]
+fn hedged_engine_with_no_duplication_matches_legacy_cluster_loop() {
+    // Both engines replay the identical marked point process (same arrival
+    // stream, same balancer stream, same decisions); the only daylight is
+    // floating-point association — the legacy loop and the event heap sum
+    // the same waits in different groupings.
+    let mean_service = 2.0;
+    for (servers, load) in [(1usize, 0.6), (4, 0.7)] {
+        let lambda = servers as f64 * load / mean_service;
+        let opts = ClusterOptions {
+            servers,
+            max_samples: 30_000,
+            warmup: 1_000,
+            seed: derive_stream(0x9A17, servers as u64),
+            // Disable early stopping: the legacy loop knows each sojourn at
+            // its arrival (Lindley) while the event heap only learns it at
+            // completion, so a mid-run convergence verdict would cut the
+            // two measured windows at different in-flight frontiers.
+            max_relative_error: 0.001,
+            ..ClusterOptions::default()
+        };
+        let mut svc_a = |rng: &mut SimRng| Exponential::new(mean_service).sample(rng);
+        let mut bal_a = BalancerPolicy::Jsq.build();
+        let legacy = try_simulate_cluster(
+            lambda,
+            &mut svc_a,
+            bal_a.as_mut(),
+            &opts,
+            &Tracer::disabled(),
+        )
+        .expect("stable");
+        let mut svc_b = |rng: &mut SimRng| Exponential::new(mean_service).sample(rng);
+        let mut bal_b = BalancerPolicy::Jsq.build();
+        let hedged = try_simulate_cluster_hedged(
+            lambda,
+            &mut svc_b,
+            bal_b.as_mut(),
+            &DuplicationPolicy::none(),
+            &opts,
+            &Tracer::disabled(),
+        )
+        .expect("stable");
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        let cell = format!("{servers}s @{load}");
+        assert_eq!(legacy.samples, hedged.cluster.samples, "{cell}");
+        assert_eq!(
+            legacy.per_server_requests, hedged.cluster.per_server_requests,
+            "{cell}: both engines must make identical dispatch decisions"
+        );
+        assert!(
+            close(legacy.tail_us, hedged.cluster.tail_us),
+            "{cell}: p99 {} vs {}",
+            legacy.tail_us,
+            hedged.cluster.tail_us
+        );
+        assert!(
+            close(legacy.mean_sojourn_us, hedged.cluster.mean_sojourn_us),
+            "{cell}: mean {} vs {}",
+            legacy.mean_sojourn_us,
+            hedged.cluster.mean_sojourn_us
+        );
+        assert!(
+            close(legacy.mean_wait_us, hedged.cluster.mean_wait_us),
+            "{cell}: wait {} vs {}",
+            legacy.mean_wait_us,
+            hedged.cluster.mean_wait_us
+        );
+        assert!(
+            close(legacy.utilization, hedged.cluster.utilization),
+            "{cell}: util {} vs {}",
+            legacy.utilization,
+            hedged.cluster.utilization
+        );
+    }
+}
+
+#[test]
+fn low_priority_duplicates_on_one_server_match_cobham_class1_wait() {
+    // One server, every request eagerly duplicated to a low-priority
+    // queue, no purging: primaries are the high class of a two-class
+    // non-preemptive priority M/M/1 and must obey Cobham's closed form
+    // W1 = R / (1 - rho1). The duplicate class arrives in batches with
+    // the primaries, so only the class-1 prediction survives (PASTA);
+    // the class-2 form assumes Poisson low-class arrivals and is not
+    // asserted. CI over replication means, with a 2% allowance for the
+    // initial-transient bias of runs that start with an empty server.
+    let mean_service = 1.0;
+    let lambda = 0.4; // rho = 2 * 0.4 * 1.0 = 0.8 across both classes
+    let analytic = Mm1PriorityAnalytic {
+        lambda_high_per_us: lambda,
+        mean_service_high_us: mean_service,
+        lambda_low_per_us: lambda,
+        mean_service_low_us: mean_service,
+    }
+    .mean_wait_high_us();
+
+    let plan = DuplicationPolicy::duplicate(2)
+        .without_purge()
+        .at_low_priority();
+    let mut waits = Summary::new();
+    for rep in 0..8u64 {
+        let opts = ClusterOptions {
+            servers: 1,
+            max_samples: 150_000,
+            warmup: 5_000,
+            // Disable early stopping: full-length replications shrink
+            // both the variance and the initial-transient bias.
+            max_relative_error: 0.001,
+            seed: derive_stream(0xC0B4, rep),
+            ..ClusterOptions::default()
+        };
+        let mut svc = |rng: &mut SimRng| Exponential::new(mean_service).sample(rng);
+        let mut bal = BalancerPolicy::Jsq.build();
+        let r = try_simulate_cluster_hedged(
+            lambda,
+            &mut svc,
+            bal.as_mut(),
+            &plan,
+            &opts,
+            &Tracer::disabled(),
+        )
+        .expect("stable two-class configuration");
+        waits.record(r.cluster.mean_wait_us);
+    }
+    let ci = mean_ci(&waits, 0.95);
+    let bias = 0.02 * analytic;
+    assert!(
+        analytic >= ci.low - bias && analytic <= ci.high + bias,
+        "priority M/M/1 class-1 wait: CI [{}, {}] (+/- {bias:.4} bias) misses Cobham {analytic}",
+        ci.low,
+        ci.high
+    );
+}
