@@ -1,7 +1,7 @@
 //! Standing perf-trajectory benchmark for the cycle simulator.
 //!
 //! ```text
-//! bench [--smoke] [--seed N] [--threads N] [--out FILE]
+//! bench [--smoke] [--seed N] [--threads N] [--out FILE] [--guard BASELINE]
 //! ```
 //!
 //! Times a stall-heavy Figure 5 configuration twice in the same process —
@@ -9,9 +9,18 @@
 //! [`Stepping::FastForward`] (skip provably quiescent spans) — asserts the
 //! two grids are cell-for-cell identical, then times the fault-policy sweep,
 //! the cluster balancing sweep, and the duplication/hedging sweep once
-//! each. Writes the measurements as
+//! each. Two event-core sections follow: requests/sec per engine (legacy
+//! Lindley loop, event heap, event wheel; cluster and hedged cells) and the
+//! legacy-vs-fast cluster-sweep path (timing wheel + batched RNG +
+//! within-cell parallel replications). Writes the measurements as
 //! JSON (default `BENCH_cycles.json`) so CI can archive a perf trajectory
 //! across commits.
+//!
+//! `--guard BASELINE` compares the measured wheel:heap requests/sec ratio
+//! against the committed [`GuardBaseline`] JSON (`BENCH_baseline.json`)
+//! and exits non-zero if the wheel has regressed more than
+//! [`GUARD_TOLERANCE`] relative to it — ratios, not absolute rates, so the
+//! guard travels across CI hosts.
 //!
 //! `--smoke` shrinks horizons for a fast CI pass; `--threads 1` (the
 //! default here) keeps per-mode wall times comparable across machines with
@@ -19,15 +28,23 @@
 //! never-skipped lender-reference calibration and the queueing runs both
 //! modes share, so it under-states the raw cycle-loop gain.
 
-use duplexity::experiments::cluster_sweep::cluster_sweep;
+use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::experiments::hedge_sweep::hedge_sweep;
 use duplexity::{Design, Workload};
 use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
+use duplexity_obs::Tracer;
+use duplexity_queueing::cluster::{
+    try_simulate_cluster, try_simulate_cluster_hedged, BalancerPolicy, ClusterEngine,
+    ClusterOptions, DuplicationPolicy,
+};
 use duplexity_queueing::des::Mg1Options;
-use serde::Serialize;
+use duplexity_queueing::eventcore::EventQueueKind;
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::rng::SimRng;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 #[derive(Debug, Serialize)]
@@ -81,6 +98,54 @@ struct HedgeSweepBench {
     points_per_sec: f64,
 }
 
+/// One timed engine run over a fixed single-cell configuration.
+#[derive(Debug, Serialize)]
+struct EngineTiming {
+    engine: String,
+    requests: u64,
+    wall_s: f64,
+    requests_per_sec: f64,
+}
+
+/// Requests/sec per future-event-set on one fixed cell, with and without
+/// duplication, plus the wheel:heap throughput ratio the CI guard tracks.
+#[derive(Debug, Serialize)]
+struct EngineCoreBench {
+    servers: usize,
+    load: f64,
+    samples_per_run: usize,
+    /// Zero-duplication cell: legacy Lindley loop, event heap, event wheel.
+    cluster: Vec<EngineTiming>,
+    /// Hedged cell (`hedge10`): event heap vs event wheel.
+    hedged: Vec<EngineTiming>,
+    /// Wheel:heap throughput ratio over the combined cluster + hedged
+    /// work (total heap wall / total wheel wall) — a machine-relative
+    /// number (both runs share the process and inputs), so a committed
+    /// baseline of it travels across CI hosts.
+    wheel_vs_heap_rps_ratio: f64,
+}
+
+/// The legacy sweep path (Lindley, one worker, one pass per cell) against
+/// the fast path (timing wheel + batched RNG + within-cell parallel
+/// replications) over the identical grid.
+#[derive(Debug, Serialize)]
+struct SweepPathBench {
+    points: usize,
+    requests: u64,
+    /// Cores the host actually exposes. Within-cell parallelism can only
+    /// convert replications into wall-clock speedup up to this bound —
+    /// on a 1-core CI runner the fast path's thread fan-out is pure
+    /// overhead and the recorded speedup reflects the serial engines.
+    available_cores: usize,
+    legacy_wall_s: f64,
+    legacy_requests_per_sec: f64,
+    fast_threads: usize,
+    fast_replications: usize,
+    fast_wall_s: f64,
+    fast_requests_per_sec: f64,
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     seed: u64,
@@ -90,6 +155,92 @@ struct BenchReport {
     fault_sweep: FaultSweepBench,
     cluster_sweep: ClusterSweepBench,
     hedge_sweep: HedgeSweepBench,
+    engine_core: EngineCoreBench,
+    sweep_path: SweepPathBench,
+}
+
+/// The committed guard baseline (`BENCH_baseline.json`): the wheel:heap
+/// throughput ratio a healthy build measures. The guard compares ratios,
+/// not absolute rates, so it is insensitive to how fast the CI host is.
+#[derive(Debug, Serialize, Deserialize)]
+struct GuardBaseline {
+    wheel_vs_heap_rps_ratio: f64,
+}
+
+/// Fractional regression of the measured wheel:heap ratio the guard
+/// tolerates before failing the build.
+const GUARD_TOLERANCE: f64 = 0.15;
+
+/// Times one engine over the fixed benchmark cell and returns its
+/// requests/sec entry.
+fn time_engine(
+    label: &str,
+    engine: ClusterEngine,
+    plan: &DuplicationPolicy,
+    servers: usize,
+    load: f64,
+    samples: usize,
+    seed: u64,
+) -> EngineTiming {
+    let mean_service = 2.0;
+    let lambda = servers as f64 * load / mean_service;
+    let opts = ClusterOptions {
+        servers,
+        max_samples: samples,
+        warmup: 1_000,
+        // Disable early stopping: every engine must do identical work.
+        max_relative_error: 0.001,
+        seed,
+        event_queue: match engine {
+            ClusterEngine::Event(kind) => kind,
+            ClusterEngine::Lindley => EventQueueKind::default(),
+        },
+        ..ClusterOptions::default()
+    };
+    let service = Exponential::new(mean_service);
+    // Best of three passes: the work is deterministic, so the fastest wall
+    // is the least scheduler-perturbed measurement (matters for the ratio
+    // the CI guard compares).
+    let mut requests = 0u64;
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..3 {
+        let mut svc = |rng: &mut SimRng| service.sample(rng);
+        let mut balancer = BalancerPolicy::Jsq.build();
+        let t = Instant::now();
+        requests = match engine {
+            ClusterEngine::Lindley => {
+                try_simulate_cluster(
+                    lambda,
+                    &mut svc,
+                    balancer.as_mut(),
+                    &opts,
+                    &Tracer::disabled(),
+                )
+                .expect("stable bench cell")
+                .samples as u64
+            }
+            ClusterEngine::Event(_) => {
+                try_simulate_cluster_hedged(
+                    lambda,
+                    &mut svc,
+                    balancer.as_mut(),
+                    plan,
+                    &opts,
+                    &Tracer::disabled(),
+                )
+                .expect("stable bench cell")
+                .cluster
+                .samples as u64
+            }
+        };
+        wall_s = wall_s.min(t.elapsed().as_secs_f64());
+    }
+    EngineTiming {
+        engine: label.to_string(),
+        requests,
+        wall_s,
+        requests_per_sec: requests as f64 / wall_s.max(1e-12),
+    }
 }
 
 fn stall_heavy_opts(seed: u64, threads: usize, horizon: u64, stepping: Stepping) -> Fig5Options {
@@ -254,6 +405,134 @@ fn main() {
     let hedge_points = hedge_sweep(&hedge_opts);
     let hedge_s = t4.elapsed().as_secs_f64();
 
+    eprintln!("bench: event-core engines (heap vs wheel, cluster + hedged)");
+    let (eng_servers, eng_load) = (16usize, 0.6);
+    let eng_samples = if smoke { 200_000 } else { 400_000 };
+    let none = DuplicationPolicy::none();
+    let hedge_plan = DuplicationPolicy::hedge(10.0);
+    let cluster_runs = vec![
+        time_engine(
+            "lindley",
+            ClusterEngine::Lindley,
+            &none,
+            eng_servers,
+            eng_load,
+            eng_samples,
+            seed,
+        ),
+        time_engine(
+            "event_heap",
+            ClusterEngine::Event(EventQueueKind::Heap),
+            &none,
+            eng_servers,
+            eng_load,
+            eng_samples,
+            seed,
+        ),
+        time_engine(
+            "event_wheel",
+            ClusterEngine::Event(EventQueueKind::Wheel),
+            &none,
+            eng_servers,
+            eng_load,
+            eng_samples,
+            seed,
+        ),
+    ];
+    let hedged_runs = vec![
+        time_engine(
+            "event_heap",
+            ClusterEngine::Event(EventQueueKind::Heap),
+            &hedge_plan,
+            eng_servers,
+            eng_load,
+            eng_samples,
+            seed,
+        ),
+        time_engine(
+            "event_wheel",
+            ClusterEngine::Event(EventQueueKind::Wheel),
+            &hedge_plan,
+            eng_servers,
+            eng_load,
+            eng_samples,
+            seed,
+        ),
+    ];
+    let total_wall = |runs: &[&[EngineTiming]], engine: &str| -> f64 {
+        runs.iter()
+            .flat_map(|r| r.iter())
+            .filter(|r| r.engine == engine)
+            .map(|r| r.wall_s)
+            .sum()
+    };
+    let both: [&[EngineTiming]; 2] = [&cluster_runs, &hedged_runs];
+    let wheel_vs_heap =
+        total_wall(&both, "event_heap") / total_wall(&both, "event_wheel").max(1e-12);
+    let engine_core = EngineCoreBench {
+        servers: eng_servers,
+        load: eng_load,
+        samples_per_run: eng_samples,
+        cluster: cluster_runs,
+        hedged: hedged_runs,
+        wheel_vs_heap_rps_ratio: wheel_vs_heap,
+    };
+
+    eprintln!("bench: cluster sweep, legacy path vs wheel + replications");
+    let sweep_grid = |engine, threads, replications| ClusterSweepOptions {
+        designs: vec![Design::Baseline],
+        policies: vec![BalancerPolicy::Jsq],
+        server_counts: vec![16],
+        loads: vec![0.4, 0.6],
+        calibration_cycles: 200_000,
+        seed,
+        queue: Mg1Options {
+            max_samples: if smoke { 100_000 } else { 400_000 },
+            warmup: 1_000,
+            // Full-length cells: the two paths must do identical work.
+            max_relative_error: 0.001,
+            ..Mg1Options::default()
+        },
+        engine,
+        threads,
+        replications,
+        ..ClusterSweepOptions::default()
+    };
+    // Results are bit-identical at any worker count, so clamp the fan-out
+    // to what the host can actually run in parallel — more threads than
+    // cores would measure scheduler overhead, not the engine.
+    let fast_threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let fast_replications = 8;
+    let t5 = Instant::now();
+    let legacy_points = cluster_sweep(&sweep_grid(ClusterEngine::Lindley, 1, 1));
+    let legacy_s = t5.elapsed().as_secs_f64();
+    let t6 = Instant::now();
+    let fast_points = cluster_sweep(&sweep_grid(
+        ClusterEngine::Event(EventQueueKind::Wheel),
+        fast_threads,
+        fast_replications,
+    ));
+    let fast_s2 = t6.elapsed().as_secs_f64();
+    let legacy_requests: u64 = legacy_points.iter().map(|p| p.samples as u64).sum();
+    let fast_requests: u64 = fast_points.iter().map(|p| p.samples as u64).sum();
+    let sweep_path = SweepPathBench {
+        points: legacy_points.len(),
+        requests: legacy_requests,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        legacy_wall_s: legacy_s,
+        legacy_requests_per_sec: legacy_requests as f64 / legacy_s.max(1e-12),
+        fast_threads,
+        fast_replications,
+        fast_wall_s: fast_s2,
+        fast_requests_per_sec: fast_requests as f64 / fast_s2.max(1e-12),
+        speedup: (fast_requests as f64 / fast_s2.max(1e-12))
+            / (legacy_requests as f64 / legacy_s.max(1e-12)).max(1e-12),
+    };
+    eprintln!(
+        "bench: sweep path {:.2}x ({:.2}s legacy -> {:.2}s fast), wheel:heap ratio {wheel_vs_heap:.3}",
+        sweep_path.speedup, legacy_s, fast_s2
+    );
+
     let report = BenchReport {
         seed,
         threads,
@@ -288,6 +567,8 @@ fn main() {
             wall_s: hedge_s,
             points_per_sec: hedge_points.len() as f64 / hedge_s.max(1e-12),
         },
+        engine_core,
+        sweep_path,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
@@ -298,4 +579,32 @@ fn main() {
     eprintln!(
         "bench: naive {naive_s:.2}s, fast-forward {fast_s:.2}s, speedup {speedup:.2}x -> {out}"
     );
+
+    if let Some(baseline_path) = arg_after("--guard") {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("guard: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline: GuardBaseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("guard: cannot parse baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let floor = (1.0 - GUARD_TOLERANCE) * baseline.wheel_vs_heap_rps_ratio;
+        let measured = report.engine_core.wheel_vs_heap_rps_ratio;
+        if measured < floor {
+            eprintln!(
+                "guard: wheel throughput regressed — wheel:heap requests/sec ratio \
+                 {measured:.3} is below {floor:.3} ({}% under the committed baseline \
+                 {:.3} in {baseline_path})",
+                (GUARD_TOLERANCE * 100.0) as u32,
+                baseline.wheel_vs_heap_rps_ratio
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "guard: wheel:heap ratio {measured:.3} within {}% of baseline {:.3}",
+            (GUARD_TOLERANCE * 100.0) as u32,
+            baseline.wheel_vs_heap_rps_ratio
+        );
+    }
 }

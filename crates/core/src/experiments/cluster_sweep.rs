@@ -19,7 +19,10 @@ use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
 use duplexity_net::{EventKind, FaultPlan};
 use duplexity_obs::{log_enabled, log_line, Tracer};
-use duplexity_queueing::cluster::{try_simulate_cluster, BalancerPolicy, ClusterOptions};
+use duplexity_queueing::cluster::{
+    merge_replications, try_simulate_cluster, try_simulate_cluster_hedged, BalancerPolicy,
+    ClusterEngine, ClusterOptions, ClusterResult, DuplicationPolicy,
+};
 use duplexity_queueing::des::Mg1Options;
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
@@ -54,6 +57,17 @@ pub struct ClusterSweepOptions {
     /// `DUPLEXITY_THREADS` / available parallelism (see [`crate::exec`]).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Simulation engine per cell: the event-driven engine on the timing
+    /// wheel (default fast path), on the reference heap, or the legacy
+    /// Lindley loop.
+    pub engine: ClusterEngine,
+    /// Independent replications per cell, run *within-cell parallel* on
+    /// the pool (flattened into the grid's work list) with per-replication
+    /// derived seeds and merged in replication order. `1` (the default)
+    /// runs each cell's historical single pass bitwise; `R > 1` splits
+    /// the per-cell sample budget `R` ways so even a tiny grid can keep
+    /// every worker busy.
+    pub replications: usize,
 }
 
 impl Default for ClusterSweepOptions {
@@ -77,6 +91,8 @@ impl Default for ClusterSweepOptions {
             },
             fault: FaultPlan::none(),
             threads: 0,
+            engine: ClusterEngine::default(),
+            replications: 1,
         }
     }
 }
@@ -217,54 +233,111 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
         })
         .collect();
 
-    let points = pool.run("cluster_sweep/points", grid.len(), |i| {
-        let (di, pi, servers, load) = grid[i];
-        let design = opts.designs[di];
-        let policy = opts.policies[pi];
-        let slowdown = slowdowns[di];
-        // Aggregate arrivals scale with the farm: each server is offered
-        // `load` of its nominal capacity.
-        let lambda = servers as f64 * load / nominal;
-        let scaled_mean =
-            model.mean_compute_us() * slowdown + opts.fault.effective_mean_bound_us(stall);
-        if load / nominal * scaled_mean >= 0.95 {
-            return saturated_point(design, policy, servers, load);
-        }
-        let scaled = model.scale_compute(slowdown);
-        let fault = opts.fault;
-        let mut service = |rng: &mut SimRng| {
-            // Split sampling keeps the identity plan's RNG stream identical
-            // to the historical `sample_parts` path (golden contract).
-            let c = scaled.sample_compute(rng);
-            if fault.is_none() {
-                c + scaled.sample_stall(rng)
-            } else {
-                c + fault
-                    .sample_event(EventKind::RemoteMemory, rng, |r| scaled.sample_stall(r))
-                    .latency_us
+    // Replications flatten into the pool's work list (cell-major, so a
+    // cell's replications are contiguous and merge in replication order):
+    // ExecPool does not nest, and flattening is what lets a small grid
+    // with many replications use every worker.
+    let reps = opts.replications.max(1);
+    let rep_samples = opts.queue.max_samples.div_ceil(reps);
+    let runs: Vec<Option<ClusterResult>> =
+        pool.run("cluster_sweep/points", grid.len() * reps, |w| {
+            let (di, pi, servers, load) = grid[w / reps];
+            let rep = w % reps;
+            let policy = opts.policies[pi];
+            let slowdown = slowdowns[di];
+            // Aggregate arrivals scale with the farm: each server is offered
+            // `load` of its nominal capacity.
+            let lambda = servers as f64 * load / nominal;
+            let scaled_mean =
+                model.mean_compute_us() * slowdown + opts.fault.effective_mean_bound_us(stall);
+            if load / nominal * scaled_mean >= 0.95 {
+                return None;
             }
-        };
-        let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
-        // Common random numbers across designs and policies at a given
-        // (load, cluster size): the marked point process is shared, and
-        // each policy's private balancer stream is derived inside the
-        // simulator.
-        copts.seed = derive_stream(
-            opts.seed,
-            0xC105 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
-        );
-        let mut balancer = policy.build();
-        // The pre-guard above is a cheap bound; the DES pilot is the
-        // authoritative stability check, and its typed Unstable verdict
-        // marks the cell saturated instead of killing the sweep.
-        match try_simulate_cluster(
-            lambda,
-            &mut service,
-            balancer.as_mut(),
-            &copts,
-            &Tracer::disabled(),
-        ) {
-            Ok(r) => ClusterSweepPoint {
+            let scaled = model.scale_compute(slowdown);
+            let fault = opts.fault;
+            let mut service = |rng: &mut SimRng| {
+                // Split sampling keeps the identity plan's RNG stream identical
+                // to the historical `sample_parts` path (golden contract).
+                let c = scaled.sample_compute(rng);
+                if fault.is_none() {
+                    c + scaled.sample_stall(rng)
+                } else {
+                    c + fault
+                        .sample_event(EventKind::RemoteMemory, rng, |r| scaled.sample_stall(r))
+                        .latency_us
+                }
+            };
+            let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
+            copts.max_samples = rep_samples;
+            // Common random numbers across designs and policies at a given
+            // (load, cluster size): the marked point process is shared, and
+            // each policy's private balancer stream is derived inside the
+            // simulator. A lone replication uses the cell seed directly (the
+            // historical stream); R > 1 derives per-replication sub-streams.
+            let cell_seed = derive_stream(
+                opts.seed,
+                0xC105 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+            );
+            copts.seed = if reps == 1 {
+                cell_seed
+            } else {
+                derive_stream(cell_seed, 1 + rep as u64)
+            };
+            let mut balancer = policy.build();
+            // The pre-guard above is a cheap bound; the DES pilot is the
+            // authoritative stability check, and its typed Unstable verdict
+            // marks the cell saturated instead of killing the sweep.
+            match opts.engine {
+                ClusterEngine::Lindley => try_simulate_cluster(
+                    lambda,
+                    &mut service,
+                    balancer.as_mut(),
+                    &copts,
+                    &Tracer::disabled(),
+                )
+                .ok(),
+                ClusterEngine::Event(kind) => {
+                    copts.event_queue = kind;
+                    try_simulate_cluster_hedged(
+                        lambda,
+                        &mut service,
+                        balancer.as_mut(),
+                        &DuplicationPolicy::none(),
+                        &copts,
+                        &Tracer::disabled(),
+                    )
+                    .ok()
+                    .map(|h| h.cluster)
+                }
+            }
+        });
+
+    let mut run_iter = runs.into_iter();
+    let points: Vec<ClusterSweepPoint> = grid
+        .iter()
+        .map(|&(di, pi, servers, load)| {
+            let design = opts.designs[di];
+            let policy = opts.policies[pi];
+            let mut parts = Vec::with_capacity(reps);
+            let mut saturated = false;
+            for _ in 0..reps {
+                match run_iter.next().expect("one run per (cell, replication)") {
+                    Some(r) => parts.push(r),
+                    None => saturated = true,
+                }
+            }
+            if saturated {
+                return saturated_point(design, policy, servers, load);
+            }
+            // A lone replication passes through untouched (bitwise the
+            // historical cell); pooled replications merge in replication
+            // order.
+            let r = if parts.len() == 1 {
+                parts.pop().expect("one replication")
+            } else {
+                merge_replications(parts, opts.queue.quantile, opts.queue.confidence)
+            };
+            ClusterSweepPoint {
                 design,
                 policy: policy.to_string(),
                 servers,
@@ -277,10 +350,9 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
                 samples: r.samples,
                 converged: r.converged,
                 saturated: false,
-            },
-            Err(_) => saturated_point(design, policy, servers, load),
-        }
-    });
+            }
+        })
+        .collect();
     if log_enabled() {
         let saturated = points.iter().filter(|p| p.saturated).count();
         log_line(&format!(

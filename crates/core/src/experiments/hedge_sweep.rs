@@ -26,6 +26,7 @@ use duplexity_queueing::cluster::{
     try_simulate_cluster_hedged, BalancerPolicy, ClusterOptions, DuplicationPolicy,
 };
 use duplexity_queueing::des::Mg1Options;
+use duplexity_queueing::eventcore::EventQueueKind;
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,11 @@ pub struct HedgeSweepOptions {
     /// available parallelism (see [`crate::exec`]). Results are
     /// bit-identical for every value.
     pub threads: usize,
+    /// Future-event-set implementation for every cell's event engine.
+    /// Heap and wheel are bit-identical under the `(t, kind, seq)`
+    /// total-order contract (see `duplexity_queueing::eventcore`), so this
+    /// is a pure throughput knob; the bench uses it to race the two.
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for HedgeSweepOptions {
@@ -87,6 +93,7 @@ impl Default for HedgeSweepOptions {
                 ..Mg1Options::default()
             },
             threads: 0,
+            event_queue: EventQueueKind::default(),
         }
     }
 }
@@ -230,6 +237,7 @@ pub fn hedge_sweep(opts: &HedgeSweepOptions) -> Vec<HedgeSweepPoint> {
             model.sample_compute(rng) + model.sample_stall(rng)
         };
         let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
+        copts.event_queue = opts.event_queue;
         copts.seed = derive_stream(
             opts.seed,
             HEDGE_CELL_STREAM ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),

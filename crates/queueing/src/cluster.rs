@@ -22,11 +22,12 @@
 //! incremental Lindley recursion there).
 
 use crate::des::{Mg1Options, Unstable};
+use crate::eventcore::{EventQueue, EventQueueKind, HeapEventQueue, WheelEventQueue};
 use duplexity_obs::{TraceEvent, Tracer};
 use duplexity_stats::ci::ConfidenceInterval;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::quantile::QuantileEstimator;
-use duplexity_stats::rng::{derive_stream, rng_from_seed, SimRng};
+use duplexity_stats::rng::{derive_stream, draw_batch, rng_from_seed, SimRng};
 use duplexity_stats::summary::Summary;
 use rand::RngExt;
 use std::collections::VecDeque;
@@ -260,6 +261,11 @@ pub struct ClusterOptions {
     pub check_every: usize,
     /// RNG seed; arrival/service and balancer streams are derived from it.
     pub seed: u64,
+    /// Future-event-set implementation for the event-driven engine
+    /// ([`try_simulate_cluster_hedged`]). Bit-identical across kinds by
+    /// the [`eventcore`](crate::eventcore) tie-break contract; the legacy
+    /// Lindley engine ignores it.
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for ClusterOptions {
@@ -274,6 +280,7 @@ impl Default for ClusterOptions {
             max_samples: q.max_samples,
             check_every: q.check_every,
             seed: q.seed,
+            event_queue: EventQueueKind::default(),
         }
     }
 }
@@ -290,7 +297,46 @@ impl ClusterOptions {
             max_samples: q.max_samples,
             check_every: q.check_every,
             seed: q.seed,
+            event_queue: EventQueueKind::default(),
         }
+    }
+}
+
+/// Which simulation engine a zero-duplication cluster cell runs. The two
+/// engines agree to ~1e-9 relative error (absolute-time bookkeeping vs
+/// the incremental Lindley recursion) and make identical dispatch
+/// decisions; the event engine is the fast path, the Lindley loop the
+/// long-standing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEngine {
+    /// The legacy arrival-ordered Lindley loop ([`try_simulate_cluster`]).
+    Lindley,
+    /// The event-driven engine ([`try_simulate_cluster_hedged`] with
+    /// [`DuplicationPolicy::none`]) on the given future-event set.
+    Event(EventQueueKind),
+}
+
+impl Default for ClusterEngine {
+    fn default() -> Self {
+        ClusterEngine::Event(EventQueueKind::default())
+    }
+}
+
+impl ClusterEngine {
+    /// Stable snake_case name for reports and JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterEngine::Lindley => "lindley",
+            ClusterEngine::Event(EventQueueKind::Heap) => "event_heap",
+            ClusterEngine::Event(EventQueueKind::Wheel) => "event_wheel",
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -319,6 +365,81 @@ pub struct ClusterResult {
     pub samples: usize,
     /// Whether the CI stopping rule was met before the cap.
     pub converged: bool,
+    /// Raw sojourn samples (the estimator behind `tail_us`), retained so
+    /// independent replications can be pooled exactly rather than by
+    /// quantile averaging.
+    pub sojourn_samples: QuantileEstimator,
+    /// Simulated measured-window duration, µs — the clock behind
+    /// `utilization`, needed to reconstruct busy time when merging.
+    pub measured_us: f64,
+}
+
+/// Pools independent replications of one cluster cell into a single
+/// result, *in replication order*, so the merge is a pure function of the
+/// ordered replication list (bit-identical at any worker count).
+///
+/// Sojourn quantiles/means come from the pooled raw samples; waits and
+/// sojourn summaries use the exact Welford merge; utilization re-weights
+/// each replication's busy time by its own measured window. `converged`
+/// means every replication converged.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the replications disagree on the server
+/// count.
+#[must_use]
+pub fn merge_replications(
+    parts: Vec<ClusterResult>,
+    quantile: f64,
+    confidence: f64,
+) -> ClusterResult {
+    assert!(!parts.is_empty(), "cannot merge zero replications");
+    let servers = parts[0].per_server_requests.len();
+    let total: usize = parts.iter().map(|p| p.sojourn_samples.count()).sum();
+    let mut sojourns = QuantileEstimator::with_capacity(total);
+    let mut wait = Summary::new();
+    let mut sojourn = Summary::new();
+    let mut per_server = vec![0u64; servers];
+    let mut busy = 0.0f64;
+    let mut measured_us = 0.0f64;
+    let mut samples = 0usize;
+    let mut converged = true;
+    for part in parts {
+        assert_eq!(
+            part.per_server_requests.len(),
+            servers,
+            "replications must share the server count"
+        );
+        busy += part.utilization * servers as f64 * part.measured_us;
+        measured_us += part.measured_us;
+        wait.merge(&part.wait);
+        sojourn.merge(&part.sojourn);
+        for (acc, x) in per_server.iter_mut().zip(&part.per_server_requests) {
+            *acc += x;
+        }
+        samples += part.samples;
+        converged &= part.converged;
+        sojourns.extend(part.sojourn_samples.into_sorted());
+    }
+    ClusterResult {
+        tail_us: sojourns.quantile(quantile).unwrap_or(0.0),
+        tail_ci: sojourns.quantile_ci(quantile, confidence),
+        mean_sojourn_us: sojourns.mean().unwrap_or(0.0),
+        p50_us: sojourns.quantile(0.5).unwrap_or(0.0),
+        mean_wait_us: if wait.count() > 0 { wait.mean() } else { 0.0 },
+        wait,
+        sojourn,
+        utilization: if measured_us > 0.0 {
+            (busy / (servers as f64 * measured_us)).min(1.0)
+        } else {
+            0.0
+        },
+        per_server_requests: per_server,
+        samples,
+        converged,
+        sojourn_samples: sojourns,
+        measured_us,
+    }
 }
 
 /// Simulates `n` FCFS servers behind `balancer` with aggregate Poisson
@@ -373,7 +494,12 @@ pub fn try_simulate_cluster(
     let interarrival = Exponential::from_rate(lambda_per_us);
 
     // Pilot: estimate the mean service demand to reject saturated inputs.
-    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    // Drawn as one batch — bitwise the same stream as 512 sequential
+    // draws (see `draw_batch`), just without 512 closure-call overheads
+    // in between.
+    let mut pilot_buf = Vec::new();
+    draw_batch(&mut rng, 512, &mut pilot_buf, &mut *service);
+    let pilot: f64 = pilot_buf.iter().sum::<f64>() / 512.0;
     let rho_estimate = lambda_per_us * pilot / n as f64;
     if rho_estimate >= 1.0 {
         return Err(Unstable { rho_estimate });
@@ -484,6 +610,8 @@ pub fn try_simulate_cluster(
         per_server_requests: per_server,
         samples,
         converged,
+        sojourn_samples: sojourns,
+        measured_us: clock,
     })
 }
 
@@ -671,21 +799,41 @@ struct ReqCell {
     copies: Vec<usize>,
 }
 
+/// Per-server queue state in struct-of-arrays layout. The dispatch hot
+/// path reads `in_system` / `serve_end` / `queued_work` across *every*
+/// candidate server at each pick, so parallel arrays keep those scans on
+/// dense cache lines instead of striding over whole per-server structs —
+/// the same reason the cycle sims pre-size their ROB/LSQ arrays.
 #[derive(Debug, Default)]
-struct ServerCell {
-    prim_q: VecDeque<usize>,
-    dup_q: VecDeque<usize>,
-    serving: Option<usize>,
-    serve_start: f64,
-    serve_end: f64,
+struct ServerSoa {
+    prim_q: Vec<VecDeque<usize>>,
+    dup_q: Vec<VecDeque<usize>>,
+    serving: Vec<Option<usize>>,
+    serve_start: Vec<f64>,
+    serve_end: Vec<f64>,
     /// Bumped at every service start *and* every in-service abort, so a
     /// Depart event scheduled for an aborted service is recognized as
     /// stale and ignored (lazy cancellation).
-    epoch: u64,
-    /// Live copies on this server: queued + in service.
-    in_system: u32,
-    /// Unstarted demand queued on this server, µs.
-    queued_work: f64,
+    epoch: Vec<u64>,
+    /// Live copies per server: queued + in service.
+    in_system: Vec<u32>,
+    /// Unstarted demand queued per server, µs.
+    queued_work: Vec<f64>,
+}
+
+impl ServerSoa {
+    fn new(n: usize) -> Self {
+        Self {
+            prim_q: vec![VecDeque::new(); n],
+            dup_q: vec![VecDeque::new(); n],
+            serving: vec![None; n],
+            serve_start: vec![0.0; n],
+            serve_end: vec![0.0; n],
+            epoch: vec![0; n],
+            in_system: vec![0; n],
+            queued_work: vec![0.0; n],
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -695,31 +843,21 @@ enum EvKind {
     Depart { server: usize, epoch: u64 },
 }
 
-/// One heap entry: ordered by time, ties broken by schedule order (`seq`),
-/// so the event sequence is a pure function of the inputs.
-#[derive(Debug, Clone, Copy)]
-struct Ev {
-    t: f64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.seq.cmp(&other.seq))
+impl EvKind {
+    /// The engine's tie-break rank at equal event times — the `kind`
+    /// component of the [`EventKey`](crate::eventcore::EventKey) total
+    /// order: arrivals first, then hedge deadlines, then departures.
+    /// A hedge deadline landing exactly on its request's completion
+    /// instant therefore *fires* (the completion is processed after it) —
+    /// a deliberate, documented choice that both event-queue
+    /// implementations honor by construction, so the tie cannot become an
+    /// implementation-dependent coin flip.
+    fn rank(self) -> u8 {
+        match self {
+            EvKind::Arrive => 0,
+            EvKind::HedgeFire { .. } => 1,
+            EvKind::Depart { .. } => 2,
+        }
     }
 }
 
@@ -800,13 +938,14 @@ pub fn try_simulate_cluster_hedged(
     let n = opts.servers;
 
     let mut rng = rng_from_seed(opts.seed);
-    let mut brng = rng_from_seed(derive_stream(opts.seed, BALANCER_STREAM));
-    let mut drng = rng_from_seed(derive_stream(opts.seed, DUPLICATE_STREAM));
     let interarrival = Exponential::from_rate(lambda_per_us);
 
     // Same 512-draw pilot as the base simulator (identical arrival-stream
-    // offset, so results are CRN-comparable across engines and plans).
-    let pilot: f64 = (0..512).map(|_| service(&mut rng)).sum::<f64>() / 512.0;
+    // offset, so results are CRN-comparable across engines and plans),
+    // batched exactly like the legacy engine's.
+    let mut pilot_buf = Vec::new();
+    draw_batch(&mut rng, 512, &mut pilot_buf, &mut *service);
+    let pilot: f64 = pilot_buf.iter().sum::<f64>() / 512.0;
     let eager_copies = match plan.mode {
         DupMode::Duplicate { copies } if !plan.purge => copies as f64,
         _ => 1.0,
@@ -816,16 +955,76 @@ pub fn try_simulate_cluster_hedged(
         return Err(Unstable { rho_estimate });
     }
 
+    // Expected copies per request, for buffer pre-sizing and wheel
+    // geometry (a hedge adds at most one copy). Only constant factors
+    // depend on this; pop order never does.
+    let copies_hint = match plan.mode {
+        DupMode::None => 1,
+        DupMode::Duplicate { copies } => copies,
+        DupMode::Hedge { .. } => 2,
+    };
+    match opts.event_queue {
+        EventQueueKind::Heap => run_hedged(
+            HeapEventQueue::new(),
+            copies_hint,
+            service,
+            balancer,
+            plan,
+            opts,
+            tracer,
+            rng,
+            interarrival,
+        ),
+        EventQueueKind::Wheel => {
+            // Every copy contributes ~2 events (dispatch-side arrival or
+            // hedge fire, plus a departure); size buckets for that rate.
+            let event_rate = lambda_per_us * 2.0 * copies_hint as f64;
+            run_hedged(
+                WheelEventQueue::for_rate(event_rate),
+                copies_hint,
+                service,
+                balancer,
+                plan,
+                opts,
+                tracer,
+                rng,
+                interarrival,
+            )
+        }
+    }
+}
+
+/// The engine proper, generic over the future-event set. Both
+/// instantiations execute the identical push sequence, so by the
+/// [`eventcore`](crate::eventcore) total-order contract they pop the
+/// identical event sequence and produce bit-identical results — the
+/// differential suite holds them to that.
+#[allow(clippy::too_many_arguments)]
+fn run_hedged<Q: EventQueue<EvKind>>(
+    queue: Q,
+    copies_hint: usize,
+    service: &mut dyn FnMut(&mut SimRng) -> f64,
+    balancer: &mut dyn Balancer,
+    plan: &DuplicationPolicy,
+    opts: &ClusterOptions,
+    tracer: &Tracer,
+    mut rng: SimRng,
+    interarrival: Exponential,
+) -> Result<HedgedClusterResult, Unstable> {
+    let n = opts.servers;
+    let mut brng = rng_from_seed(derive_stream(opts.seed, BALANCER_STREAM));
+    let mut drng = rng_from_seed(derive_stream(opts.seed, DUPLICATE_STREAM));
+    let total = opts.warmup + opts.max_samples;
+    let req_cap = total.min(1 << 20);
     let mut sim = HedgeSim {
         plan,
         opts,
         tracer,
         traced: tracer.is_enabled(),
-        servers: (0..n).map(|_| ServerCell::default()).collect(),
-        copies: Vec::new(),
-        reqs: Vec::new(),
-        heap: std::collections::BinaryHeap::new(),
-        seq: 0,
+        servers: ServerSoa::new(n),
+        copies: Vec::with_capacity(req_cap.saturating_mul(copies_hint).min(1 << 21)),
+        reqs: Vec::with_capacity(req_cap),
+        queue,
         sojourns: QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20)),
         sojourn_sum: Summary::new(),
         wait_sum: Summary::new(),
@@ -836,12 +1035,15 @@ pub fn try_simulate_cluster_hedged(
         clock: 0.0,
         converged: false,
         arrivals: 0,
+        pick_map: Vec::with_capacity(n),
+        pick_queues: Vec::with_capacity(n),
+        pick_backlog: Vec::with_capacity(n),
+        demand_buf: Vec::new(),
     };
     sim.schedule(0.0, EvKind::Arrive);
 
-    let total = opts.warmup + opts.max_samples;
-    while let Some(std::cmp::Reverse(ev)) = sim.heap.pop() {
-        match ev.kind {
+    while let Some((key, kind)) = sim.queue.pop() {
+        match kind {
             EvKind::Arrive => {
                 // A pending arrival is dropped (never admitted) once the
                 // stopping rule fires; in-flight work still drains so
@@ -850,7 +1052,7 @@ pub fn try_simulate_cluster_hedged(
                     continue;
                 }
                 sim.on_arrive(
-                    ev.t,
+                    key.t,
                     total,
                     service,
                     balancer,
@@ -861,10 +1063,10 @@ pub fn try_simulate_cluster_hedged(
                 );
             }
             EvKind::HedgeFire { req } => {
-                sim.on_hedge_fire(req, ev.t, service, balancer, &mut brng, &mut drng);
+                sim.on_hedge_fire(req, key.t, service, balancer, &mut brng, &mut drng);
             }
             EvKind::Depart { server, epoch } => {
-                sim.on_depart(server, epoch, ev.t);
+                sim.on_depart(server, epoch, key.t);
             }
         }
     }
@@ -897,6 +1099,8 @@ pub fn try_simulate_cluster_hedged(
             per_server_requests: sim.per_server,
             samples,
             converged: sim.converged,
+            sojourn_samples: sim.sojourns,
+            measured_us: clock,
         },
         tally: sim.tally,
         dup_wait: sim.dup_wait,
@@ -904,16 +1108,15 @@ pub fn try_simulate_cluster_hedged(
     })
 }
 
-struct HedgeSim<'a> {
+struct HedgeSim<'a, Q> {
     plan: &'a DuplicationPolicy,
     opts: &'a ClusterOptions,
     tracer: &'a Tracer,
     traced: bool,
-    servers: Vec<ServerCell>,
+    servers: ServerSoa,
     copies: Vec<CopyCell>,
     reqs: Vec<ReqCell>,
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<Ev>>,
-    seq: u64,
+    queue: Q,
     sojourns: QuantileEstimator,
     sojourn_sum: Summary,
     wait_sum: Summary,
@@ -924,13 +1127,18 @@ struct HedgeSim<'a> {
     clock: f64,
     converged: bool,
     arrivals: usize,
+    /// Dispatch scratch (candidate server ids and their queue/backlog
+    /// views), reused across every pick so the hot path never allocates.
+    pick_map: Vec<usize>,
+    pick_queues: Vec<u32>,
+    pick_backlog: Vec<f64>,
+    /// Batched duplicate-demand draws for eager arrival bursts.
+    demand_buf: Vec<f64>,
 }
 
-impl HedgeSim<'_> {
+impl<Q: EventQueue<EvKind>> HedgeSim<'_, Q> {
     fn schedule(&mut self, t: f64, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(std::cmp::Reverse(Ev { t, seq, kind }));
+        self.queue.push(t, kind.rank(), kind);
     }
 
     /// How many duplicates launch *at the arrival instant*. A zero (or
@@ -978,9 +1186,19 @@ impl HedgeSim<'_> {
             }
         }
         self.dispatch_copy(req, s, t, false, balancer, brng);
-        for _ in 0..self.eager_extras() {
-            let d = service(drng);
-            self.dispatch_copy(req, d, t, true, balancer, brng);
+        let extras = self.eager_extras();
+        if extras > 0 {
+            // Duplicate demands batch into the reused buffer. The dup
+            // stream is independent of the balancer stream, so drawing
+            // every demand before the first dispatch consumes each
+            // stream's exact per-stream sequence from the old
+            // draw-then-dispatch interleave — bitwise the same results.
+            let mut demands = std::mem::take(&mut self.demand_buf);
+            draw_batch(drng, extras, &mut demands, &mut *service);
+            for &d in &demands {
+                self.dispatch_copy(req, d, t, true, balancer, brng);
+            }
+            self.demand_buf = demands;
         }
         if let DupMode::Hedge { deadline_us } = self.plan.mode {
             if deadline_us > 0.0 && deadline_us.is_finite() {
@@ -1042,31 +1260,37 @@ impl HedgeSim<'_> {
         balancer: &mut dyn Balancer,
         brng: &mut SimRng,
     ) -> usize {
-        let n = self.servers.len();
-        let taken: Vec<usize> = self.reqs[req]
-            .copies
-            .iter()
-            .map(|&c| self.copies[c].server)
-            .collect();
-        let mut map: Vec<usize> = (0..n).filter(|i| !taken.contains(i)).collect();
-        if map.is_empty() {
-            map = (0..n).collect();
+        let n = self.servers.serving.len();
+        // Masked candidate list and its queue/backlog views, rebuilt in
+        // the reused scratch buffers (no per-dispatch allocation). A
+        // request's existing copies are few, so the containment scan is
+        // cheaper than materializing a taken-set.
+        let held = &self.reqs[req].copies;
+        let copies = &self.copies;
+        self.pick_map.clear();
+        self.pick_map
+            .extend((0..n).filter(|&i| !held.iter().any(|&c| copies[c].server == i)));
+        if self.pick_map.is_empty() {
+            self.pick_map.extend(0..n);
         }
-        let mut queues = Vec::with_capacity(map.len());
-        let mut backlog = Vec::with_capacity(map.len());
-        for &i in &map {
-            let srv = &self.servers[i];
-            queues.push(srv.in_system);
-            let residual = if srv.serving.is_some() {
-                (srv.serve_end - t).max(0.0)
+        self.pick_queues.clear();
+        self.pick_backlog.clear();
+        for &i in &self.pick_map {
+            self.pick_queues.push(self.servers.in_system[i]);
+            let residual = if self.servers.serving[i].is_some() {
+                (self.servers.serve_end[i] - t).max(0.0)
             } else {
                 0.0
             };
-            backlog.push(srv.queued_work + residual);
+            self.pick_backlog
+                .push(self.servers.queued_work[i] + residual);
         }
-        let local = balancer.pick(&queues, &backlog, brng);
-        debug_assert!(local < map.len(), "balancer picked out-of-range {local}");
-        let server = map[local];
+        let local = balancer.pick(&self.pick_queues, &self.pick_backlog, brng);
+        debug_assert!(
+            local < self.pick_map.len(),
+            "balancer picked out-of-range {local}"
+        );
+        let server = self.pick_map[local];
 
         let copy = self.copies.len();
         self.copies.push(CopyCell {
@@ -1089,7 +1313,7 @@ impl HedgeSim<'_> {
                 }
             }
             if self.traced {
-                let queue_len = self.servers[server].in_system;
+                let queue_len = self.servers.in_system[server];
                 self.tracer.emit(|| TraceEvent::Dispatch {
                     at: ns_ticks(t),
                     server: server as u32,
@@ -1099,13 +1323,12 @@ impl HedgeSim<'_> {
                     .count(&format!("cluster/server/{server}/requests"), 1);
             }
         }
-        let srv = &mut self.servers[server];
-        srv.in_system += 1;
-        srv.queued_work += demand;
+        self.servers.in_system[server] += 1;
+        self.servers.queued_work[server] += demand;
         if is_dup && self.plan.low_priority {
-            srv.dup_q.push_back(copy);
+            self.servers.dup_q[server].push_back(copy);
         } else {
-            srv.prim_q.push_back(copy);
+            self.servers.prim_q[server].push_back(copy);
         }
         self.maybe_start(server, t);
         server
@@ -1115,12 +1338,12 @@ impl HedgeSim<'_> {
     /// first, then queued duplicates (non-preemptive priority); purged
     /// copies are skipped as they reach the head.
     fn maybe_start(&mut self, server: usize, t: f64) {
-        if self.servers[server].serving.is_some() {
+        if self.servers.serving[server].is_some() {
             return;
         }
         let next = loop {
-            let srv = &mut self.servers[server];
-            let Some(c) = srv.prim_q.pop_front().or_else(|| srv.dup_q.pop_front()) else {
+            let prim = self.servers.prim_q[server].pop_front();
+            let Some(c) = prim.or_else(|| self.servers.dup_q[server].pop_front()) else {
                 break None;
             };
             if self.copies[c].state == CopyState::Queued {
@@ -1130,14 +1353,13 @@ impl HedgeSim<'_> {
         let Some(c) = next else { return };
         self.copies[c].state = CopyState::InService;
         let demand = self.copies[c].demand;
-        let srv = &mut self.servers[server];
-        srv.serving = Some(c);
-        srv.serve_start = t;
-        srv.serve_end = t + demand;
-        srv.queued_work -= demand;
-        srv.epoch += 1;
-        let epoch = srv.epoch;
-        let end = srv.serve_end;
+        self.servers.serving[server] = Some(c);
+        self.servers.serve_start[server] = t;
+        self.servers.serve_end[server] = t + demand;
+        self.servers.queued_work[server] -= demand;
+        self.servers.epoch[server] += 1;
+        let epoch = self.servers.epoch[server];
+        let end = self.servers.serve_end[server];
         if self.reqs[self.copies[c].req].measured {
             let w = t - self.copies[c].issued_at;
             if self.copies[c].is_dup {
@@ -1156,15 +1378,14 @@ impl HedgeSim<'_> {
     }
 
     fn on_depart(&mut self, server: usize, epoch: u64, t: f64) {
-        if self.servers[server].epoch != epoch {
+        if self.servers.epoch[server] != epoch {
             return; // stale: this service was aborted by a purge
         }
-        let c = self.servers[server]
-            .serving
+        let c = self.servers.serving[server]
             .take()
             .expect("live Depart on an idle server");
         self.copies[c].state = CopyState::Done;
-        self.servers[server].in_system -= 1;
+        self.servers.in_system[server] -= 1;
         let req = self.copies[c].req;
         let measured = self.reqs[req].measured;
         if measured {
@@ -1225,9 +1446,8 @@ impl HedgeSim<'_> {
         match self.copies[c].state {
             CopyState::Queued => {
                 self.copies[c].state = CopyState::Purged;
-                let srv = &mut self.servers[server];
-                srv.in_system -= 1;
-                srv.queued_work -= self.copies[c].demand;
+                self.servers.in_system[server] -= 1;
+                self.servers.queued_work[server] -= self.copies[c].demand;
                 if measured {
                     self.tally.purged_queued += 1;
                     if self.traced {
@@ -1242,12 +1462,15 @@ impl HedgeSim<'_> {
             }
             CopyState::InService => {
                 self.copies[c].state = CopyState::Purged;
-                let srv = &mut self.servers[server];
-                debug_assert_eq!(srv.serving, Some(c), "in-service copy not serving");
-                let part = (t - srv.serve_start).max(0.0);
-                srv.serving = None;
-                srv.epoch += 1; // the scheduled Depart is now stale
-                srv.in_system -= 1;
+                debug_assert_eq!(
+                    self.servers.serving[server],
+                    Some(c),
+                    "in-service copy not serving"
+                );
+                let part = (t - self.servers.serve_start[server]).max(0.0);
+                self.servers.serving[server] = None;
+                self.servers.epoch[server] += 1; // the scheduled Depart is now stale
+                self.servers.in_system[server] -= 1;
                 if measured {
                     self.delivered_us += part;
                     if self.copies[c].is_dup {

@@ -14,7 +14,7 @@ use duplexity_stats::ci::ConfidenceInterval;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::histogram::Histogram;
 use duplexity_stats::quantile::QuantileEstimator;
-use duplexity_stats::rng::{rng_from_seed, SimRng};
+use duplexity_stats::rng::{draw_batch, rng_from_seed, SimRng};
 use duplexity_stats::summary::Summary;
 
 /// Typed instability verdict: the pilot service-mean estimate implies an
@@ -131,8 +131,12 @@ fn simulate_mg1_inner(
     let mut rng = rng_from_seed(opts.seed);
     let interarrival = Exponential::from_rate(lambda_per_us);
 
-    // Pilot: estimate the mean service time to reject unstable inputs early.
-    let pilot: f64 = (0..512).map(|_| service(&mut rng, 0.0)).sum::<f64>() / 512.0;
+    // Pilot: estimate the mean service time to reject unstable inputs
+    // early. One batched pass — bitwise the same stream as 512 sequential
+    // draws (`draw_batch` is defined as the sequential loop).
+    let mut pilot_buf = Vec::new();
+    draw_batch(&mut rng, 512, &mut pilot_buf, |r| service(r, 0.0));
+    let pilot: f64 = pilot_buf.iter().sum::<f64>() / 512.0;
     let rho_estimate = lambda_per_us * pilot;
     if rho_estimate >= 1.0 {
         return Err(Unstable { rho_estimate });

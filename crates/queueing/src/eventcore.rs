@@ -1,0 +1,498 @@
+//! Shared event core for the cluster DES engines: a future-event set with
+//! a *documented total order*, behind a trait so the engines can run on
+//! either a binary heap (the reference) or a calendar-queue timing wheel
+//! (the fast path) and produce bit-identical results.
+//!
+//! # The tie-break contract
+//!
+//! Every pushed event gets an [`EventKey`] `(t, kind, seq)`:
+//!
+//! * `t` — event time in µs, compared with [`f64::total_cmp`];
+//! * `kind` — a small engine-assigned rank (for the hedged cluster engine:
+//!   `Arrive = 0`, `HedgeFire = 1`, `Depart = 2`), so simultaneous events
+//!   of different kinds pop in a fixed, engine-chosen order;
+//! * `seq` — the queue's own push counter, so same-time same-kind events
+//!   pop in push order.
+//!
+//! This is a *total* order with no ties, and `seq` is assigned by the
+//! queue at push time. Two implementations fed the identical push sequence
+//! therefore assign identical keys and must pop the identical event
+//! sequence — pop order is a pure function of the push sequence, never of
+//! the container. That is what makes the wheel/heap differential suite
+//! (`tests/eventcore_differential.rs`) a bit-identity check rather than a
+//! statistical one, and why swapping the implementation cannot perturb
+//! metrics, traces, or golden fixtures.
+//!
+//! # Wheel geometry
+//!
+//! [`WheelEventQueue`] is a classic calendar queue tuned for the
+//! microsecond event horizon: `nbuckets` (a power of two) buckets of
+//! `width_us` each cover one rotation `[cur, cur + nbuckets · width)`;
+//! events beyond the rotation wait in a small overflow heap and migrate in
+//! as the frontier advances. With width ≈ 1/(4·event rate) each bucket
+//! holds O(1) events, so push and pop are O(1) amortized versus the
+//! heap's O(log n) — the win that compounds over the ~10⁶-event runs of a
+//! cluster sweep cell. Events pushed at or before the current frontier
+//! (departures scheduled "now", zero-width hedge deadlines) clamp into
+//! the *current* bucket; the per-bucket min-scan keyed on the full
+//! [`EventKey`] keeps them correctly ordered. Geometry affects only
+//! constant factors, never pop order.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The total-order key assigned to every event at push time.
+#[derive(Debug, Clone, Copy)]
+pub struct EventKey {
+    /// Event time, µs.
+    pub t: f64,
+    /// Engine-assigned kind rank; breaks ties at equal `t`.
+    pub kind: u8,
+    /// Queue-assigned push counter; breaks ties at equal `(t, kind)`.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// The contract's total order: time (via [`f64::total_cmp`]), then
+    /// kind rank, then push sequence. No two keys from one queue compare
+    /// equal, because `seq` is unique.
+    #[must_use]
+    pub fn cmp_total(&self, other: &Self) -> Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.kind.cmp(&other.kind))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+/// A future-event set honoring the `(t, kind, seq)` total order.
+///
+/// `seq` is assigned internally in push order, so any two implementations
+/// fed the same push sequence pop the same `(EventKey, payload)` sequence
+/// — identical by construction, and enforced by the differential suite.
+pub trait EventQueue<P> {
+    /// Inserts an event at time `t` with the engine's kind rank.
+    fn push(&mut self, t: f64, kind: u8, payload: P);
+    /// Removes and returns the minimum event under the total order.
+    fn pop(&mut self) -> Option<(EventKey, P)>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Value-level selector for the event-queue implementation, so options
+/// structs can carry the choice through experiment grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventQueueKind {
+    /// The `BinaryHeap` reference implementation.
+    Heap,
+    /// The calendar-queue timing wheel (default fast path; bit-identical
+    /// to the heap by the tie-break contract).
+    #[default]
+    Wheel,
+}
+
+impl EventQueueKind {
+    /// Stable snake_case name for reports and JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventQueueKind::Heap => "heap",
+            EventQueueKind::Wheel => "wheel",
+        }
+    }
+}
+
+impl std::fmt::Display for EventQueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct HeapEntry<P> {
+    key: EventKey,
+    payload: P,
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp_total(&other.key)
+    }
+}
+
+/// The reference implementation: a binary min-heap keyed on the full
+/// [`EventKey`].
+pub struct HeapEventQueue<P> {
+    heap: BinaryHeap<Reverse<HeapEntry<P>>>,
+    seq: u64,
+}
+
+impl<P> Default for HeapEventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> HeapEventQueue<P> {
+    /// An empty heap-backed queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<P> EventQueue<P> for HeapEventQueue<P> {
+    fn push(&mut self, t: f64, kind: u8, payload: P) {
+        let key = EventKey {
+            t,
+            kind,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { key, payload }));
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, P)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.payload))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Default bucket count for the timing wheel (a power of two, so the slot
+/// index is a mask).
+const DEFAULT_BUCKETS: usize = 512;
+
+/// The fast path: a calendar-queue timing wheel with an overflow heap.
+///
+/// Invariant: every event stored in a wheel bucket has absolute slot in
+/// `[cur_slot, cur_slot + nbuckets)` — one rotation — so the bucket index
+/// `slot & mask` identifies the slot uniquely and no "year" tag is
+/// needed. Everything farther out sits in `overflow` (ordered by its
+/// [`EventKey`]; keys at larger times have larger slots, so the overflow
+/// min is always the next entry to migrate) and is moved into the wheel
+/// as `cur_slot` advances. Events at or before the frontier clamp into
+/// the current bucket; the pop-side min-scan of that bucket restores the
+/// total order.
+pub struct WheelEventQueue<P> {
+    slots: Vec<Vec<(EventKey, P)>>,
+    /// `nbuckets - 1`; bucket index of absolute slot `s` is `s & mask`.
+    mask: u64,
+    /// 1 / bucket width (µs⁻¹): absolute slot of time `t` is `t * width_inv`.
+    width_inv: f64,
+    /// The frontier: the smallest absolute slot any wheel bucket may hold.
+    cur_slot: u64,
+    /// Events currently in wheel buckets (excludes overflow).
+    wheel_len: usize,
+    overflow: BinaryHeap<Reverse<HeapEntry<P>>>,
+    seq: u64,
+}
+
+impl<P> WheelEventQueue<P> {
+    /// A wheel with explicit geometry: bucket width in µs and bucket
+    /// count (rounded up to a power of two). Geometry only moves constant
+    /// factors; pop order is fixed by the total-order contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_us` is not finite and positive, or `nbuckets` is 0.
+    #[must_use]
+    pub fn with_geometry(width_us: f64, nbuckets: usize) -> Self {
+        assert!(
+            width_us.is_finite() && width_us > 0.0,
+            "bucket width must be finite and positive"
+        );
+        assert!(nbuckets > 0, "wheel needs at least one bucket");
+        let n = nbuckets.next_power_of_two();
+        Self {
+            slots: (0..n).map(|_| Vec::new()).collect(),
+            mask: n as u64 - 1,
+            width_inv: width_us.recip(),
+            cur_slot: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Geometry tuned for an expected total event rate (events per µs):
+    /// bucket width ≈ a quarter of the mean event spacing, clamped to
+    /// sane bounds, so a bucket holds O(1) events at the microsecond
+    /// horizons the cluster engines sweep.
+    #[must_use]
+    pub fn for_rate(events_per_us: f64) -> Self {
+        let spacing = if events_per_us.is_finite() && events_per_us > 0.0 {
+            events_per_us.recip()
+        } else {
+            1.0
+        };
+        let width = (spacing * 0.25).clamp(1e-3, 1e4);
+        Self::with_geometry(width, DEFAULT_BUCKETS)
+    }
+
+    fn nbuckets(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Absolute slot for time `t`, clamped to the frontier so late (or
+    /// frontier-exact) events land in the current bucket.
+    fn slot_of(&self, t: f64) -> u64 {
+        let raw = t * self.width_inv;
+        // Times are non-negative simulation instants; the cast saturates
+        // on the upside, which the overflow heap absorbs.
+        let s = if raw.is_finite() && raw > 0.0 {
+            raw as u64
+        } else {
+            0
+        };
+        s.max(self.cur_slot)
+    }
+}
+
+impl<P> EventQueue<P> for WheelEventQueue<P> {
+    fn push(&mut self, t: f64, kind: u8, payload: P) {
+        let key = EventKey {
+            t,
+            kind,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let slot = self.slot_of(t);
+        // `slot_of` clamps to the frontier, so the subtraction is safe
+        // (and avoids overflow for saturating far-future slots).
+        if slot - self.cur_slot >= self.nbuckets() {
+            self.overflow.push(Reverse(HeapEntry { key, payload }));
+        } else {
+            self.slots[(slot & self.mask) as usize].push((key, payload));
+            self.wheel_len += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, P)> {
+        if self.wheel_len == 0 && self.overflow.is_empty() {
+            return None;
+        }
+        loop {
+            // Migrate overflow entries that fell inside the rotation. The
+            // overflow min is key-ordered, and time order implies slot
+            // order, so only the head ever needs checking.
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                let slot = self.slot_of(head.key.t);
+                if slot - self.cur_slot >= self.nbuckets() {
+                    break;
+                }
+                let Reverse(e) = self.overflow.pop().expect("peeked entry");
+                self.slots[(slot & self.mask) as usize].push((e.key, e.payload));
+                self.wheel_len += 1;
+            }
+            let bucket = &mut self.slots[(self.cur_slot & self.mask) as usize];
+            if !bucket.is_empty() {
+                // All entries here share the frontier slot, so the bucket
+                // min *is* the global min; a linear scan keyed on the full
+                // EventKey restores the total order among them.
+                let mut min = 0;
+                for i in 1..bucket.len() {
+                    if bucket[i].0.cmp_total(&bucket[min].0) == Ordering::Less {
+                        min = i;
+                    }
+                }
+                self.wheel_len -= 1;
+                return Some(bucket.swap_remove(min));
+            }
+            if self.wheel_len > 0 {
+                self.cur_slot += 1;
+            } else {
+                // Wheel drained: jump the frontier to the overflow min so
+                // the next migration pass lands it in a live bucket.
+                let Reverse(head) = self.overflow.peek().expect("pending events must exist");
+                self.cur_slot = self.slot_of(head.key.t);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<P, Q: EventQueue<P>>(q: &mut Q) -> Vec<(EventKey, P)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    fn keys<P>(seq: &[(EventKey, P)]) -> Vec<(f64, u8, u64)> {
+        seq.iter().map(|(k, _)| (k.t, k.kind, k.seq)).collect()
+    }
+
+    #[test]
+    fn heap_and_wheel_agree_on_a_mixed_schedule() {
+        let pushes = [
+            (5.0, 2u8),
+            (1.5, 0),
+            (1.5, 2),
+            (1.5, 0),
+            (0.0, 1),
+            (1_000_000.0, 0),
+            (3.25, 1),
+            (1.5, 1),
+            (0.0, 0),
+        ];
+        let mut heap = HeapEventQueue::new();
+        let mut wheel = WheelEventQueue::with_geometry(0.5, 8);
+        for (i, &(t, kind)) in pushes.iter().enumerate() {
+            heap.push(t, kind, i as u32);
+            wheel.push(t, kind, i as u32);
+        }
+        let h = drain(&mut heap);
+        let w = drain(&mut wheel);
+        assert_eq!(keys(&h), keys(&w));
+        assert_eq!(
+            h.iter().map(|e| e.1).collect::<Vec<_>>(),
+            w.iter().map(|e| e.1).collect::<Vec<_>>()
+        );
+        // And the order is the documented total order.
+        for pair in h.windows(2) {
+            assert_eq!(pair[0].0.cmp_total(&pair[1].0), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn ties_pop_by_kind_then_push_order() {
+        let mut wheel = WheelEventQueue::with_geometry(1.0, 4);
+        wheel.push(2.0, 2, "late-kind-first-pushed");
+        wheel.push(2.0, 0, "early-kind-a");
+        wheel.push(2.0, 1, "mid-kind");
+        wheel.push(2.0, 0, "early-kind-b");
+        let order: Vec<&str> = drain(&mut wheel).into_iter().map(|e| e.1).collect();
+        assert_eq!(
+            order,
+            [
+                "early-kind-a",
+                "early-kind-b",
+                "mid-kind",
+                "late-kind-first-pushed"
+            ]
+        );
+    }
+
+    #[test]
+    fn pushes_at_or_before_the_frontier_stay_ordered() {
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut wheel: WheelEventQueue<u32> = WheelEventQueue::with_geometry(1.0, 4);
+        for q in [&mut wheel as &mut dyn EventQueue<u32>, &mut heap] {
+            q.push(10.0, 0, 0);
+        }
+        assert_eq!(heap.pop().unwrap().0.t, 10.0);
+        assert_eq!(wheel.pop().unwrap().0.t, 10.0);
+        // The wheel frontier now sits at t = 10; a "late" push (an event
+        // scheduled in the past, which the engines never do, but the
+        // clamp must still behave) pops before anything later.
+        heap.push(3.0, 0, 1);
+        wheel.push(3.0, 0, 1);
+        heap.push(11.0, 0, 2);
+        wheel.push(11.0, 0, 2);
+        assert_eq!(keys(&drain(&mut heap)), keys(&drain(&mut wheel)));
+    }
+
+    #[test]
+    fn overflow_migrates_in_key_order() {
+        // 4 buckets of 1µs: anything past t≈4 overflows at push time.
+        let mut wheel = WheelEventQueue::with_geometry(1.0, 4);
+        let mut heap = HeapEventQueue::new();
+        let times = [100.0, 7.0, 0.5, 42.0, 7.0, 3.9, 1_000.0, 8.1];
+        for (i, &t) in times.iter().enumerate() {
+            wheel.push(t, 0, i);
+            heap.push(t, 0, i);
+        }
+        assert_eq!(wheel.len(), heap.len());
+        assert_eq!(keys(&drain(&mut wheel)), keys(&drain(&mut heap)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_the_contract() {
+        let mut wheel = WheelEventQueue::with_geometry(0.25, 16);
+        let mut heap = HeapEventQueue::new();
+        let mut t = 0.0;
+        let mut popped_w = Vec::new();
+        let mut popped_h = Vec::new();
+        for step in 0..200u64 {
+            // A deterministic, awkward schedule: bursts, ties, far-future
+            // events, and pops in between.
+            let dt = ((step * 2_654_435_761) % 97) as f64 / 10.0;
+            t += dt;
+            let kind = (step % 3) as u8;
+            wheel.push(t, kind, step);
+            heap.push(t, kind, step);
+            if step % 4 == 0 {
+                wheel.push(t, kind, step + 1000);
+                heap.push(t, kind, step + 1000);
+            }
+            if step % 3 == 0 {
+                popped_w.push(wheel.pop().unwrap());
+                popped_h.push(heap.pop().unwrap());
+            }
+        }
+        popped_w.extend(drain(&mut wheel));
+        popped_h.extend(drain(&mut heap));
+        assert_eq!(keys(&popped_w), keys(&popped_h));
+        assert_eq!(
+            popped_w.iter().map(|e| e.1).collect::<Vec<_>>(),
+            popped_h.iter().map(|e| e.1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_queue_pops_none_and_reports_len() {
+        let mut wheel: WheelEventQueue<()> = WheelEventQueue::for_rate(2.0);
+        assert!(wheel.is_empty());
+        assert!(wheel.pop().is_none());
+        wheel.push(1.0, 0, ());
+        assert_eq!(wheel.len(), 1);
+        wheel.pop();
+        assert!(wheel.pop().is_none(), "pop past empty stays None");
+    }
+}

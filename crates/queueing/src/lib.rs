@@ -23,6 +23,10 @@
 //!   event-driven duplication/hedging engine (eager duplicate-to-d,
 //!   deadline hedges, purge-on-first-completion, low-priority duplicate
 //!   queues) that cuts cluster-level stragglers;
+//! * [`eventcore`] — the shared future-event set behind the cluster
+//!   engines: a total-order `(t, kind, seq)` contract with a `BinaryHeap`
+//!   reference and a calendar-queue timing wheel that are bit-identical
+//!   by construction (and differentially tested);
 //! * [`mmk`] — analytic M/M/k (Erlang-C) and two-class non-preemptive
 //!   priority M/M/1 cross-checks for the cluster simulator.
 
@@ -32,16 +36,19 @@
 pub mod closed_loop;
 pub mod cluster;
 pub mod des;
+pub mod eventcore;
 pub mod fanout;
 pub mod mg1;
 pub mod mmk;
 
 pub use closed_loop::{closed_loop_utilization, utilization_surface};
 pub use cluster::{
-    simulate_cluster, simulate_cluster_hedged, try_simulate_cluster, try_simulate_cluster_hedged,
-    BalancerPolicy, ClusterOptions, ClusterResult, DupMode, DupTally, DuplicationPolicy,
-    HedgedClusterResult,
+    merge_replications, simulate_cluster, simulate_cluster_hedged, try_simulate_cluster,
+    try_simulate_cluster_hedged, BalancerPolicy, ClusterEngine, ClusterOptions, ClusterResult,
+    DupMode, DupTally, DuplicationPolicy, HedgedClusterResult,
 };
+pub use eventcore::{EventKey, EventQueue, EventQueueKind, HeapEventQueue, WheelEventQueue};
+
 pub use des::{
     simulate_mg1, simulate_mg1_faulted, simulate_mg1_faulted_traced, simulate_mg1_traced,
     try_simulate_mg1, try_simulate_mg1_faulted, try_simulate_mg1_faulted_traced,

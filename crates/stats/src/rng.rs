@@ -61,6 +61,26 @@ pub fn derive_stream(seed: u64, stream: u64) -> u64 {
     splitmix64(&mut state) ^ a.rotate_left(17)
 }
 
+/// Draws `n` values into `buf` (cleared first) by calling `draw`
+/// sequentially on `rng`.
+///
+/// This is the batched-draw primitive the DES hot paths use to fill
+/// pre-sized buffers per arrival burst: it is *defined* as `n` sequential
+/// draws, so the consumed RNG stream is bitwise identical to `n` separate
+/// calls — batching can never perturb a golden fixture. The buffer is
+/// reused across bursts (capacity is reserved, never shrunk) to keep the
+/// hot loop allocation-free.
+pub fn draw_batch<F>(rng: &mut SimRng, n: usize, buf: &mut Vec<f64>, mut draw: F)
+where
+    F: FnMut(&mut SimRng) -> f64,
+{
+    buf.clear();
+    buf.reserve(n);
+    for _ in 0..n {
+        buf.push(draw(rng));
+    }
+}
+
 /// One step of the SplitMix64 sequence, advancing `state`.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -104,6 +124,32 @@ mod tests {
     #[test]
     fn derived_stream_depends_on_parent() {
         assert_ne!(derive_stream(1, 0), derive_stream(2, 0));
+    }
+
+    #[test]
+    fn draw_batch_consumes_the_sequential_stream_bitwise() {
+        let mut batched = rng_from_seed(77);
+        let mut sequential = rng_from_seed(77);
+        let mut buf = Vec::new();
+        draw_batch(&mut batched, 64, &mut buf, |r| r.random::<f64>());
+        let expect: Vec<f64> = (0..64).map(|_| sequential.random::<f64>()).collect();
+        assert_eq!(buf.len(), 64);
+        for (a, b) in buf.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The generators end in the same state, too.
+        assert_eq!(batched.random::<u64>(), sequential.random::<u64>());
+    }
+
+    #[test]
+    fn draw_batch_reuses_capacity_and_clears() {
+        let mut rng = rng_from_seed(5);
+        let mut buf = Vec::new();
+        draw_batch(&mut rng, 512, &mut buf, |r| r.random::<f64>());
+        let cap = buf.capacity();
+        draw_batch(&mut rng, 8, &mut buf, |r| r.random::<f64>());
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.capacity(), cap, "batch buffer must not shrink");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! Seeds are fixed, so these tests are deterministic: they either always
 //! pass or flag a real modeling drift.
 
+mod common;
+
 use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
 use duplexity::{BalancerPolicy, Design};
 use duplexity_obs::Tracer;
@@ -54,22 +56,27 @@ fn cluster_sweep_grid_is_bit_identical_at_1_and_8_workers() {
     let eight = cluster_sweep(&sweep_opts(8));
     assert_eq!(one.len(), eight.len());
     assert_eq!(one.len(), 2 * 3 * 2 * 2);
-    for (a, b) in one.iter().zip(&eight) {
-        let cell = format!("{:?}/{}/{}s@{}", a.design, a.policy, a.servers, a.load);
-        assert_eq!(a.design, b.design, "{cell}");
-        assert_eq!(a.policy, b.policy, "{cell}");
-        assert_eq!(a.servers, b.servers, "{cell}");
-        assert_eq!(a.load, b.load, "{cell}");
-        // Bitwise equality, not tolerance: the determinism contract.
-        assert_eq!(a.p99_us.to_bits(), b.p99_us.to_bits(), "{cell}");
-        assert_eq!(a.p50_us.to_bits(), b.p50_us.to_bits(), "{cell}");
-        assert_eq!(a.mean_us.to_bits(), b.mean_us.to_bits(), "{cell}");
-        assert_eq!(a.mean_wait_us.to_bits(), b.mean_wait_us.to_bits(), "{cell}");
-        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits(), "{cell}");
-        assert_eq!(a.samples, b.samples, "{cell}");
-        assert_eq!(a.converged, b.converged, "{cell}");
-        assert_eq!(a.saturated, b.saturated, "{cell}");
+    // Bitwise equality, not tolerance: the determinism contract.
+    common::assert_identical_artifacts("cluster_sweep 1 vs 8 workers", &one, &eight);
+}
+
+#[test]
+fn replicated_cluster_sweep_is_bit_identical_at_1_and_8_workers() {
+    // Within-cell parallel replications flatten into the pool's work list;
+    // the merge is in replication order, so the grid must stay
+    // bit-identical at every worker count even when a single cell's
+    // replications land on different workers.
+    let replicated = |threads| ClusterSweepOptions {
+        replications: 4,
+        ..sweep_opts(threads)
+    };
+    let one = cluster_sweep(&replicated(1));
+    let eight = cluster_sweep(&replicated(8));
+    assert_eq!(one.len(), 2 * 3 * 2 * 2);
+    for p in &one {
+        assert!(!p.saturated && p.samples > 0, "unexpected empty cell {p:?}");
     }
+    common::assert_identical_artifacts("replicated cluster_sweep 1 vs 8 workers", &one, &eight);
 }
 
 #[test]

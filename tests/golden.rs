@@ -17,6 +17,8 @@
 //! encoding maps non-finite floats to `null`, which would not round-trip
 //! back into an `f64` field.
 
+mod common;
+
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions, FaultSweepPoint};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::experiments::fig6::{dyads_per_port, fig6, Fig6Cell};
@@ -24,36 +26,11 @@ use duplexity::experiments::sweep::{latency_load_sweep, SweepOptions};
 use duplexity::experiments::tables::{table2_rows, Table2Row};
 use duplexity::{Design, Workload};
 use duplexity_queueing::des::Mg1Options;
-use std::path::PathBuf;
 
-fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-/// Compares `value`'s pretty JSON against `tests/golden/<name>.json`, or
-/// rewrites the fixture when `UPDATE_GOLDEN=1` is set.
+/// Compares against `tests/golden/<name>.json` via the shared helper
+/// (first-mismatch cell/field naming, `UPDATE_GOLDEN=1` regeneration).
 fn assert_matches_golden<T: serde::Serialize>(name: &str, value: &T) {
-    let path = golden_dir().join(format!("{name}.json"));
-    let mut actual = serde_json::to_string_pretty(value).expect("serialize artifact");
-    actual.push('\n');
-    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
-        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
-        std::fs::write(&path, &actual).expect("write golden fixture");
-        eprintln!("updated {}", path.display());
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test golden` to create it",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its golden fixture; if the change is intentional, \
-         regenerate with `UPDATE_GOLDEN=1 cargo test --test golden` and review \
-         `git diff tests/golden/`"
-    );
+    common::assert_matches_golden("golden", name, value);
 }
 
 fn golden_fig5_opts() -> Fig5Options {

@@ -23,6 +23,8 @@
 //!    class: duplicate arrivals are batch-correlated with primaries, which
 //!    PASTA tolerates for class 1 but not for the class-2 form.)
 
+mod common;
+
 use duplexity::experiments::hedge_sweep::{hedge_sweep, HedgeSweepOptions, HedgeSweepPoint};
 use duplexity::BalancerPolicy;
 use duplexity_obs::Tracer;
@@ -35,7 +37,6 @@ use duplexity_stats::ci::mean_ci;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::rng::{derive_stream, SimRng};
 use duplexity_stats::summary::Summary;
-use std::path::PathBuf;
 
 fn sweep_opts(threads: usize) -> HedgeSweepOptions {
     HedgeSweepOptions {
@@ -61,36 +62,8 @@ fn hedge_sweep_grid_is_bit_identical_at_1_and_8_workers() {
     let eight = hedge_sweep(&sweep_opts(8));
     assert_eq!(one.len(), eight.len());
     assert_eq!(one.len(), 2 * 6 * 2 * 2);
-    for (a, b) in one.iter().zip(&eight) {
-        let cell = format!("{}/{}/{}s@{}", a.policy, a.plan, a.servers, a.load);
-        assert_eq!(a.policy, b.policy, "{cell}");
-        assert_eq!(a.plan, b.plan, "{cell}");
-        assert_eq!(a.servers, b.servers, "{cell}");
-        assert_eq!(a.load, b.load, "{cell}");
-        // Bitwise equality, not tolerance: the determinism contract.
-        assert_eq!(a.p99_us.to_bits(), b.p99_us.to_bits(), "{cell}");
-        assert_eq!(a.p50_us.to_bits(), b.p50_us.to_bits(), "{cell}");
-        assert_eq!(a.mean_us.to_bits(), b.mean_us.to_bits(), "{cell}");
-        assert_eq!(a.mean_wait_us.to_bits(), b.mean_wait_us.to_bits(), "{cell}");
-        assert_eq!(
-            a.dup_mean_wait_us.to_bits(),
-            b.dup_mean_wait_us.to_bits(),
-            "{cell}"
-        );
-        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits(), "{cell}");
-        assert_eq!(
-            a.added_utilization.to_bits(),
-            b.added_utilization.to_bits(),
-            "{cell}"
-        );
-        assert_eq!(a.dup_copies, b.dup_copies, "{cell}");
-        assert_eq!(a.hedges_fired, b.hedges_fired, "{cell}");
-        assert_eq!(a.purged, b.purged, "{cell}");
-        assert_eq!(a.wasted_completions, b.wasted_completions, "{cell}");
-        assert_eq!(a.samples, b.samples, "{cell}");
-        assert_eq!(a.converged, b.converged, "{cell}");
-        assert_eq!(a.saturated, b.saturated, "{cell}");
-    }
+    // Bitwise equality, not tolerance: the determinism contract.
+    common::assert_identical_artifacts("hedge_sweep 1 vs 8 workers", &one, &eight);
 }
 
 #[test]
@@ -145,37 +118,6 @@ fn duplicated_jsq_never_loses_to_plain_jsq_at_moderate_load() {
     }
 }
 
-fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-/// Compares `value`'s pretty JSON against `tests/golden/<name>.json`, or
-/// rewrites the fixture when `UPDATE_GOLDEN=1` is set (same contract as
-/// `tests/golden.rs`).
-fn assert_matches_golden<T: serde::Serialize>(name: &str, value: &T) {
-    let path = golden_dir().join(format!("{name}.json"));
-    let mut actual = serde_json::to_string_pretty(value).expect("serialize artifact");
-    actual.push('\n');
-    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
-        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
-        std::fs::write(&path, &actual).expect("write golden fixture");
-        eprintln!("updated {}", path.display());
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "cannot read {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test hedge_determinism` to create it",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its golden fixture; if the change is intentional, \
-         regenerate with `UPDATE_GOLDEN=1 cargo test --test hedge_determinism` \
-         and review `git diff tests/golden/`"
-    );
-}
-
 #[test]
 fn hedge_sweep_small_grid_matches_golden() {
     let opts = HedgeSweepOptions {
@@ -195,7 +137,7 @@ fn hedge_sweep_small_grid_matches_golden() {
         points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
         "golden grid must stay unsaturated so every float round-trips"
     );
-    assert_matches_golden("hedge_sweep", &points);
+    common::assert_matches_golden("hedge_determinism", "hedge_sweep", &points);
 }
 
 #[test]
