@@ -12,9 +12,12 @@
 //! each. Two event-core sections follow: requests/sec per engine (legacy
 //! Lindley loop, event heap, event wheel; cluster and hedged cells) and the
 //! legacy-vs-fast cluster-sweep path (timing wheel + batched RNG +
-//! within-cell parallel replications). Writes the measurements as
-//! JSON (default `BENCH_cycles.json`) so CI can archive a perf trajectory
-//! across commits.
+//! within-cell parallel replications). An `obs` section times latency
+//! collection through the streaming [`LatencySketch`] against the exact
+//! sorted-vector estimator over one deterministic stream and records the
+//! sketch's p99 relative error. Writes the measurements as
+//! JSON (default `BENCH_cycles.json`) with a [`RunManifest`] sidecar so
+//! CI can archive a perf trajectory across commits.
 //!
 //! `--guard BASELINE` compares the measured wheel:heap requests/sec ratio
 //! against the committed [`GuardBaseline`] JSON (`BENCH_baseline.json`)
@@ -35,7 +38,7 @@ use duplexity::experiments::hedge_sweep::hedge_sweep;
 use duplexity::{Design, Workload};
 use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
-use duplexity_obs::Tracer;
+use duplexity_obs::{manifest_path, LatencySketch, RunManifest, Tracer};
 use duplexity_queueing::cluster::{
     try_simulate_cluster, try_simulate_cluster_hedged, BalancerPolicy, ClusterEngine,
     ClusterOptions, DuplicationPolicy,
@@ -43,7 +46,8 @@ use duplexity_queueing::cluster::{
 use duplexity_queueing::des::Mg1Options;
 use duplexity_queueing::eventcore::EventQueueKind;
 use duplexity_stats::dist::{Distribution, Exponential};
-use duplexity_stats::rng::SimRng;
+use duplexity_stats::quantile::QuantileEstimator;
+use duplexity_stats::rng::{rng_from_seed, SimRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -146,6 +150,24 @@ struct SweepPathBench {
     speedup: f64,
 }
 
+/// Collection overhead of the streaming tail sketch against the exact
+/// sorted-vector estimator, over one deterministic exponential stream.
+#[derive(Debug, Serialize)]
+struct ObsBench {
+    samples: usize,
+    /// Exact path: `Vec` push + lazy sort at query time.
+    vec_wall_s: f64,
+    vec_msamples_per_sec: f64,
+    /// Sketch path: log-bucket index + counter increment per sample.
+    sketch_wall_s: f64,
+    sketch_msamples_per_sec: f64,
+    /// Sketch:vec collection throughput ratio (same stream, same process).
+    sketch_vs_vec_ratio: f64,
+    /// |sketch p99 − exact p99| / exact p99 — must stay within the
+    /// sketch's documented relative-accuracy bound.
+    p99_relative_error: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     seed: u64,
@@ -157,6 +179,7 @@ struct BenchReport {
     hedge_sweep: HedgeSweepBench,
     engine_core: EngineCoreBench,
     sweep_path: SweepPathBench,
+    obs: ObsBench,
 }
 
 /// The committed guard baseline (`BENCH_baseline.json`): the wheel:heap
@@ -240,6 +263,53 @@ fn time_engine(
         requests,
         wall_s,
         requests_per_sec: requests as f64 / wall_s.max(1e-12),
+    }
+}
+
+/// Times latency collection through the exact estimator and the streaming
+/// sketch over the same deterministic exponential stream, best of three
+/// passes each. The p99 error check doubles as an end-to-end accuracy
+/// probe on a stream the unit tests never see.
+fn bench_obs(seed: u64, samples: usize) -> ObsBench {
+    let service = Exponential::new(2.0);
+    let draw = |n: usize| {
+        let mut rng = rng_from_seed(seed ^ 0x0b5);
+        (0..n).map(|_| service.sample(&mut rng)).collect::<Vec<_>>()
+    };
+    let stream = draw(samples);
+
+    let mut vec_wall = f64::INFINITY;
+    let mut exact_p99 = 0.0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut q = QuantileEstimator::with_capacity(stream.len());
+        for &v in &stream {
+            q.record(v);
+        }
+        exact_p99 = q.quantile(0.99).expect("non-empty stream");
+        vec_wall = vec_wall.min(t.elapsed().as_secs_f64());
+    }
+
+    let mut sketch_wall = f64::INFINITY;
+    let mut sketch_p99 = 0.0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut s = LatencySketch::new();
+        for &v in &stream {
+            s.record(v);
+        }
+        sketch_p99 = s.quantile(0.99).expect("non-empty stream");
+        sketch_wall = sketch_wall.min(t.elapsed().as_secs_f64());
+    }
+
+    ObsBench {
+        samples,
+        vec_wall_s: vec_wall,
+        vec_msamples_per_sec: samples as f64 / vec_wall.max(1e-12) / 1e6,
+        sketch_wall_s: sketch_wall,
+        sketch_msamples_per_sec: samples as f64 / sketch_wall.max(1e-12) / 1e6,
+        sketch_vs_vec_ratio: vec_wall / sketch_wall.max(1e-12),
+        p99_relative_error: (sketch_p99 - exact_p99).abs() / exact_p99.max(1e-12),
     }
 }
 
@@ -533,6 +603,16 @@ fn main() {
         sweep_path.speedup, legacy_s, fast_s2
     );
 
+    eprintln!("bench: observability collection overhead (sketch vs exact vector)");
+    let obs = bench_obs(seed, if smoke { 2_000_000 } else { 8_000_000 });
+    eprintln!(
+        "bench: sketch {:.1} Msamples/s vs vec {:.1} Msamples/s ({:.2}x), p99 err {:.4}",
+        obs.sketch_msamples_per_sec,
+        obs.vec_msamples_per_sec,
+        obs.sketch_vs_vec_ratio,
+        obs.p99_relative_error
+    );
+
     let report = BenchReport {
         seed,
         threads,
@@ -569,11 +649,23 @@ fn main() {
         },
         engine_core,
         sweep_path,
+        obs,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let manifest = RunManifest::new("bench", env!("CARGO_PKG_VERSION"))
+        .seed(seed)
+        .threads(threads)
+        .event_queue(EventQueueKind::default().name())
+        .with("smoke", smoke)
+        .with("artifact", "bench");
+    let mpath = manifest_path(std::path::Path::new(&out));
+    std::fs::write(&mpath, manifest.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", mpath.display());
         std::process::exit(1);
     });
     eprintln!(

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! report [--quick] [--seed N] [--threads N] [--json DIR] [--trace FILE]
-//!        [--metrics FILE] [--fig1a] [--fig1b] [--fig1c] [--fig2a] [--fig2b]
-//!        [--table1] [--table2] [--fig5] [--fig6] [--faults] [--cluster]
-//!        [--hedge] [--all]
+//!        [--metrics FILE] [--timeseries FILE] [--fig1a] [--fig1b] [--fig1c]
+//!        [--fig2a] [--fig2b] [--table1] [--table2] [--fig5] [--fig6]
+//!        [--faults] [--cluster] [--hedge] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -18,18 +18,27 @@
 //! events during the Figure 5 grid and writes a Chrome `trace_event` JSON
 //! file (open in `chrome://tracing` or <https://ui.perfetto.dev>).
 //! `--metrics FILE` writes the merged counter/histogram registry as JSON.
-//! Both are deterministic: byte-identical for every `--threads` value, and
-//! the figure output itself is unchanged by tracing.
+//! `--timeseries FILE` runs the request-domain timeline (event-clock gauge
+//! series plus the DES self-profile) and writes its JSON artifact. All are
+//! deterministic: byte-identical for every `--threads` value, and the
+//! figure output itself is unchanged by tracing.
+//!
+//! Every artifact gets a self-describing run manifest beside it at
+//! `<artifact>.manifest.json` (tool, crate versions, seed, fidelity,
+//! requested threads, event-queue kind) — a pure function of the run's
+//! inputs, so it too is byte-identical at any worker count.
 
 use duplexity::experiments::{
-    cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, tables,
+    cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, tables, timeline,
 };
 use duplexity::report as render;
 use duplexity_bench::Fidelity;
-use std::path::PathBuf;
+use duplexity_obs::{manifest_path, RunManifest};
+use std::path::{Path, PathBuf};
 
-/// Writes `value` as pretty JSON to `dir/name.json` when exporting.
-fn export<T: serde::Serialize>(dir: Option<&PathBuf>, name: &str, value: &T) {
+/// Writes `value` as pretty JSON to `dir/name.json` when exporting, plus
+/// the run manifest beside it.
+fn export<T: serde::Serialize>(dir: Option<&PathBuf>, name: &str, value: &T, base: &RunManifest) {
     let Some(dir) = dir else { return };
     let path = dir.join(format!("{name}.json"));
     match std::fs::File::create(&path)
@@ -39,6 +48,13 @@ fn export<T: serde::Serialize>(dir: Option<&PathBuf>, name: &str, value: &T) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+    export_manifest(&path, name, base);
+}
+
+/// Writes `base` (stamped with the artifact name) to `<path>.manifest.json`.
+fn export_manifest(path: &Path, artifact: &str, base: &RunManifest) {
+    let manifest = base.clone().with("artifact", artifact);
+    write_artifact(&manifest_path(path), &manifest.to_json());
 }
 
 fn main() {
@@ -76,6 +92,11 @@ fn main() {
         .position(|a| a == "--metrics")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let timeseries_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--timeseries")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -98,9 +119,21 @@ fn main() {
         "--hedge",
         "--extensions",
         "--power",
+        // Not a figure, but an artifact selector all the same: asking for
+        // only the timeline must not trigger the run-everything default.
+        "--timeseries",
     ];
     let all = has("--all") || !args.iter().any(|a| figure_flags.contains(&a.as_str()));
     let want = |flag: &str| all || has(flag);
+
+    // The base manifest every artifact's sidecar derives from: requested
+    // inputs only (never resolved worker counts or wall-clock facts), so
+    // manifests are byte-identical at any worker count.
+    let manifest = RunManifest::new("report", env!("CARGO_PKG_VERSION"))
+        .seed(seed)
+        .threads(threads)
+        .event_queue(duplexity_queueing::eventcore::EventQueueKind::default().name())
+        .with("fidelity", format!("{fidelity:?}"));
 
     let pool_threads = duplexity::ExecPool::new(threads).threads();
     println!(
@@ -121,16 +154,16 @@ fn main() {
             println!("  {line}");
         }
         println!();
-        export(json_dir, "table2", &tables::table2_rows());
+        export(json_dir, "table2", &tables::table2_rows(), &manifest);
     }
     if want("--fig1a") {
         println!("{}", render::render_fig1a(&fig1::fig1a(1)));
-        export(json_dir, "fig1a", &fig1::fig1a(8));
+        export(json_dir, "fig1a", &fig1::fig1a(8), &manifest);
     }
     if want("--fig1b") {
         let series = fig1::fig1b(200);
         println!("{}", render::render_fig1b(&series));
-        export(json_dir, "fig1b", &series);
+        export(json_dir, "fig1b", &series, &manifest);
     }
     if want("--fig1c") {
         let points = fig1::fig1c(16, fidelity.sweep_horizon_cycles(), seed);
@@ -141,17 +174,17 @@ fn main() {
             }
         }
         println!();
-        export(json_dir, "fig1c", &points);
+        export(json_dir, "fig1c", &points, &manifest);
     }
     if want("--fig2a") {
         let points = fig2::fig2a(16, fidelity.sweep_horizon_cycles(), seed);
         println!("{}", render::render_fig2a(&points));
-        export(json_dir, "fig2a", &points);
+        export(json_dir, "fig2a", &points, &manifest);
     }
     if want("--fig2b") {
         let points = fig2::fig2b(32);
         println!("{}", render::render_fig2b(&points));
-        export(json_dir, "fig2b", &points);
+        export(json_dir, "fig2b", &points, &manifest);
     }
 
     if want("--power") {
@@ -178,7 +211,7 @@ fn main() {
             "{}",
             render::render_fig5_matrix(&cells, "Extensions: normalized p99", |c| c.p99_norm)
         );
-        export(json_dir, "extensions", &cells);
+        export(json_dir, "extensions", &cells, &manifest);
     }
 
     if want("--faults") {
@@ -187,7 +220,7 @@ fn main() {
         opts.threads = threads;
         let points = fault_sweep::fault_sweep(&opts);
         println!("{}", render::render_fault_sweep(&points));
-        export(json_dir, "fault_sweep", &points);
+        export(json_dir, "fault_sweep", &points, &manifest);
     }
 
     if want("--cluster") {
@@ -196,7 +229,7 @@ fn main() {
         opts.threads = threads;
         let points = cluster_sweep::cluster_sweep(&opts);
         println!("{}", render::render_cluster_sweep(&points));
-        export(json_dir, "cluster_sweep", &points);
+        export(json_dir, "cluster_sweep", &points, &manifest);
     }
 
     if want("--hedge") {
@@ -205,7 +238,17 @@ fn main() {
         opts.threads = threads;
         let points = hedge_sweep::hedge_sweep(&opts);
         println!("{}", render::render_hedge_sweep(&points));
-        export(json_dir, "hedge_sweep", &points);
+        export(json_dir, "hedge_sweep", &points, &manifest);
+    }
+
+    if let Some(path) = &timeseries_path {
+        eprintln!("running the request-domain timeline...");
+        let mut topts = fidelity.timeline_options(seed);
+        topts.threads = threads;
+        let t = timeline::timeline(&topts);
+        println!("{}", render::render_timeline(&t));
+        write_artifact(path, &t.to_json());
+        export_manifest(path, "timeline", &manifest);
     }
 
     if want("--fig5") || want("--fig6") {
@@ -217,9 +260,11 @@ fn main() {
         let run = fig5::run_fig5_traced(&opts, tracing.then_some(&trace_cfg));
         if let Some(path) = &trace_path {
             write_artifact(path, &duplexity::chrome_trace_json(&run.traces));
+            export_manifest(path, "trace", &manifest);
         }
         if let Some(path) = &metrics_path {
             write_artifact(path, &run.registry.to_json());
+            export_manifest(path, "metrics", &manifest);
         }
         let cells = run.cells;
         println!(
@@ -253,7 +298,7 @@ fn main() {
             render::render_fig5_matrix(&cells, "Fig 5(f): normalized batch STP", |c| c.stp_norm)
         );
         summarize_headlines(&cells);
-        export(json_dir, "fig5", &cells);
+        export(json_dir, "fig5", &cells, &manifest);
         if want("--fig6") {
             let f6 = fig6::fig6(&cells);
             println!("{}", render::render_fig6(&f6));
@@ -261,7 +306,7 @@ fn main() {
                 "  worst-case dyads per FDR port: {}",
                 fig6::dyads_per_port(&f6)
             );
-            export(json_dir, "fig6", &f6);
+            export(json_dir, "fig6", &f6, &manifest);
         }
     }
 }

@@ -11,6 +11,7 @@ use duplexity::experiments::cluster_sweep::ClusterSweepOptions;
 use duplexity::experiments::fault_sweep::FaultSweepOptions;
 use duplexity::experiments::fig5::Fig5Options;
 use duplexity::experiments::hedge_sweep::HedgeSweepOptions;
+use duplexity::experiments::timeline::TimelineOptions;
 use duplexity::BalancerPolicy;
 use duplexity_queueing::des::Mg1Options;
 
@@ -150,6 +151,36 @@ impl Fidelity {
             }
             Fidelity::Quick => {
                 opts.loads = vec![0.25, 0.4];
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
+    /// The request-domain timeline at this fidelity (the `--timeseries`
+    /// artifact): event-clock gauge series plus the DES self-profile.
+    #[must_use]
+    pub fn timeline_options(self, seed: u64) -> TimelineOptions {
+        let mut opts = TimelineOptions {
+            seed,
+            ..TimelineOptions::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.servers = 4;
+                opts.loads = vec![0.4];
+                opts.queue = Mg1Options {
+                    max_samples: 60_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
                 opts.queue = Mg1Options {
                     max_samples: 120_000,
                     warmup: 1_000,

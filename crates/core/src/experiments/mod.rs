@@ -9,3 +9,4 @@ pub mod fig6;
 pub mod hedge_sweep;
 pub mod sweep;
 pub mod tables;
+pub mod timeline;

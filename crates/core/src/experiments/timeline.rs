@@ -1,0 +1,319 @@
+//! Request-domain timeline: event-clock gauge series + DES self-profile
+//! for a handful of cluster loads.
+//!
+//! The sweeps (`cluster_sweep`, `hedge_sweep`) report *endpoint* numbers —
+//! one p99 per grid cell. This driver answers the "what happened along the
+//! way" question the killer-microseconds story keeps raising: it runs the
+//! duplication-aware cluster engine with a timeseries-enabled
+//! [`Tracer`], collecting per-server queue depth, busy-server count,
+//! hedges in flight, cumulative purges, and delivered utilization on the
+//! pure event clock, plus the event-core self-profile (per-kind push/pop
+//! counters, wheel occupancy and fast-forward accounting) in the slash-path
+//! registry.
+//!
+//! Determinism: the observability layer draws zero RNG values, cells
+//! derive their seeds from `(seed, load, servers)` alone, and per-cell
+//! logs merge in load-index order under `load{l}/` prefixes — so the
+//! artifact is byte-identical at any [`ExecPool`] worker count, which
+//! `tests/obs_determinism.rs` holds it to.
+
+use crate::exec::ExecPool;
+use duplexity_obs::{log_enabled, log_line, Registry, TimeSeriesSet, Tracer};
+use duplexity_queueing::cluster::{
+    try_simulate_cluster_hedged, BalancerPolicy, ClusterOptions, DuplicationPolicy,
+};
+use duplexity_queueing::des::Mg1Options;
+use duplexity_queueing::eventcore::EventQueueKind;
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_workloads::Workload;
+
+/// Stream label for per-cell seeds (keyed on load and cluster size only,
+/// matching the sweep drivers' convention).
+const TIMELINE_CELL_STREAM: u64 = 0x7173;
+
+/// Cluster traces share the DES clock domain: 1000 ticks per simulated µs.
+const TIMELINE_TICKS_PER_US: f64 = 1000.0;
+
+/// Configuration for the timeline run: one (policy, plan, cluster size),
+/// several loads, one gauge-bin width.
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    /// Microservice under test.
+    pub workload: Workload,
+    /// Balancing policy.
+    pub policy: BalancerPolicy,
+    /// Duplication/hedging plan.
+    pub plan: DuplicationPolicy,
+    /// Servers behind the balancer.
+    pub servers: usize,
+    /// Per-server offered loads; one timeline cell per load.
+    pub loads: Vec<f64>,
+    /// Gauge bin width in simulated µs.
+    pub bin_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queueing controls (lifted per-cell to [`ClusterOptions`]).
+    pub queue: Mg1Options,
+    /// Worker threads; `0` resolves `DUPLEXITY_THREADS` / available
+    /// parallelism. The artifact is bit-identical for every value.
+    pub threads: usize,
+    /// Future-event-set implementation for every cell.
+    pub event_queue: EventQueueKind,
+    /// Ring capacity for raw trace events. The timeline artifact uses
+    /// only gauges and registry counters (which never drop), so a small
+    /// cap merely bounds memory.
+    pub trace_capacity: usize,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::Rsc,
+            policy: BalancerPolicy::Jsq,
+            plan: DuplicationPolicy::hedge(20.0),
+            servers: 16,
+            loads: vec![0.3, 0.7],
+            bin_us: 1_000.0,
+            seed: 42,
+            queue: Mg1Options {
+                max_samples: 200_000,
+                ..Mg1Options::default()
+            },
+            threads: 0,
+            event_queue: EventQueueKind::default(),
+            trace_capacity: 1 << 10,
+        }
+    }
+}
+
+/// Per-load endpoint summary riding along with the series.
+#[derive(Debug, Clone)]
+pub struct TimelineCell {
+    /// Per-server offered load fraction.
+    pub load: f64,
+    /// Measured requests (0 for a saturated cell).
+    pub samples: usize,
+    /// Exact p99 sojourn from the sorted-sample estimator, µs.
+    pub p99_us: f64,
+    /// p99 sojourn from the streaming sketch, µs — within the sketch's
+    /// documented relative accuracy of `p99_us`.
+    pub sketch_p99_us: f64,
+    /// Whether the cell saturated (pilot verdict).
+    pub saturated: bool,
+}
+
+/// The merged timeline: gauge series and registry from every load cell,
+/// prefixed `load{l}/`, plus the per-load endpoint summaries.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Gauge bin width, µs.
+    pub bin_us: f64,
+    /// Merged event-clock gauge series (`load0.3/cluster/busy_servers`,
+    /// ...), in load-index order.
+    pub series: TimeSeriesSet,
+    /// Merged registry (per-kind event counters, event-queue profile,
+    /// request counters), in load-index order.
+    pub registry: Registry,
+    /// Per-load summaries, in load order.
+    pub cells: Vec<TimelineCell>,
+}
+
+impl Timeline {
+    /// Deterministic JSON export: endpoint summaries, then the series and
+    /// registry objects (both already deterministic). Pure string
+    /// assembly — float formatting is Rust's shortest round-trip, so the
+    /// bytes are platform- and worker-count-independent.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use duplexity_obs::registry::json_f64;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bin_us\": {},\n", json_f64(self.bin_us)));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    {{\"load\": {}, \"samples\": {}, \"p99_us\": {}, \"sketch_p99_us\": {}, \"saturated\": {}}}",
+                json_f64(c.load),
+                c.samples,
+                json_f64(c.p99_us),
+                json_f64(c.sketch_p99_us),
+                c.saturated,
+            ));
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"series\": {},\n",
+            self.series.to_json().trim_end()
+        ));
+        out.push_str(&format!(
+            "  \"registry\": {}\n",
+            self.registry.to_json().trim_end()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs the timeline: one timeseries-traced cluster simulation per load,
+/// merged in load-index order.
+///
+/// # Panics
+///
+/// Panics on an empty load list, a zero server count, or a non-positive
+/// bin width.
+#[must_use]
+pub fn timeline(opts: &TimelineOptions) -> Timeline {
+    assert!(!opts.loads.is_empty(), "empty timeline");
+    assert!(opts.servers >= 1, "cluster needs at least one server");
+    assert!(
+        opts.bin_us.is_finite() && opts.bin_us > 0.0,
+        "bin width must be positive"
+    );
+    let model = opts.workload.service_model();
+    let nominal = opts.workload.nominal_service_us();
+
+    let pool = ExecPool::new(opts.threads);
+    let cells = pool.run("timeline/cells", opts.loads.len(), |i| {
+        let load = opts.loads[i];
+        let lambda = opts.servers as f64 * load / nominal;
+        let tracer = Tracer::enabled(opts.trace_capacity, TIMELINE_TICKS_PER_US)
+            .with_timeseries(opts.bin_us);
+        let mut service = |rng: &mut SimRng| model.sample_compute(rng) + model.sample_stall(rng);
+        let mut copts = ClusterOptions::from_mg1(opts.servers, &opts.queue);
+        copts.event_queue = opts.event_queue;
+        copts.seed = derive_stream(
+            opts.seed,
+            TIMELINE_CELL_STREAM ^ ((load * 1000.0) as u64) ^ ((opts.servers as u64) << 32),
+        );
+        let mut balancer = opts.policy.build();
+        let result = try_simulate_cluster_hedged(
+            lambda,
+            &mut service,
+            balancer.as_mut(),
+            &opts.plan,
+            &copts,
+            &tracer,
+        );
+        let log = tracer.take();
+        let cell = match &result {
+            Ok(r) => TimelineCell {
+                load,
+                samples: r.cluster.samples,
+                p99_us: r.cluster.tail_us,
+                sketch_p99_us: r.cluster.sketch.quantile(0.99).unwrap_or(0.0),
+                saturated: false,
+            },
+            Err(_) => TimelineCell {
+                load,
+                samples: 0,
+                p99_us: f64::INFINITY,
+                sketch_p99_us: f64::INFINITY,
+                saturated: true,
+            },
+        };
+        (cell, log)
+    });
+
+    let mut series = TimeSeriesSet::new(opts.bin_us);
+    let mut registry = Registry::default();
+    let mut summaries = Vec::with_capacity(cells.len());
+    for (cell, log) in cells {
+        let prefix = format!("load{}", cell.load);
+        if let Some(ts) = &log.timeseries {
+            series.merge_prefixed(&prefix, ts);
+        }
+        registry.merge_prefixed(&prefix, &log.registry);
+        summaries.push(cell);
+    }
+    if log_enabled() {
+        log_line(&format!(
+            "timeline: {} loads x {} servers ({}, {}, {}), {} gauge series",
+            summaries.len(),
+            opts.servers,
+            opts.workload,
+            opts.policy,
+            opts.plan,
+            series.series().count(),
+        ));
+    }
+    Timeline {
+        bin_us: opts.bin_us,
+        series,
+        registry,
+        cells: summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> TimelineOptions {
+        TimelineOptions {
+            servers: 4,
+            loads: vec![0.3, 0.6],
+            queue: Mg1Options {
+                max_samples: 5_000,
+                warmup: 500,
+                ..Mg1Options::default()
+            },
+            ..TimelineOptions::default()
+        }
+    }
+
+    #[test]
+    fn timeline_collects_gauges_and_profile_per_load() {
+        let t = timeline(&quick_opts());
+        assert_eq!(t.cells.len(), 2);
+        for cell in &t.cells {
+            assert!(!cell.saturated);
+            let pre = format!("load{}", cell.load);
+            assert!(t
+                .series
+                .get(&format!("{pre}/cluster/busy_servers"))
+                .is_some());
+            assert!(t.series.get(&format!("{pre}/cluster/in_flight")).is_some());
+            assert!(t
+                .series
+                .get(&format!("{pre}/cluster/server/0/depth"))
+                .is_some());
+            assert!(t.registry.counter(&format!("{pre}/cluster/eventq/pushes")) > 0);
+            assert_eq!(
+                t.registry.counter(&format!("{pre}/cluster/eventq/pushes")),
+                t.registry.counter(&format!("{pre}/cluster/eventq/pops")),
+            );
+            // The sketch's p99 stays within its documented bound of exact.
+            let alpha = 0.01;
+            assert!(
+                (cell.sketch_p99_us - cell.p99_us).abs() <= alpha * cell.p99_us,
+                "sketch {} vs exact {}",
+                cell.sketch_p99_us,
+                cell.p99_us
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_json_is_stable_and_parses() {
+        let t = timeline(&quick_opts());
+        let j = t.to_json();
+        assert_eq!(j, t.to_json());
+        let v = serde_json::parse_value(&j).expect("valid JSON");
+        assert!(v.get_field("series").is_some());
+        assert!(v.get_field("registry").is_some());
+        assert!(v.get_field("cells").is_some());
+    }
+
+    #[test]
+    fn saturated_loads_summarize_without_panicking() {
+        let mut opts = quick_opts();
+        opts.loads = vec![0.3, 1.2];
+        let t = timeline(&opts);
+        assert!(!t.cells[0].saturated);
+        assert!(t.cells[1].saturated);
+        assert!(t.cells[1].p99_us.is_infinite());
+    }
+}

@@ -76,6 +76,7 @@ pub use experiments::fault_sweep::{
 };
 pub use experiments::fig5::{run_fig5, run_fig5_traced, Fig5Options, Fig5Run, TraceConfig};
 pub use experiments::hedge_sweep::{hedge_sweep, HedgeSweepOptions, HedgeSweepPoint};
+pub use experiments::timeline::{timeline, Timeline, TimelineCell, TimelineOptions};
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,
     ProvisionerConfig,

@@ -8,6 +8,7 @@ use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
 use crate::experiments::fig5::Fig5Cell;
 use crate::experiments::fig6::Fig6Cell;
 use crate::experiments::hedge_sweep::HedgeSweepPoint;
+use crate::experiments::timeline::Timeline;
 use duplexity_cpu::designs::Design;
 use duplexity_queueing::closed_loop::SurfaceCell;
 use std::fmt::Write as _;
@@ -417,6 +418,81 @@ pub fn render_fig6(cells: &[Fig6Cell]) -> String {
     out
 }
 
+/// Renders the request-domain timeline: per-load endpoint summaries, the
+/// DES self-profile counters, and one ASCII sparkline per gauge series
+/// (bin means normalized to the series maximum mean, downsampled to at
+/// most 64 columns by averaging runs of bins). Purely a view over the
+/// deterministic artifact — no wall-clock data, no RNG.
+#[must_use]
+pub fn render_timeline(t: &Timeline) -> String {
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    const WIDTH: usize = 64;
+    let mut out = String::from("Timeline: event-clock gauges and DES self-profile\n");
+    let _ = writeln!(out, "bin width: {} us", t.bin_us);
+    for c in &t.cells {
+        let _ = writeln!(
+            out,
+            "load {:>5.2}: {:>8} samples, p99 {} us (sketch {} us)",
+            c.load,
+            c.samples,
+            norm(c.p99_us).trim(),
+            norm(c.sketch_p99_us).trim(),
+        );
+    }
+    let mut profiled = false;
+    for (name, v) in t.registry.counters() {
+        if name.contains("/cluster/eventq/") || name.contains("/cluster/events/") {
+            if !profiled {
+                out.push_str("\nevent-core profile:\n");
+                profiled = true;
+            }
+            let _ = writeln!(out, "  {name:<52} {v:>12}");
+        }
+    }
+    out.push_str("\ngauges (bin means, normalized per series):\n");
+    for (name, series) in t.series.series() {
+        let bins = series.bins();
+        // Downsample to at most WIDTH columns: each column averages the
+        // means of its (non-empty) bins.
+        let cols = bins.len().clamp(1, WIDTH);
+        let mut col_mean = vec![0.0f64; cols];
+        let mut col_n = vec![0u64; cols];
+        for (i, b) in bins.iter().enumerate() {
+            if b.count > 0 {
+                let c = i * cols / bins.len();
+                col_mean[c] += b.mean();
+                col_n[c] += 1;
+            }
+        }
+        let mut peak = 0.0f64;
+        for (m, &k) in col_mean.iter_mut().zip(&col_n) {
+            if k > 0 {
+                *m /= k as f64;
+                peak = peak.max(*m);
+            }
+        }
+        let spark: String = col_mean
+            .iter()
+            .zip(&col_n)
+            .map(|(&m, &k)| {
+                if k == 0 || peak <= 0.0 {
+                    ' '
+                } else {
+                    let lvl = (m / peak * (LEVELS.len() - 1) as f64).round() as usize;
+                    LEVELS[lvl.min(LEVELS.len() - 1)] as char
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {name:<44} |{spark}| peak {:.3} ({} samples)",
+            peak,
+            series.samples(),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +646,37 @@ mod tests {
     fn norm_marks_saturation() {
         assert_eq!(norm(f64::INFINITY), "    sat");
         assert!(norm(1.234).contains("1.234"));
+    }
+
+    #[test]
+    fn timeline_rendering_shows_profile_and_sparklines() {
+        use crate::experiments::timeline::{timeline, TimelineOptions};
+        use duplexity_queueing::des::Mg1Options;
+        let t = timeline(&TimelineOptions {
+            servers: 4,
+            loads: vec![0.4],
+            queue: Mg1Options {
+                max_samples: 5_000,
+                warmup: 500,
+                ..Mg1Options::default()
+            },
+            ..TimelineOptions::default()
+        });
+        let s = render_timeline(&t);
+        assert_eq!(s, render_timeline(&t), "rendering must be deterministic");
+        assert!(s.contains("event-core profile:"), "{s}");
+        assert!(s.contains("cluster/eventq/pushes"), "{s}");
+        assert!(s.contains("load0.4/cluster/busy_servers"), "{s}");
+        // Sparkline bars exist and are bounded by the declared width.
+        let bar = s
+            .lines()
+            .find(|l| l.contains("busy_servers"))
+            .and_then(|l| {
+                let a = l.find('|')?;
+                let b = l.rfind('|')?;
+                Some(&l[a + 1..b])
+            })
+            .expect("sparkline line");
+        assert!(!bar.is_empty() && bar.len() <= 64, "{bar:?}");
     }
 }

@@ -2,8 +2,11 @@
 //!
 //! A zero-RNG, deterministic observability layer for the Duplexity
 //! simulators: a cycle-domain event tracer, a hierarchical counter /
-//! observation registry, Chrome `trace_event` + flat-metrics JSON
-//! exporters, and an [`ExecPool`](PoolReport) load observer.
+//! observation registry, a log-bucketed latency sketch
+//! ([`LatencySketch`]), fixed-bin event-clock time series
+//! ([`TimeSeriesSet`]), self-describing run manifests ([`RunManifest`]),
+//! Chrome `trace_event` + flat-metrics JSON exporters, and an
+//! [`ExecPool`](PoolReport) load observer.
 //!
 //! ## Determinism contract
 //!
@@ -40,12 +43,18 @@
 
 pub mod chrome;
 pub mod logx;
+pub mod manifest;
 pub mod poolobs;
 pub mod registry;
+pub mod sketch;
+pub mod timeseries;
 pub mod trace;
 
 pub use chrome::{chrome_trace_json, parse_trace_events, TraceParseError};
 pub use logx::{log_enabled, log_line};
+pub use manifest::{manifest_path, RunManifest};
 pub use poolobs::{PoolReport, WorkerLoad};
 pub use registry::{Observation, Registry};
+pub use sketch::LatencySketch;
+pub use timeseries::{TimeSeries, TimeSeriesSet};
 pub use trace::{MorphTrigger, RemoteKind, ReturnReason, ThreadTag, TraceEvent, TraceLog, Tracer};

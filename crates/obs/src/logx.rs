@@ -1,21 +1,36 @@
 //! Env-gated stderr progress lines.
 //!
 //! Setting `DUPLEXITY_LOG` to any non-empty value other than `0` turns on
-//! one-line per-experiment summaries on stderr. The gate is read once per
-//! process and cached; logging never touches stdout, never feeds artifacts,
-//! and therefore can never perturb golden fixtures.
+//! one-line per-experiment summaries on stderr; a value of `2` (or higher)
+//! additionally enables verbose artifact-bookkeeping lines. The variable
+//! is read **once per process** and the parsed level is cached in a
+//! `OnceLock`, so the hot experiment loops never re-enter `std::env`.
+//! Logging never touches stdout, never feeds artifacts, and therefore can
+//! never perturb golden fixtures.
 
 use std::sync::OnceLock;
+
+/// Parsed `DUPLEXITY_LOG` level, cached for the process lifetime:
+/// `0` = off, `1` = summary lines, `2+` = verbose.
+fn level() -> u8 {
+    static LEVEL: OnceLock<u8> = OnceLock::new();
+    *LEVEL.get_or_init(|| match std::env::var("DUPLEXITY_LOG") {
+        Err(_) => 0,
+        Ok(v) if v.is_empty() || v == "0" => 0,
+        Ok(v) => v.parse::<u8>().unwrap_or(1).max(1),
+    })
+}
 
 /// True when `DUPLEXITY_LOG` is set to a non-empty value other than `0`.
 #[must_use]
 pub fn log_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("DUPLEXITY_LOG")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-    })
+    level() >= 1
+}
+
+/// True when `DUPLEXITY_LOG` requests verbose output (`2` or higher).
+#[must_use]
+pub fn log_verbose() -> bool {
+    level() >= 2
 }
 
 /// Writes one `[duplexity] …` line to stderr when [`log_enabled`].
@@ -35,6 +50,11 @@ mod tests {
         // keep reporting (tests may run with or without the env var set).
         let first = log_enabled();
         assert_eq!(first, log_enabled());
+        // Verbose implies enabled, and both are stable.
+        if log_verbose() {
+            assert!(log_enabled());
+        }
+        assert_eq!(log_verbose(), log_verbose());
         // log_line must be safe to call in either state.
         log_line("test line");
     }

@@ -1,0 +1,159 @@
+//! Self-describing run manifests, emitted next to every artifact.
+//!
+//! A [`RunManifest`] records everything needed to reproduce the artifact
+//! it sits beside: the emitting tool and its crate version, and a sorted
+//! key/value map of run parameters (seed, fidelity, event-queue kind,
+//! grid shape, requested thread count, …). It is deliberately a *pure
+//! function of the run's inputs*: no timestamps, no hostnames, no
+//! resolved worker counts — wall-clock facts live in stderr-only
+//! [`PoolReport`](crate::PoolReport) lines — so the manifest beside a
+//! 1-worker artifact is byte-identical to the one beside the same
+//! artifact produced by 8 workers.
+//!
+//! The `threads` key therefore records the **requested** thread count
+//! (`0` means "resolve from `DUPLEXITY_THREADS` / available parallelism"),
+//! never the resolved one: the resolved count varies by machine while the
+//! artifact, by the exec-pool determinism contract, does not.
+
+use crate::registry::escape;
+use std::collections::BTreeMap;
+
+/// Bumped when the manifest JSON shape changes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// A deterministic, self-describing record of one artifact-producing run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    tool: String,
+    version: String,
+    entries: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// A manifest for `tool` (e.g. `report`, `bench`) at crate `version`
+    /// (pass the binary's `CARGO_PKG_VERSION`). The obs crate's own
+    /// version is recorded alongside under `crates`.
+    #[must_use]
+    pub fn new(tool: &str, version: &str) -> Self {
+        Self {
+            tool: tool.to_string(),
+            version: version.to_string(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or overwrites) one run parameter; values render as JSON
+    /// strings, so any `Display`able value is safe.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// In-place version of [`RunManifest::with`].
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    /// Records the RNG seed.
+    #[must_use]
+    pub fn seed(self, seed: u64) -> Self {
+        self.with("seed", seed)
+    }
+
+    /// Records the **requested** worker-thread count (`0` = resolve from
+    /// the environment). Never the resolved count — see the module docs.
+    #[must_use]
+    pub fn threads(self, requested: usize) -> Self {
+        self.with("threads", requested)
+    }
+
+    /// Records the event-queue implementation name (`heap` / `wheel`).
+    #[must_use]
+    pub fn event_queue(self, name: &str) -> Self {
+        self.with("event_queue", name)
+    }
+
+    /// Looks up one recorded parameter.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Deterministic JSON: fixed header fields, then the parameter map in
+    /// lexicographic key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"manifest_version\": {MANIFEST_VERSION},\n  \"tool\": \"{}\",\n  \"version\": \"{}\",\n  \"crates\": {{\n    \"duplexity-obs\": \"{}\"\n  }},\n  \"run\": {{",
+            escape(&self.tool),
+            escape(&self.version),
+            escape(env!("CARGO_PKG_VERSION")),
+        );
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// The conventional manifest path beside an artifact: `<path>.manifest.json`.
+#[must_use]
+pub fn manifest_path(artifact: &std::path::Path) -> std::path::PathBuf {
+    let mut name = artifact
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(".manifest.json");
+    artifact.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let m = RunManifest::new("report", "0.1.0")
+            .seed(42)
+            .threads(0)
+            .event_queue("wheel")
+            .with("fidelity", "Quick");
+        let j = m.to_json();
+        assert_eq!(j, m.clone().to_json());
+        assert!(j.contains("\"manifest_version\": 1"));
+        assert!(j.contains("\"seed\": \"42\""));
+        assert!(j.contains("\"threads\": \"0\""));
+        assert!(j.find("\"event_queue\"").unwrap() < j.find("\"fidelity\"").unwrap());
+        assert_eq!(m.get("seed"), Some("42"));
+    }
+
+    #[test]
+    fn manifests_ignore_wall_clock_facts_by_construction() {
+        // Two "runs" differing only in resolved parallelism produce the
+        // same manifest because only the requested count is recorded.
+        let a = RunManifest::new("report", "0.1.0").threads(0);
+        let b = RunManifest::new("report", "0.1.0").threads(0);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn manifest_path_appends_suffix() {
+        assert_eq!(
+            manifest_path(Path::new("out/cluster_sweep.json")),
+            Path::new("out/cluster_sweep.json.manifest.json")
+        );
+    }
+
+    #[test]
+    fn json_parses_with_the_vendored_parser() {
+        let j = RunManifest::new("bench", "0.1.0").seed(7).to_json();
+        let v = serde_json::parse_value(&j).expect("valid JSON");
+        assert!(v.get_field("run").is_some());
+    }
+}

@@ -60,16 +60,37 @@ impl PoolReport {
             .sum()
     }
 
+    /// Worker-load imbalance: the busiest worker's busy time over the
+    /// mean busy time, `1.0` for a perfectly even split. `0.0` when no
+    /// worker reported busy time (degenerate report).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.per_worker.iter().map(|w| w.busy_ms).sum();
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        let max = self
+            .per_worker
+            .iter()
+            .map(|w| w.busy_ms)
+            .fold(0.0, f64::max);
+        max * self.per_worker.len() as f64 / busy
+    }
+
     /// One-line human summary for `DUPLEXITY_LOG` output.
     #[must_use]
     pub fn summary_line(&self) -> String {
         format!(
-            "{}: {} cells on {} workers in {:.1}ms (util {:.0}%, steals {})",
+            "{}: {} cells on {} workers in {:.1}ms (util {:.0}%, imbalance {:.2}x, steals {})",
             self.label,
             self.cells,
             self.workers,
             self.wall_ms,
             self.utilization() * 100.0,
+            self.imbalance(),
             self.steal_count(),
         )
     }
@@ -123,5 +144,25 @@ mod tests {
         let line = report().summary_line();
         assert!(line.contains("fig5/cells"));
         assert!(line.contains("5 cells"));
+        assert!(line.contains("imbalance"));
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean_busy_time() {
+        // busy = [9, 5]: mean 7, max 9 → 9/7.
+        let r = report();
+        assert!((r.imbalance() - 9.0 / 7.0).abs() < 1e-12);
+        // An even split reads exactly 1.0.
+        let mut even = report();
+        even.per_worker = vec![
+            WorkerLoad {
+                cells: 2,
+                busy_ms: 4.0
+            };
+            2
+        ];
+        assert!((even.imbalance() - 1.0).abs() < 1e-12);
+        // Degenerate reports stay finite.
+        assert_eq!(PoolReport::default().imbalance(), 0.0);
     }
 }

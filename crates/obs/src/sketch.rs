@@ -1,0 +1,347 @@
+//! A deterministic log-bucketed latency sketch (DDSketch/HDR-style).
+//!
+//! [`LatencySketch`] summarizes a stream of non-negative latencies into
+//! geometrically spaced buckets with a *fixed* geometry chosen at
+//! construction from a relative-accuracy target `alpha`: bucket `k` covers
+//! `(γ^(k-1), γ^k]` with `γ = (1 + α) / (1 − α)`, and every bucket reports
+//! the representative value `2·γ^k / (1 + γ)` — the point whose relative
+//! distance to both bucket edges is exactly `α`. Any quantile extracted
+//! from the sketch is therefore within relative error `α` of the exact
+//! sample quantile (for samples ≥ [`MIN_POSITIVE_US`]; smaller values
+//! collapse into a zero bucket whose representative is `0`).
+//!
+//! ## Exact, replication-order merge
+//!
+//! The sketch deliberately stores **no floating-point accumulator**: its
+//! retained state is `u64` bucket counts plus `min`/`max` (both of which
+//! combine associatively and exactly for non-NaN inputs). Merging the
+//! per-replication sketches of a partitioned stream — in any grouping —
+//! is therefore *bit-identical* to sketching the concatenated stream,
+//! which is what lets the cluster engines pool replications under the
+//! exec-pool determinism contract (and what the property suite asserts as
+//! full structural equality, not approximate agreement).
+//!
+//! ## Quantile convention
+//!
+//! [`LatencySketch::quantile`] uses the workspace's nearest-rank rule —
+//! `rank = clamp(ceil(q·n), 1, n)` — the exact convention of the
+//! sorted-vector `QuantileEstimator` in `duplexity-stats`, so a sketch
+//! quantile and an exact quantile of the same stream always name the same
+//! order statistic and differ only by the bucket rounding bounded above.
+//!
+//! Consumes zero RNG draws, like everything in this crate.
+
+/// Default relative-accuracy target: quantiles within ±1%.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Samples below this (µs) land in the zero bucket: 10⁻⁹ µs is one
+/// femtosecond, far below any latency the simulators can produce, and the
+/// cutoff bounds the bucket range for pathological inputs.
+pub const MIN_POSITIVE_US: f64 = 1e-9;
+
+/// A mergeable log-bucketed histogram with bounded relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySketch {
+    /// Relative-accuracy target α (fixed at construction).
+    alpha: f64,
+    /// Bucket base γ = (1 + α) / (1 − α).
+    gamma: f64,
+    /// 1 / ln γ, cached for the per-record index computation.
+    inv_ln_gamma: f64,
+    /// Key of `buckets[0]`; meaningless while `buckets` is empty.
+    min_key: i64,
+    /// Contiguous bucket counts for keys `min_key ..`.
+    buckets: Vec<u64>,
+    /// Samples below [`MIN_POSITIVE_US`] (representative value 0).
+    zero: u64,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact smallest sample (`+inf` when empty).
+    min: f64,
+    /// Exact largest sample (`-inf` when empty).
+    max: f64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// A sketch at the default ±1% accuracy ([`DEFAULT_ALPHA`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_accuracy(DEFAULT_ALPHA)
+    }
+
+    /// A sketch whose quantiles carry relative error at most `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    #[must_use]
+    pub fn with_accuracy(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative accuracy must be in (0, 1)"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            gamma,
+            inv_ln_gamma: gamma.ln().recip(),
+            min_key: 0,
+            buckets: Vec::new(),
+            zero: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The documented relative-error bound α.
+    #[must_use]
+    pub fn relative_accuracy(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded sample.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Allocated bucket span (the memory footprint driver; grows with the
+    /// log of the sample dynamic range, not the sample count).
+    #[must_use]
+    pub fn bucket_span(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket key of a positive sample: the smallest `k` with `γ^k ≥ v`.
+    fn key_of(&self, v: f64) -> i64 {
+        // ceil() maps the half-open bucket (γ^(k-1), γ^k] to k; an exact
+        // power of γ stays in its own bucket.
+        (v.ln() * self.inv_ln_gamma).ceil() as i64
+    }
+
+    /// The representative value of bucket `key`: relative distance exactly
+    /// α to both bucket edges.
+    fn value_of(&self, key: i64) -> f64 {
+        2.0 * self.gamma.powi(key as i32) / (1.0 + self.gamma)
+    }
+
+    /// Grows `buckets` to include `key` and returns its index.
+    fn slot(&mut self, key: i64) -> usize {
+        if self.buckets.is_empty() {
+            self.min_key = key;
+            self.buckets.push(0);
+            return 0;
+        }
+        if key < self.min_key {
+            let grow = (self.min_key - key) as usize;
+            self.buckets.splice(0..0, std::iter::repeat_n(0, grow));
+            self.min_key = key;
+        }
+        let idx = (key - self.min_key) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        idx
+    }
+
+    /// Records one sample. Non-finite samples are ignored (the engines
+    /// never produce them; `inf` would otherwise poison the geometry).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < MIN_POSITIVE_US {
+            self.zero += 1;
+            return;
+        }
+        let key = self.key_of(v);
+        let idx = self.slot(key);
+        self.buckets[idx] += 1;
+    }
+
+    /// Nearest-rank quantile (`rank = clamp(ceil(q·n), 1, n)`), `None` when
+    /// empty. The result is the representative value of the bucket holding
+    /// the rank-th order statistic: within relative error α of the exact
+    /// sample quantile (exact 0 for zero-bucket samples).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return Some(0.0);
+        }
+        let mut seen = self.zero;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.value_of(self.min_key + i as i64));
+            }
+        }
+        // Counts are internally consistent; this is unreachable, but the
+        // exact max is the honest answer if it ever weren't.
+        Some(self.max)
+    }
+
+    /// Folds `other` into `self` by exact `u64` bucket addition. Because
+    /// every retained field combines associatively, merging per-partition
+    /// sketches (in any grouping) is bit-identical to sketching the
+    /// concatenated stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different accuracies
+    /// (their geometries are incompatible).
+    pub fn merge(&mut self, other: &LatencySketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches of different accuracy ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        self.count += other.count;
+        self.zero += other.zero;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Zero-count buckets still widen the span, so a merge reproduces
+        // the concatenated stream's allocation exactly (full structural
+        // equality, not just equal counts).
+        for (i, &c) in other.buckets.iter().enumerate() {
+            let idx = self.slot(other.min_key + i as i64);
+            self.buckets[idx] += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = LatencySketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.99), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn quantiles_stay_within_alpha_of_exact() {
+        let mut s = LatencySketch::new();
+        // A deterministic heavy-tail-ish stream spanning several decades.
+        let mut vals: Vec<f64> = (1..=5000u64)
+            .map(|i| {
+                let x = (i as f64) * 0.7315;
+                0.05 + (x.sin().abs() + 1.0) * (1.0 + (i % 97) as f64) * 0.9
+            })
+            .collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&vals, q);
+            let approx = s.quantile(q).unwrap();
+            assert!(
+                (approx - exact).abs() <= s.relative_accuracy() * exact + 1e-12,
+                "q={q}: sketch {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.count(), 5000);
+        assert_eq!(s.min(), Some(*vals.first().unwrap()));
+        assert_eq!(s.max(), Some(*vals.last().unwrap()));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let parts: [&[f64]; 3] = [&[1.0, 220.0, 3.5], &[0.002, 17.0], &[5.0e4, 1.0, 0.3, 88.8]];
+        let mut merged = LatencySketch::new();
+        let mut concat = LatencySketch::new();
+        for part in parts {
+            let mut s = LatencySketch::new();
+            for &v in part {
+                s.record(v);
+                concat.record(v);
+            }
+            merged.merge(&s);
+        }
+        assert_eq!(merged, concat, "merge must be exact, not approximate");
+    }
+
+    #[test]
+    fn zero_and_subnormal_samples_report_zero() {
+        let mut s = LatencySketch::new();
+        s.record(0.0);
+        s.record(1e-300);
+        s.record(10.0);
+        assert_eq!(s.quantile(0.5).unwrap(), 0.0);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut s = LatencySketch::new();
+        s.record(f64::INFINITY);
+        s.record(f64::NAN);
+        assert!(s.is_empty());
+        s.record(2.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracy")]
+    fn mismatched_geometry_refuses_to_merge() {
+        let mut a = LatencySketch::new();
+        let b = LatencySketch::with_accuracy(0.05);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bucket_span_grows_with_range_not_count() {
+        let mut s = LatencySketch::new();
+        for _ in 0..10_000 {
+            s.record(5.0);
+        }
+        assert_eq!(s.bucket_span(), 1);
+        s.record(5.1);
+        assert!(s.bucket_span() < 16, "nearby values share few buckets");
+    }
+}

@@ -1,0 +1,318 @@
+//! Fixed-bin gauge/counter time series sampled on the pure event clock.
+//!
+//! A [`TimeSeriesSet`] holds named series sharing one bin width (µs of
+//! simulated time). Each bin summarizes the samples landing in it —
+//! count, sum, min, max, and the last sample in event order — so a gauge
+//! (queue depth, busy servers) reads naturally as `last`/`mean` per bin
+//! and a counter-style series (purges) as `count`/`sum` per bin.
+//!
+//! Like everything in this crate the series consume **zero RNG draws** and
+//! are a pure function of the simulated sample path: bin indices come from
+//! the event clock, storage is a `BTreeMap`, and the exported JSON
+//! iterates in lexicographic name order, so two runs of the same cell are
+//! byte-identical regardless of worker count or tracing topology.
+
+use crate::registry::{escape, json_f64};
+use std::collections::BTreeMap;
+
+/// Ceiling on bins per series: later samples clamp into the final bin
+/// instead of growing without bound (a guard against degenerate bin
+/// widths, not something the engines hit — they run bounded horizons).
+pub const MAX_BINS: usize = 1 << 20;
+
+/// One bin's summary of the samples that landed in it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Samples in this bin.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Last sample in event order (the natural gauge reading).
+    pub last: f64,
+}
+
+impl Default for Bin {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+        }
+    }
+}
+
+impl Bin {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    /// Mean sample, or 0 for an empty bin.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One named series: dense bins from simulated time zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    bins: Vec<Bin>,
+}
+
+impl TimeSeries {
+    /// The dense bin array (index `i` covers `[i·bin_us, (i+1)·bin_us)`).
+    #[must_use]
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Total samples across all bins.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    fn record(&mut self, idx: usize, v: f64) {
+        let idx = idx.min(MAX_BINS - 1);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, Bin::default());
+        }
+        self.bins[idx].record(v);
+    }
+}
+
+/// A set of named series over one shared bin width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesSet {
+    bin_us: f64,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl TimeSeriesSet {
+    /// An empty set with `bin_us`-wide bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bin_us` is finite and positive.
+    #[must_use]
+    pub fn new(bin_us: f64) -> Self {
+        assert!(
+            bin_us.is_finite() && bin_us > 0.0,
+            "bin width must be finite and positive"
+        );
+        Self {
+            bin_us,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The shared bin width, µs.
+    #[must_use]
+    pub fn bin_us(&self) -> f64 {
+        self.bin_us
+    }
+
+    /// True when no series holds any sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Records `v` into `name`'s bin at simulated time `t_us` (negative
+    /// times clamp to bin 0).
+    pub fn observe(&mut self, name: &str, t_us: f64, v: f64) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = {
+            let raw = t_us / self.bin_us;
+            if raw.is_finite() && raw > 0.0 {
+                raw as usize
+            } else {
+                0
+            }
+        };
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .record(idx, v);
+    }
+
+    /// Looks up one series by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Series iteration in lexicographic name order.
+    pub fn series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`, prefixing every series name with
+    /// `prefix` (pass `""` for an in-place merge). Bins combine pairwise;
+    /// `last` takes the merged-in series' reading for bins it touched, so
+    /// a replication-order fold is a pure function of the ordered parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets disagree on the bin width.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &TimeSeriesSet) {
+        assert!(
+            self.bin_us == other.bin_us,
+            "cannot merge series of different bin widths ({} vs {})",
+            self.bin_us,
+            other.bin_us
+        );
+        for (name, theirs) in &other.series {
+            let key = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}/{name}")
+            };
+            let mine = self.series.entry(key).or_default();
+            if mine.bins.len() < theirs.bins.len() {
+                mine.bins.resize(theirs.bins.len(), Bin::default());
+            }
+            for (m, t) in mine.bins.iter_mut().zip(&theirs.bins) {
+                if t.count == 0 {
+                    continue;
+                }
+                m.count += t.count;
+                m.sum += t.sum;
+                m.min = m.min.min(t.min);
+                m.max = m.max.max(t.max);
+                m.last = t.last;
+            }
+        }
+    }
+
+    /// Deterministic JSON: `bin_us` plus one array of non-empty bins per
+    /// series, in lexicographic name order. Floats render through Rust's
+    /// shortest round-trip formatting (platform-independent); byte
+    /// equality of two exports is bit equality of every finite float.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"bin_us\": {},\n  \"series\": {{",
+            json_f64(self.bin_us)
+        );
+        for (si, (name, series)) in self.series.iter().enumerate() {
+            let sep = if si == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{}\": [", escape(name)));
+            let mut first = true;
+            for (i, b) in series.bins.iter().enumerate() {
+                if b.count == 0 {
+                    continue;
+                }
+                let sep = if first { "" } else { "," };
+                first = false;
+                out.push_str(&format!(
+                    "{sep}\n      {{\"bin\": {i}, \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"last\": {}}}",
+                    b.count,
+                    json_f64(b.sum),
+                    json_f64(b.min),
+                    json_f64(b.max),
+                    json_f64(b.mean()),
+                    json_f64(b.last),
+                ));
+            }
+            if !first {
+                out.push_str("\n    ");
+            }
+            out.push(']');
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_their_bins() {
+        let mut ts = TimeSeriesSet::new(10.0);
+        ts.observe("q", 0.0, 3.0);
+        ts.observe("q", 9.99, 5.0);
+        ts.observe("q", 10.0, 7.0);
+        ts.observe("q", 35.0, 1.0);
+        let s = ts.get("q").unwrap();
+        assert_eq!(s.bins().len(), 4);
+        assert_eq!(s.bins()[0].count, 2);
+        assert_eq!(s.bins()[0].last, 5.0);
+        assert_eq!(s.bins()[0].max, 5.0);
+        assert_eq!(s.bins()[1].count, 1);
+        assert_eq!(s.bins()[2].count, 0);
+        assert_eq!(s.bins()[3].min, 1.0);
+        assert_eq!(s.samples(), 4);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_times_clamp_to_bin_zero() {
+        let mut ts = TimeSeriesSet::new(1.0);
+        ts.observe("g", -5.0, 1.0);
+        ts.observe("g", f64::NAN, 2.0);
+        assert_eq!(ts.get("g").unwrap().bins()[0].count, 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_sorted_and_sparse() {
+        let mut ts = TimeSeriesSet::new(2.0);
+        ts.observe("z/depth", 5.0, 4.0);
+        ts.observe("a/depth", 0.5, 2.0);
+        let j = ts.to_json();
+        assert_eq!(j, ts.clone().to_json());
+        assert!(j.find("\"a/depth\"").unwrap() < j.find("\"z/depth\"").unwrap());
+        assert!(j.contains("\"bin\": 2"), "{j}");
+        assert!(!j.contains("\"bin\": 1"), "empty bins must not export: {j}");
+    }
+
+    #[test]
+    fn merge_prefixed_combines_bins() {
+        let mut a = TimeSeriesSet::new(1.0);
+        a.observe("g", 0.5, 1.0);
+        let mut b = TimeSeriesSet::new(1.0);
+        b.observe("g", 0.7, 3.0);
+        b.observe("g", 2.1, 9.0);
+        a.merge_prefixed("", &b);
+        let g = a.get("g").unwrap();
+        assert_eq!(g.bins()[0].count, 2);
+        assert_eq!(g.bins()[0].last, 3.0, "merged-in reading wins its bins");
+        assert_eq!(g.bins()[2].count, 1);
+
+        let mut top = TimeSeriesSet::new(1.0);
+        top.merge_prefixed("cell0", &a);
+        assert!(top.get("cell0/g").is_some());
+        assert!(top.get("g").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn mismatched_bin_widths_refuse_to_merge() {
+        let mut a = TimeSeriesSet::new(1.0);
+        a.merge_prefixed("", &TimeSeriesSet::new(2.0));
+    }
+
+    #[test]
+    fn empty_set_exports_valid_json() {
+        let j = TimeSeriesSet::new(1.0).to_json();
+        assert!(j.contains("\"series\": {}"));
+    }
+}

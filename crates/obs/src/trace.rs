@@ -2,6 +2,7 @@
 //! and the cheaply cloneable [`Tracer`] handle simulators embed.
 
 use crate::registry::Registry;
+use crate::timeseries::TimeSeriesSet;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -301,6 +302,10 @@ struct Sink {
     ring: Ring,
     registry: Registry,
     ticks_per_us: f64,
+    /// Fixed-bin gauge/counter series, opted into per run
+    /// ([`Tracer::with_timeseries`]); `None` keeps sampling sites at one
+    /// branch, like disabled emission.
+    series: Option<TimeSeriesSet>,
 }
 
 /// The extracted, thread-safe record of one cell's trace.
@@ -318,6 +323,9 @@ pub struct TraceLog {
     pub ticks_per_us: f64,
     /// Registry counters/observations flushed by the traced simulator.
     pub registry: Registry,
+    /// Event-clock time series, present when the tracer was built with
+    /// [`Tracer::with_timeseries`] and the simulator sampled any gauge.
+    pub timeseries: Option<TimeSeriesSet>,
 }
 
 /// A cheaply cloneable handle to a per-cell trace sink.
@@ -352,7 +360,43 @@ impl Tracer {
                 ring: Ring::new(capacity),
                 registry: Registry::default(),
                 ticks_per_us,
+                series: None,
             }))),
+        }
+    }
+
+    /// Opts this (enabled) handle into event-clock time series with
+    /// `bin_us`-wide bins; a no-op on a disabled handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bin_us` is finite and positive (see
+    /// [`TimeSeriesSet::new`]).
+    #[must_use]
+    pub fn with_timeseries(self, bin_us: f64) -> Self {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().series = Some(TimeSeriesSet::new(bin_us));
+        }
+        self
+    }
+
+    /// Whether time-series sampling is on (enabled handle + opted in).
+    #[must_use]
+    pub fn has_timeseries(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.borrow().series.is_some())
+    }
+
+    /// Runs `f` against the time-series set; `f` is never called unless
+    /// this handle was built with [`Tracer::with_timeseries`], so sampling
+    /// sites cost one branch on every other handle.
+    #[inline]
+    pub fn sample(&self, f: impl FnOnce(&mut TimeSeriesSet)) {
+        if let Some(s) = &self.inner {
+            if let Some(ts) = s.borrow_mut().series.as_mut() {
+                f(ts);
+            }
         }
     }
 
@@ -411,11 +455,13 @@ impl Tracer {
         if dropped > 0 {
             registry.incr("events/dropped", dropped);
         }
+        let timeseries = sink.series.take().filter(|ts| !ts.is_empty());
         TraceLog {
             events,
             dropped,
             ticks_per_us: sink.ticks_per_us,
             registry,
+            timeseries,
         }
     }
 }
@@ -475,6 +521,27 @@ mod tests {
         t.emit(|| TraceEvent::RequestArrive { at: 1 });
         u.emit(|| TraceEvent::RequestComplete { at: 5, latency: 4 });
         assert_eq!(t.take().events.len(), 2);
+    }
+
+    #[test]
+    fn timeseries_sampling_is_opt_in() {
+        let t = Tracer::enabled(4, 1.0);
+        t.sample(|_| unreachable!("sampling must be opt-in"));
+        assert!(!t.has_timeseries());
+        Tracer::disabled().sample(|_| unreachable!("disabled handles never sample"));
+        let t = Tracer::enabled(4, 1.0).with_timeseries(10.0);
+        assert!(t.has_timeseries());
+        t.sample(|ts| ts.observe("g", 5.0, 2.0));
+        let log = t.take();
+        let ts = log.timeseries.expect("sampled series survive take");
+        assert_eq!(ts.get("g").unwrap().bins()[0].count, 1);
+        assert!(t.take().timeseries.is_none(), "take drains the series");
+    }
+
+    #[test]
+    fn empty_timeseries_is_omitted_from_the_log() {
+        let t = Tracer::enabled(4, 1.0).with_timeseries(10.0);
+        assert!(t.take().timeseries.is_none());
     }
 
     #[test]

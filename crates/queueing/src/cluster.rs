@@ -23,7 +23,7 @@
 
 use crate::des::{Mg1Options, Unstable};
 use crate::eventcore::{EventQueue, EventQueueKind, HeapEventQueue, WheelEventQueue};
-use duplexity_obs::{TraceEvent, Tracer};
+use duplexity_obs::{LatencySketch, TraceEvent, Tracer};
 use duplexity_stats::ci::ConfidenceInterval;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::quantile::QuantileEstimator;
@@ -369,6 +369,11 @@ pub struct ClusterResult {
     /// independent replications can be pooled exactly rather than by
     /// quantile averaging.
     pub sojourn_samples: QuantileEstimator,
+    /// Streaming log-bucketed histogram of the same sojourn stream
+    /// (constant memory, ~1% relative error on quantiles), mergeable
+    /// across replications in replication order with results identical to
+    /// sketching the concatenated stream.
+    pub sketch: LatencySketch,
     /// Simulated measured-window duration, µs — the clock behind
     /// `utilization`, needed to reconstruct busy time when merging.
     pub measured_us: f64,
@@ -397,6 +402,7 @@ pub fn merge_replications(
     let servers = parts[0].per_server_requests.len();
     let total: usize = parts.iter().map(|p| p.sojourn_samples.count()).sum();
     let mut sojourns = QuantileEstimator::with_capacity(total);
+    let mut sketch = LatencySketch::new();
     let mut wait = Summary::new();
     let mut sojourn = Summary::new();
     let mut per_server = vec![0u64; servers];
@@ -419,6 +425,7 @@ pub fn merge_replications(
         }
         samples += part.samples;
         converged &= part.converged;
+        sketch.merge(&part.sketch);
         sojourns.extend(part.sojourn_samples.into_sorted());
     }
     ClusterResult {
@@ -438,6 +445,7 @@ pub fn merge_replications(
         samples,
         converged,
         sojourn_samples: sojourns,
+        sketch,
         measured_us,
     }
 }
@@ -483,6 +491,7 @@ pub fn try_simulate_cluster(
     assert!(opts.servers >= 1, "cluster needs at least one server");
     tracer.set_ticks_per_us(CLUSTER_TICKS_PER_US);
     let traced = tracer.is_enabled();
+    let series_on = tracer.has_timeseries();
     let n = opts.servers;
 
     // Two independent streams: the arrival stream reproduces the exact
@@ -516,6 +525,7 @@ pub fn try_simulate_cluster(
     let mut per_server = vec![0u64; n];
 
     let mut sojourns = QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20));
+    let mut sketch = LatencySketch::new();
     let mut sojourn_sum = Summary::new();
     let mut wait_sum = Summary::new();
     let mut busy_time = 0.0f64;
@@ -549,10 +559,25 @@ pub fn try_simulate_cluster(
 
         if measured {
             sojourns.record(wait + s);
+            sketch.record(wait + s);
             sojourn_sum.record(wait + s);
             wait_sum.record(wait);
             busy_time += s;
             per_server[pick] += 1;
+            if series_on {
+                // Event-clock gauges, sampled at the (pre-placement)
+                // arrival instant. Only runs when the tracer opted into
+                // time series, so the default path never pays for it.
+                tracer.sample(|ts| {
+                    let mut in_flight = 0u64;
+                    for (i, &q) in queues.iter().enumerate() {
+                        ts.observe(&format!("cluster/server/{i}/depth"), t, f64::from(q));
+                        in_flight += u64::from(q);
+                    }
+                    ts.observe("cluster/in_flight", t, in_flight as f64);
+                    ts.observe("cluster/wait_us", t, wait);
+                });
+            }
             if traced {
                 let at = ns_ticks(t);
                 let fin = ns_ticks(done);
@@ -611,6 +636,7 @@ pub fn try_simulate_cluster(
         samples,
         converged,
         sojourn_samples: sojourns,
+        sketch,
         measured_us: clock,
     })
 }
@@ -1026,6 +1052,10 @@ fn run_hedged<Q: EventQueue<EvKind>>(
         reqs: Vec::with_capacity(req_cap),
         queue,
         sojourns: QuantileEstimator::with_capacity(opts.max_samples.min(1 << 20)),
+        sketch: LatencySketch::new(),
+        ev_pushed: [0; 3],
+        ev_popped: [0; 3],
+        series_on: tracer.has_timeseries(),
         sojourn_sum: Summary::new(),
         wait_sum: Summary::new(),
         dup_wait: Summary::new(),
@@ -1043,6 +1073,7 @@ fn run_hedged<Q: EventQueue<EvKind>>(
     sim.schedule(0.0, EvKind::Arrive);
 
     while let Some((key, kind)) = sim.queue.pop() {
+        sim.ev_popped[usize::from(kind.rank())] += 1;
         match kind {
             EvKind::Arrive => {
                 // A pending arrival is dropped (never admitted) once the
@@ -1069,6 +1100,12 @@ fn run_hedged<Q: EventQueue<EvKind>>(
                 sim.on_depart(server, epoch, key.t);
             }
         }
+        if sim.series_on {
+            sim.sample_gauges(key.t);
+        }
+    }
+    if sim.traced {
+        sim.flush_profile();
     }
 
     let n_f = n as f64;
@@ -1100,6 +1137,7 @@ fn run_hedged<Q: EventQueue<EvKind>>(
             samples,
             converged: sim.converged,
             sojourn_samples: sim.sojourns,
+            sketch: sim.sketch,
             measured_us: clock,
         },
         tally: sim.tally,
@@ -1118,6 +1156,15 @@ struct HedgeSim<'a, Q> {
     reqs: Vec<ReqCell>,
     queue: Q,
     sojourns: QuantileEstimator,
+    /// Streaming sojourn histogram, fed alongside `sojourns`.
+    sketch: LatencySketch,
+    /// Events pushed / popped per [`EvKind`] rank (Arrive, HedgeFire,
+    /// Depart) — pure counts over the deterministic event sequence.
+    ev_pushed: [u64; 3],
+    ev_popped: [u64; 3],
+    /// Cached `tracer.has_timeseries()`, so the per-event gauge pass is a
+    /// single branch when sampling is off.
+    series_on: bool,
     sojourn_sum: Summary,
     wait_sum: Summary,
     dup_wait: Summary,
@@ -1138,6 +1185,7 @@ struct HedgeSim<'a, Q> {
 
 impl<Q: EventQueue<EvKind>> HedgeSim<'_, Q> {
     fn schedule(&mut self, t: f64, kind: EvKind) {
+        self.ev_pushed[usize::from(kind.rank())] += 1;
         self.queue.push(t, kind.rank(), kind);
     }
 
@@ -1407,6 +1455,7 @@ impl<Q: EventQueue<EvKind>> HedgeSim<'_, Q> {
             let sojourn = t - self.reqs[req].arrival;
             if measured {
                 self.sojourns.record(sojourn);
+                self.sketch.record(sojourn);
                 self.sojourn_sum.record(sojourn);
                 if self.traced {
                     let at = ns_ticks(t);
@@ -1489,6 +1538,64 @@ impl<Q: EventQueue<EvKind>> HedgeSim<'_, Q> {
                 self.maybe_start(server, t);
             }
             CopyState::Done | CopyState::Purged => {}
+        }
+    }
+
+    /// Samples the event-clock gauge series at simulated time `t` (µs):
+    /// busy servers, copies in flight, pending hedge deadlines, cumulative
+    /// purges, delivered utilization, and per-server depth. Runs once per
+    /// popped event, and only when the tracer opted into time series, so
+    /// the default path pays a single cached-bool branch.
+    fn sample_gauges(&self, t: f64) {
+        let n = self.servers.serving.len();
+        let busy = self.servers.serving.iter().filter(|s| s.is_some()).count();
+        let in_flight: u32 = self.servers.in_system.iter().sum();
+        let hedges = self.ev_pushed[1] - self.ev_popped[1];
+        let purges = self.tally.purged_queued + self.tally.purged_in_service;
+        let util = if self.clock > 0.0 {
+            (self.delivered_us / (n as f64 * self.clock)).min(1.0)
+        } else {
+            0.0
+        };
+        let depths = &self.servers.in_system;
+        self.tracer.sample(|ts| {
+            ts.observe("cluster/busy_servers", t, busy as f64);
+            ts.observe("cluster/in_flight", t, f64::from(in_flight));
+            ts.observe("cluster/hedges_in_flight", t, hedges as f64);
+            ts.observe("cluster/purges", t, purges as f64);
+            ts.observe("cluster/utilization", t, util);
+            for (i, &d) in depths.iter().enumerate() {
+                ts.observe(&format!("cluster/server/{i}/depth"), t, f64::from(d));
+            }
+        });
+    }
+
+    /// Flushes the DES self-profile into the registry at end of run:
+    /// per-[`EvKind`] push/pop counters plus the event queue's own
+    /// bookkeeping ([`EventQueue::profile`]). Pure counts over the
+    /// deterministic event sequence — identical at any worker count and
+    /// for both queue implementations (wheel-specific fields aside).
+    fn flush_profile(&self) {
+        const KIND_NAMES: [&str; 3] = ["arrive", "hedge_fire", "depart"];
+        for (i, name) in KIND_NAMES.iter().enumerate() {
+            self.tracer
+                .count(&format!("cluster/events/{name}/pushed"), self.ev_pushed[i]);
+            self.tracer
+                .count(&format!("cluster/events/{name}/popped"), self.ev_popped[i]);
+        }
+        let p = self.queue.profile();
+        for (name, v) in [
+            ("pushes", p.pushes),
+            ("pops", p.pops),
+            ("max_len", p.max_len),
+            ("overflow_pushes", p.overflow_pushes),
+            ("overflow_migrations", p.overflow_migrations),
+            ("frontier_advances", p.frontier_advances),
+            ("frontier_jumps", p.frontier_jumps),
+            ("slots_skipped", p.slots_skipped),
+            ("max_bucket_len", p.max_bucket_len),
+        ] {
+            self.tracer.count(&format!("cluster/eventq/{name}"), v);
         }
     }
 }
@@ -1811,6 +1918,109 @@ mod tests {
             traced.tally.purged_queued + traced.tally.purged_in_service
         );
         assert!(traced.tally.hedges_fired > 0, "hedges must fire at 0.5us");
+    }
+
+    #[test]
+    fn sketch_shadows_the_exact_estimator() {
+        let opts = ClusterOptions {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..fast_opts(4, 161)
+        };
+        for engine in [true, false] {
+            let mut r = if engine {
+                hedged(
+                    2.0,
+                    DuplicationPolicy::hedge(1.0),
+                    BalancerPolicy::Jsq,
+                    &opts,
+                )
+                .cluster
+            } else {
+                let mut svc = exp_service(1.0);
+                simulate_cluster(2.0, &mut svc, &mut JsqBalancer, &opts)
+            };
+            assert_eq!(r.sketch.count(), r.samples as u64);
+            let alpha = r.sketch.relative_accuracy();
+            for q in [0.5, 0.95, 0.99] {
+                let exact = r.sojourn_samples.quantile(q).unwrap();
+                let approx = r.sketch.quantile(q).unwrap();
+                assert!(
+                    (approx - exact).abs() <= alpha * exact,
+                    "q{q}: sketch {approx} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_sketch_equals_sketch_of_pooled_replications() {
+        let opts = ClusterOptions {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(4, 171)
+        };
+        let parts: Vec<ClusterResult> = (0..3)
+            .map(|rep| {
+                let mut svc = exp_service(1.0);
+                let o = ClusterOptions {
+                    seed: opts.seed + rep,
+                    ..opts
+                };
+                simulate_cluster(2.0, &mut svc, &mut JsqBalancer, &o)
+            })
+            .collect();
+        let total: u64 = parts.iter().map(|p| p.sketch.count()).sum();
+        let merged = merge_replications(parts, 0.99, 0.95);
+        assert_eq!(merged.sketch.count(), total);
+        assert_eq!(merged.sketch.count(), merged.samples as u64);
+    }
+
+    #[test]
+    fn traced_run_flushes_the_event_core_profile() {
+        let opts = ClusterOptions {
+            max_samples: 5_000,
+            warmup: 500,
+            ..fast_opts(4, 181)
+        };
+        let tracer = Tracer::enabled(1 << 20, CLUSTER_TICKS_PER_US).with_timeseries(1_000.0);
+        let mut svc = exp_service(1.0);
+        let r = try_simulate_cluster_hedged(
+            2.0,
+            &mut svc,
+            &mut JsqBalancer,
+            &DuplicationPolicy::hedge(1.0),
+            &opts,
+            &tracer,
+        )
+        .unwrap();
+        let log = tracer.take();
+        let reg = &log.registry;
+        // Push/pop balance: the queue drained, so every push was popped.
+        let pushed: u64 = ["arrive", "hedge_fire", "depart"]
+            .iter()
+            .map(|k| reg.counter(&format!("cluster/events/{k}/pushed")))
+            .sum();
+        assert_eq!(pushed, reg.counter("cluster/eventq/pushes"));
+        assert_eq!(
+            reg.counter("cluster/eventq/pushes"),
+            reg.counter("cluster/eventq/pops")
+        );
+        assert!(reg.counter("cluster/events/hedge_fire/pushed") > 0);
+        assert!(reg.counter("cluster/eventq/max_len") > 0);
+        // The gauge series sampled on the event clock.
+        let ts = log.timeseries.expect("timeseries opted in");
+        assert!(ts.get("cluster/busy_servers").is_some());
+        assert!(ts.get("cluster/in_flight").is_some());
+        // And none of it perturbed the simulation.
+        let plain = hedged(
+            2.0,
+            DuplicationPolicy::hedge(1.0),
+            BalancerPolicy::Jsq,
+            &opts,
+        );
+        assert_eq!(plain.cluster.tail_us.to_bits(), r.cluster.tail_us.to_bits());
+        assert_eq!(plain.cluster.sketch, r.cluster.sketch);
     }
 
     #[test]

@@ -83,6 +83,37 @@ impl Ord for EventKey {
     }
 }
 
+/// Self-profiling counters a queue accumulates as a side effect of normal
+/// operation. Pure bookkeeping over the (deterministic) push/pop sequence:
+/// zero RNG draws, and identical for any worker count, so the engines can
+/// flush a profile into the slash-path registry without perturbing
+/// anything. Heap-backed queues leave the wheel-specific fields at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueProfile {
+    /// Total events pushed.
+    pub pushes: u64,
+    /// Total events popped.
+    pub pops: u64,
+    /// High-water mark of pending events.
+    pub max_len: u64,
+    /// Wheel only: pushes that landed beyond the rotation, in the
+    /// overflow heap.
+    pub overflow_pushes: u64,
+    /// Wheel only: overflow entries migrated into wheel buckets as the
+    /// frontier advanced.
+    pub overflow_migrations: u64,
+    /// Wheel only: single-slot frontier advances (empty-bucket scans).
+    pub frontier_advances: u64,
+    /// Wheel only: drained-wheel fast-forwards, jumping the frontier
+    /// straight to the overflow minimum.
+    pub frontier_jumps: u64,
+    /// Wheel only: slots skipped by those fast-forward jumps (the scans a
+    /// naive slot-by-slot walk would have burned).
+    pub slots_skipped: u64,
+    /// Wheel only: high-water mark of a single bucket's occupancy.
+    pub max_bucket_len: u64,
+}
+
 /// A future-event set honoring the `(t, kind, seq)` total order.
 ///
 /// `seq` is assigned internally in push order, so any two implementations
@@ -99,6 +130,8 @@ pub trait EventQueue<P> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// The queue's self-profiling counters so far.
+    fn profile(&self) -> QueueProfile;
 }
 
 /// Value-level selector for the event-queue implementation, so options
@@ -157,6 +190,8 @@ impl<P> Ord for HeapEntry<P> {
 pub struct HeapEventQueue<P> {
     heap: BinaryHeap<Reverse<HeapEntry<P>>>,
     seq: u64,
+    pops: u64,
+    max_len: u64,
 }
 
 impl<P> Default for HeapEventQueue<P> {
@@ -172,6 +207,8 @@ impl<P> HeapEventQueue<P> {
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
+            pops: 0,
+            max_len: 0,
         }
     }
 }
@@ -185,14 +222,28 @@ impl<P> EventQueue<P> for HeapEventQueue<P> {
         };
         self.seq += 1;
         self.heap.push(Reverse(HeapEntry { key, payload }));
+        self.max_len = self.max_len.max(self.heap.len() as u64);
     }
 
     fn pop(&mut self) -> Option<(EventKey, P)> {
-        self.heap.pop().map(|Reverse(e)| (e.key, e.payload))
+        let e = self.heap.pop().map(|Reverse(e)| (e.key, e.payload));
+        if e.is_some() {
+            self.pops += 1;
+        }
+        e
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn profile(&self) -> QueueProfile {
+        QueueProfile {
+            pushes: self.seq,
+            pops: self.pops,
+            max_len: self.max_len,
+            ..QueueProfile::default()
+        }
     }
 }
 
@@ -223,6 +274,7 @@ pub struct WheelEventQueue<P> {
     wheel_len: usize,
     overflow: BinaryHeap<Reverse<HeapEntry<P>>>,
     seq: u64,
+    prof: QueueProfile,
 }
 
 impl<P> WheelEventQueue<P> {
@@ -249,6 +301,7 @@ impl<P> WheelEventQueue<P> {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
+            prof: QueueProfile::default(),
         }
     }
 
@@ -299,10 +352,17 @@ impl<P> EventQueue<P> for WheelEventQueue<P> {
         // (and avoids overflow for saturating far-future slots).
         if slot - self.cur_slot >= self.nbuckets() {
             self.overflow.push(Reverse(HeapEntry { key, payload }));
+            self.prof.overflow_pushes += 1;
         } else {
-            self.slots[(slot & self.mask) as usize].push((key, payload));
+            let bucket = &mut self.slots[(slot & self.mask) as usize];
+            bucket.push((key, payload));
+            self.prof.max_bucket_len = self.prof.max_bucket_len.max(bucket.len() as u64);
             self.wheel_len += 1;
         }
+        self.prof.max_len = self
+            .prof
+            .max_len
+            .max((self.wheel_len + self.overflow.len()) as u64);
     }
 
     fn pop(&mut self) -> Option<(EventKey, P)> {
@@ -319,8 +379,11 @@ impl<P> EventQueue<P> for WheelEventQueue<P> {
                     break;
                 }
                 let Reverse(e) = self.overflow.pop().expect("peeked entry");
-                self.slots[(slot & self.mask) as usize].push((e.key, e.payload));
+                let bucket = &mut self.slots[(slot & self.mask) as usize];
+                bucket.push((e.key, e.payload));
+                self.prof.max_bucket_len = self.prof.max_bucket_len.max(bucket.len() as u64);
                 self.wheel_len += 1;
+                self.prof.overflow_migrations += 1;
             }
             let bucket = &mut self.slots[(self.cur_slot & self.mask) as usize];
             if !bucket.is_empty() {
@@ -334,21 +397,33 @@ impl<P> EventQueue<P> for WheelEventQueue<P> {
                     }
                 }
                 self.wheel_len -= 1;
+                self.prof.pops += 1;
                 return Some(bucket.swap_remove(min));
             }
             if self.wheel_len > 0 {
                 self.cur_slot += 1;
+                self.prof.frontier_advances += 1;
             } else {
                 // Wheel drained: jump the frontier to the overflow min so
                 // the next migration pass lands it in a live bucket.
                 let Reverse(head) = self.overflow.peek().expect("pending events must exist");
-                self.cur_slot = self.slot_of(head.key.t);
+                let target = self.slot_of(head.key.t);
+                self.prof.frontier_jumps += 1;
+                self.prof.slots_skipped += target - self.cur_slot;
+                self.cur_slot = target;
             }
         }
     }
 
     fn len(&self) -> usize {
         self.wheel_len + self.overflow.len()
+    }
+
+    fn profile(&self) -> QueueProfile {
+        QueueProfile {
+            pushes: self.seq,
+            ..self.prof
+        }
     }
 }
 
@@ -483,6 +558,44 @@ mod tests {
             popped_w.iter().map(|e| e.1).collect::<Vec<_>>(),
             popped_h.iter().map(|e| e.1).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn profiles_account_for_every_push_and_pop() {
+        // Same schedule as the overflow test: far-future events exercise
+        // the overflow heap, migrations, and the drained-wheel jump.
+        let mut wheel = WheelEventQueue::with_geometry(1.0, 4);
+        let mut heap = HeapEventQueue::new();
+        let times = [100.0, 7.0, 0.5, 42.0, 7.0, 3.9, 1_000.0, 8.1];
+        for (i, &t) in times.iter().enumerate() {
+            wheel.push(t, 0, i);
+            heap.push(t, 0, i);
+        }
+        drain(&mut wheel);
+        drain(&mut heap);
+        let (w, h) = (wheel.profile(), heap.profile());
+        for p in [&w, &h] {
+            assert_eq!(p.pushes, times.len() as u64);
+            assert_eq!(p.pops, times.len() as u64);
+            assert_eq!(p.max_len, times.len() as u64);
+        }
+        // The heap is not a wheel: its wheel-specific counters stay zero.
+        assert_eq!(
+            h,
+            QueueProfile {
+                pushes: h.pushes,
+                pops: h.pops,
+                max_len: h.max_len,
+                ..QueueProfile::default()
+            }
+        );
+        // The wheel saw the far-future events overflow and migrate back,
+        // and fast-forwarded over empty slots instead of scanning them.
+        assert!(w.overflow_pushes > 0);
+        assert_eq!(w.overflow_migrations, w.overflow_pushes);
+        assert!(w.frontier_jumps > 0);
+        assert!(w.slots_skipped >= w.frontier_jumps);
+        assert!(w.max_bucket_len >= 1);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! The observability layer's determinism and accuracy contract.
+//!
+//! Three guarantees (see `crates/obs` and the `timeline` driver):
+//!
+//! 1. **Worker-count independence** — the timeline artifact (gauge series,
+//!    registry profile, endpoint cells) is byte-identical at 1 and 8
+//!    [`ExecPool`](duplexity::ExecPool) workers, and so is the
+//!    [`RunManifest`] beside it: the manifest records only *requested*
+//!    parameters, never resolved parallelism or wall-clock facts.
+//! 2. **Sketch accuracy on the sweep grids** — on every cell of a
+//!    cluster-sweep-style and a hedge-sweep-style grid, the streaming
+//!    [`LatencySketch`] reproduces the exact sorted-vector quantiles at
+//!    p50/p95/p99/p99.9 within its documented relative-accuracy bound.
+//! 3. **Observation is free** — enabling the timeseries tracer does not
+//!    perturb the simulated sample path: measured results are bit-identical
+//!    with tracing on and off.
+//!
+//! Run with `DUPLEXITY_THREADS=8` in CI to also pin the resolved-from-env
+//! path (`threads: 0`) to the explicit 1-worker artifact.
+
+mod common;
+
+use duplexity::experiments::timeline::{timeline, TimelineOptions};
+use duplexity::BalancerPolicy;
+use duplexity_obs::{manifest_path, RunManifest, Tracer};
+use duplexity_queueing::cluster::{
+    try_simulate_cluster, try_simulate_cluster_hedged, ClusterOptions, DuplicationPolicy,
+};
+use duplexity_queueing::des::Mg1Options;
+use duplexity_stats::dist::{Distribution, Exponential};
+use duplexity_stats::rng::{derive_stream, SimRng};
+use std::path::Path;
+
+fn timeline_opts(threads: usize) -> TimelineOptions {
+    TimelineOptions {
+        servers: 4,
+        loads: vec![0.3, 0.6],
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        ..TimelineOptions::default()
+    }
+}
+
+#[test]
+fn timeline_artifact_is_byte_identical_at_1_and_8_workers() {
+    let one = timeline(&timeline_opts(1));
+    let eight = timeline(&timeline_opts(8));
+    let (a, b) = (one.to_json(), eight.to_json());
+    assert_eq!(
+        a,
+        b,
+        "timeline artifact diverged across worker counts: {:?}",
+        common::first_mismatch(
+            &serde_json::parse_value(&a).expect("valid JSON"),
+            &serde_json::parse_value(&b).expect("valid JSON"),
+        )
+    );
+    // The resolved-from-env arm (threads: 0 honours DUPLEXITY_THREADS,
+    // which CI sets to 8) must land on the same bytes as both.
+    assert_eq!(a, timeline(&timeline_opts(0)).to_json());
+}
+
+#[test]
+fn run_manifests_record_requested_parameters_only() {
+    // Manifests beside 1-worker and 8-worker artifacts are byte-identical
+    // because they record the *requested* thread count (0 = resolve from
+    // the environment) and nothing wall-clock dependent. Build one per arm
+    // exactly the way the report binary does.
+    let build = || {
+        RunManifest::new("report", "0.1.0")
+            .seed(42)
+            .threads(0)
+            .event_queue("wheel")
+            .with("fidelity", "Quick")
+            .with("artifact", "timeline")
+    };
+    assert_eq!(build().to_json(), build().to_json());
+    // The sidecar convention: artifact path + ".manifest.json".
+    assert_eq!(
+        manifest_path(Path::new("out/TIMELINE.json")),
+        Path::new("out/TIMELINE.json.manifest.json")
+    );
+    // A resolved thread count must never appear: the recorded value is the
+    // requested sentinel, whatever the host resolves it to.
+    assert_eq!(build().get("threads"), Some("0"));
+}
+
+/// Asserts the sketch's p50/p95/p99/p99.9 stay within its documented
+/// relative-accuracy bound of the exact sorted-vector quantiles.
+fn assert_sketch_tracks_exact(cell: &str, mut r: duplexity_queueing::cluster::ClusterResult) {
+    assert_eq!(r.sketch.count(), r.samples as u64, "{cell}");
+    let alpha = r.sketch.relative_accuracy();
+    for q in [0.5, 0.95, 0.99, 0.999] {
+        let exact = r.sojourn_samples.quantile(q).expect("non-empty cell");
+        let approx = r.sketch.quantile(q).expect("non-empty cell");
+        assert!(
+            (approx - exact).abs() <= alpha * exact,
+            "{cell} q{q}: sketch {approx} vs exact {exact} (bound {alpha})"
+        );
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_quantiles_across_a_cluster_sweep_grid() {
+    // The cluster-sweep grid shape: policies x server counts x loads, one
+    // legacy-engine run per cell, cell seeds derived the sweep's way.
+    let mean_service = 2.0;
+    for policy in [BalancerPolicy::Random, BalancerPolicy::Jsq] {
+        for servers in [4usize, 16] {
+            for load in [0.3, 0.6, 0.8] {
+                let lambda = servers as f64 * load / mean_service;
+                let opts = ClusterOptions {
+                    servers,
+                    max_samples: 20_000,
+                    warmup: 1_000,
+                    seed: derive_stream(
+                        42,
+                        0xC105 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+                    ),
+                    ..ClusterOptions::default()
+                };
+                let service = Exponential::new(mean_service);
+                let mut svc = |rng: &mut SimRng| service.sample(rng);
+                let mut balancer = policy.build();
+                let r = try_simulate_cluster(
+                    lambda,
+                    &mut svc,
+                    balancer.as_mut(),
+                    &opts,
+                    &Tracer::disabled(),
+                )
+                .expect("unsaturated grid cell");
+                assert_sketch_tracks_exact(&format!("{policy} {servers}s @{load}"), r);
+            }
+        }
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_quantiles_across_a_hedge_sweep_grid() {
+    // The hedge-sweep grid shape: duplication plans x loads on a JSQ farm,
+    // one event-engine run per cell.
+    let mean_service = 2.0;
+    let servers = 8usize;
+    let plans = [
+        DuplicationPolicy::none(),
+        DuplicationPolicy::duplicate(2),
+        DuplicationPolicy::duplicate(2).at_low_priority(),
+        DuplicationPolicy::hedge(20.0),
+    ];
+    for plan in &plans {
+        for load in [0.25, 0.4] {
+            let lambda = servers as f64 * load / mean_service;
+            let opts = ClusterOptions {
+                servers,
+                max_samples: 20_000,
+                warmup: 1_000,
+                seed: derive_stream(
+                    42,
+                    0x4ED6 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+                ),
+                ..ClusterOptions::default()
+            };
+            let service = Exponential::new(mean_service);
+            let mut svc = |rng: &mut SimRng| service.sample(rng);
+            let mut balancer = BalancerPolicy::Jsq.build();
+            let r = try_simulate_cluster_hedged(
+                lambda,
+                &mut svc,
+                balancer.as_mut(),
+                plan,
+                &opts,
+                &Tracer::disabled(),
+            )
+            .expect("unsaturated grid cell");
+            assert_sketch_tracks_exact(&format!("{} {servers}s @{load}", plan.label()), r.cluster);
+        }
+    }
+}
+
+#[test]
+fn timeseries_tracing_does_not_perturb_the_sample_path() {
+    // Observation must be free: the same cell with and without a
+    // timeseries-enabled tracer lands on bit-identical measurements.
+    let mean_service = 2.0;
+    let servers = 4usize;
+    let lambda = servers as f64 * 0.6 / mean_service;
+    let opts = ClusterOptions {
+        servers,
+        max_samples: 10_000,
+        warmup: 1_000,
+        seed: derive_stream(42, 0x0b5),
+        ..ClusterOptions::default()
+    };
+    let run = |tracer: &Tracer| {
+        let service = Exponential::new(mean_service);
+        let mut svc = |rng: &mut SimRng| service.sample(rng);
+        let mut balancer = BalancerPolicy::Jsq.build();
+        try_simulate_cluster_hedged(
+            lambda,
+            &mut svc,
+            balancer.as_mut(),
+            &DuplicationPolicy::hedge(10.0),
+            &opts,
+            tracer,
+        )
+        .expect("stable cell")
+    };
+    let plain = run(&Tracer::disabled());
+    let traced = run(&Tracer::enabled(1 << 10, 1000.0).with_timeseries(500.0));
+    assert_eq!(plain.cluster.samples, traced.cluster.samples);
+    assert_eq!(
+        plain.cluster.tail_us.to_bits(),
+        traced.cluster.tail_us.to_bits()
+    );
+    assert_eq!(
+        plain.cluster.mean_sojourn_us.to_bits(),
+        traced.cluster.mean_sojourn_us.to_bits()
+    );
+    assert_eq!(plain.cluster.sketch, traced.cluster.sketch);
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the streaming latency sketch's two contracts.
+//!
+//! 1. **Exact merge** — partition any stream into per-replication chunks,
+//!    sketch each chunk independently, and fold the chunks back together in
+//!    replication order: the merged sketch is *structurally equal* (full
+//!    `PartialEq`, every bucket and bound) to the sketch of the concatenated
+//!    stream. This is the property that lets the cluster engines pool
+//!    replication sketches under the exec-pool determinism contract — no
+//!    float accumulator, so no association error to hide.
+//! 2. **Bounded error** — every extracted quantile is within the sketch's
+//!    documented relative accuracy of the exact nearest-rank quantile of
+//!    the sorted stream (`rank = clamp(ceil(q·n), 1, n)`, the convention
+//!    `QuantileEstimator` shares).
+
+use duplexity_obs::LatencySketch;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of an (unsorted) sample vector.
+fn exact_quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Splits `values` into `parts` contiguous replication chunks (the last
+/// chunk absorbs the remainder).
+fn partition(values: &[f64], parts: usize) -> Vec<&[f64]> {
+    let parts = parts.clamp(1, values.len().max(1));
+    let base = values.len() / parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let end = if i + 1 == parts {
+            values.len()
+        } else {
+            start + base
+        };
+        out.push(&values[start..end]);
+        start = end;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging per-replication sketches in replication order is bit-exact
+    /// against sketching the concatenated stream — counts, bounds, and the
+    /// full bucket layout, not just quantile agreement.
+    #[test]
+    fn replication_merge_equals_concatenated_stream(
+        values in prop::collection::vec(0.001f64..50_000.0, 1..300),
+        parts in 1usize..8,
+    ) {
+        let mut concat = LatencySketch::new();
+        for &v in &values {
+            concat.record(v);
+        }
+        let mut merged = LatencySketch::new();
+        for chunk in partition(&values, parts) {
+            let mut rep = LatencySketch::new();
+            for &v in chunk {
+                rep.record(v);
+            }
+            merged.merge(&rep);
+        }
+        prop_assert_eq!(&merged, &concat, "merge must be structural equality");
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// Every quantile of the merged sketch lands within the documented
+    /// relative-accuracy bound of the exact sorted-vector quantile.
+    #[test]
+    fn quantiles_stay_within_the_documented_bound(
+        values in prop::collection::vec(0.001f64..50_000.0, 1..300),
+        parts in 1usize..8,
+    ) {
+        let mut merged = LatencySketch::new();
+        for chunk in partition(&values, parts) {
+            let mut rep = LatencySketch::new();
+            for &v in chunk {
+                rep.record(v);
+            }
+            merged.merge(&rep);
+        }
+        let alpha = merged.relative_accuracy();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let approx = merged.quantile(q).expect("non-empty stream");
+            prop_assert!(
+                (approx - exact).abs() <= alpha * exact + 1e-12,
+                "q{}: sketch {} vs exact {} (bound {})",
+                q, approx, exact, alpha
+            );
+        }
+        // The extreme order statistics are tracked exactly, not bucketed.
+        prop_assert_eq!(merged.min().unwrap(), exact_quantile(&values, 0.0));
+        prop_assert_eq!(merged.max().unwrap(), exact_quantile(&values, 1.0));
+    }
+}
