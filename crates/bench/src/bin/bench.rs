@@ -19,11 +19,19 @@
 //! JSON (default `BENCH_cycles.json`) with a [`RunManifest`] sidecar so
 //! CI can archive a perf trajectory across commits.
 //!
-//! `--guard BASELINE` compares the measured wheel:heap requests/sec ratio
-//! against the committed [`GuardBaseline`] JSON (`BENCH_baseline.json`)
-//! and exits non-zero if the wheel has regressed more than
-//! [`GUARD_TOLERANCE`] relative to it — ratios, not absolute rates, so the
-//! guard travels across CI hosts.
+//! A `cache` section times the standing fig5 + cluster-sweep grids twice
+//! through the content-addressed cell cache — once cold (empty directory)
+//! and once warm — asserts the two artifacts are byte-identical, and
+//! asserts the warm pass is at least [`MIN_WARM_SPEEDUP`]x faster.
+//!
+//! `--guard BASELINE` compares measured metrics against the committed
+//! baseline JSON (`BENCH_baseline.json`): a `metrics` object keyed by
+//! report path (e.g. `engine_core.wheel_vs_heap_rps_ratio`), each entry
+//! carrying the healthy `value` and an optional per-metric `tolerance`
+//! (default [`GUARD_TOLERANCE`]). The build fails, naming the offending
+//! metric, if any measurement lands below `(1 - tolerance) * value`. All
+//! guarded metrics are ratios measured within one process, not absolute
+//! rates, so the baselines travel across CI hosts.
 //!
 //! `--smoke` shrinks horizons for a fast CI pass; `--threads 1` (the
 //! default here) keeps per-mode wall times comparable across machines with
@@ -35,7 +43,7 @@ use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::experiments::hedge_sweep::hedge_sweep;
-use duplexity::{Design, Workload};
+use duplexity::{CellCache, Design, Workload};
 use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
 use duplexity_obs::{manifest_path, LatencySketch, RunManifest, Tracer};
@@ -48,7 +56,7 @@ use duplexity_queueing::eventcore::EventQueueKind;
 use duplexity_stats::dist::{Distribution, Exponential};
 use duplexity_stats::quantile::QuantileEstimator;
 use duplexity_stats::rng::{rng_from_seed, SimRng};
-use serde::{Deserialize, Serialize};
+use serde::{Serialize, Value};
 use std::time::Instant;
 
 #[derive(Debug, Serialize)]
@@ -168,6 +176,25 @@ struct ObsBench {
     p99_relative_error: f64,
 }
 
+/// Cold-vs-warm timing of the standing fig5 + cluster-sweep grids through
+/// the content-addressed cell cache: identical options, one empty cache
+/// directory, two passes in the same process.
+#[derive(Debug, Serialize)]
+struct CellCacheBench {
+    /// Cells the two grids probe (fig5 loads + cluster sweep points).
+    cells: u64,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    /// cold:warm wall ratio — the headline the guard tracks.
+    warm_speedup: f64,
+    cold_misses: u64,
+    warm_hits: u64,
+    bytes_written: u64,
+    /// Whether the warm artifacts were byte-identical to the cold ones
+    /// (also asserted, so a report ever carrying `false` never ships).
+    identical: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     seed: u64,
@@ -180,19 +207,26 @@ struct BenchReport {
     engine_core: EngineCoreBench,
     sweep_path: SweepPathBench,
     obs: ObsBench,
+    cache: CellCacheBench,
 }
 
-/// The committed guard baseline (`BENCH_baseline.json`): the wheel:heap
-/// throughput ratio a healthy build measures. The guard compares ratios,
-/// not absolute rates, so it is insensitive to how fast the CI host is.
-#[derive(Debug, Serialize, Deserialize)]
-struct GuardBaseline {
-    wheel_vs_heap_rps_ratio: f64,
-}
-
-/// Fractional regression of the measured wheel:heap ratio the guard
-/// tolerates before failing the build.
+/// Fractional regression a guarded metric tolerates before failing the
+/// build, when its baseline entry does not carry its own `tolerance`.
 const GUARD_TOLERANCE: f64 = 0.15;
+
+/// Minimum cold:warm speedup the cell-cache section must demonstrate.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+/// Numeric leaf of the baseline JSON, whatever integer/float shape the
+/// vendored parser gave it.
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
 
 /// Times one engine over the fixed benchmark cell and returns its
 /// requests/sec entry.
@@ -613,6 +647,74 @@ fn main() {
         obs.p99_relative_error
     );
 
+    eprintln!("bench: cell cache, cold vs warm (fig5 + cluster sweep)");
+    let cache_dir =
+        std::env::temp_dir().join(format!("duplexity-cellcache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    // One closure runs both grids against the given cache handle and
+    // serializes the combined artifact, so the cold and warm passes are
+    // character-for-character comparable.
+    let run_cached = |cache: &CellCache| -> (String, f64) {
+        let mut f5 = opts_of(Stepping::FastForward);
+        f5.cache = Some(cache.clone());
+        let mut cs = fid.cluster_sweep_options(seed);
+        cs.threads = threads;
+        cs.cache = Some(cache.clone());
+        let t = Instant::now();
+        let f5_cells = run_fig5(&f5);
+        let cs_points = cluster_sweep(&cs);
+        let wall = t.elapsed().as_secs_f64();
+        let artifact = format!(
+            "{}\n{}",
+            serde_json::to_string_pretty(&f5_cells).expect("serialize fig5 cells"),
+            serde_json::to_string_pretty(&cs_points).expect("serialize cluster points"),
+        );
+        (artifact, wall)
+    };
+    let cold_cache = CellCache::new(&cache_dir);
+    let (cold_artifact, cold_wall) = run_cached(&cold_cache);
+    let warm_cache = CellCache::new(&cache_dir);
+    let (warm_artifact, warm_wall) = run_cached(&warm_cache);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let identical = cold_artifact == warm_artifact;
+    let warm_speedup = cold_wall / warm_wall.max(1e-12);
+    assert!(
+        identical,
+        "warm cell-cache artifacts diverged from cold — cache round-trip is not bit-exact"
+    );
+    assert_eq!(
+        cold_cache.hits(),
+        0,
+        "cold pass found entries in a fresh cache dir"
+    );
+    assert_eq!(
+        warm_cache.misses(),
+        0,
+        "warm pass missed cells the cold pass stored"
+    );
+    assert!(
+        warm_cache.hits() > 0,
+        "warm pass hit nothing — cache is inert"
+    );
+    assert!(
+        warm_speedup >= MIN_WARM_SPEEDUP,
+        "warm cache re-run only {warm_speedup:.2}x faster than cold (need >= {MIN_WARM_SPEEDUP}x)"
+    );
+    let cache_bench = CellCacheBench {
+        cells: cold_cache.misses(),
+        cold_wall_s: cold_wall,
+        warm_wall_s: warm_wall,
+        warm_speedup,
+        cold_misses: cold_cache.misses(),
+        warm_hits: warm_cache.hits(),
+        bytes_written: cold_cache.bytes_written(),
+        identical,
+    };
+    eprintln!(
+        "bench: cache warm re-run {warm_speedup:.1}x faster ({cold_wall:.2}s cold -> {warm_wall:.3}s warm, {} cells)",
+        cache_bench.cells
+    );
+
     let report = BenchReport {
         seed,
         threads,
@@ -650,6 +752,7 @@ fn main() {
         engine_core,
         sweep_path,
         obs,
+        cache: cache_bench,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
@@ -673,30 +776,62 @@ fn main() {
     );
 
     if let Some(baseline_path) = arg_after("--guard") {
+        // Report paths the baseline may guard, with this run's measurements.
+        let measured: &[(&str, f64)] = &[
+            (
+                "engine_core.wheel_vs_heap_rps_ratio",
+                report.engine_core.wheel_vs_heap_rps_ratio,
+            ),
+            ("sweep_path.speedup", report.sweep_path.speedup),
+            ("fig5.speedup", report.fig5.speedup),
+            ("obs.sketch_vs_vec_ratio", report.obs.sketch_vs_vec_ratio),
+            ("cache.warm_speedup", report.cache.warm_speedup),
+        ];
         let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
             eprintln!("guard: cannot read baseline {baseline_path}: {e}");
             std::process::exit(1);
         });
-        let baseline: GuardBaseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+        let root = serde_json::parse_value(&text).unwrap_or_else(|e| {
             eprintln!("guard: cannot parse baseline {baseline_path}: {e}");
             std::process::exit(1);
         });
-        let floor = (1.0 - GUARD_TOLERANCE) * baseline.wheel_vs_heap_rps_ratio;
-        let measured = report.engine_core.wheel_vs_heap_rps_ratio;
-        if measured < floor {
-            eprintln!(
-                "guard: wheel throughput regressed — wheel:heap requests/sec ratio \
-                 {measured:.3} is below {floor:.3} ({}% under the committed baseline \
-                 {:.3} in {baseline_path})",
-                (GUARD_TOLERANCE * 100.0) as u32,
-                baseline.wheel_vs_heap_rps_ratio
-            );
+        let Some(Value::Object(metrics)) = root.get_field("metrics") else {
+            eprintln!("guard: baseline {baseline_path} has no \"metrics\" object");
+            std::process::exit(1);
+        };
+        let mut failed = false;
+        for (name, spec) in metrics {
+            let Some(baseline_value) = spec.get_field("value").and_then(value_as_f64) else {
+                eprintln!("guard: metric {name} in {baseline_path} has no numeric \"value\"");
+                failed = true;
+                continue;
+            };
+            let tolerance = spec
+                .get_field("tolerance")
+                .and_then(value_as_f64)
+                .unwrap_or(GUARD_TOLERANCE);
+            let Some(&(_, m)) = measured.iter().find(|(n, _)| n == name) else {
+                eprintln!("guard: metric {name} in {baseline_path} is not one this bench measures");
+                failed = true;
+                continue;
+            };
+            let floor = (1.0 - tolerance) * baseline_value;
+            if m < floor {
+                eprintln!(
+                    "guard: {name} regressed — measured {m:.3} is below {floor:.3} \
+                     ({:.0}% under the committed baseline {baseline_value:.3} in {baseline_path})",
+                    tolerance * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "guard: {name} {m:.3} within {:.0}% of baseline {baseline_value:.3}",
+                    tolerance * 100.0
+                );
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        eprintln!(
-            "guard: wheel:heap ratio {measured:.3} within {}% of baseline {:.3}",
-            (GUARD_TOLERANCE * 100.0) as u32,
-            baseline.wheel_vs_heap_rps_ratio
-        );
     }
 }

@@ -1,10 +1,10 @@
 //! Regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! report [--quick] [--seed N] [--threads N] [--json DIR] [--trace FILE]
-//!        [--metrics FILE] [--timeseries FILE] [--fig1a] [--fig1b] [--fig1c]
-//!        [--fig2a] [--fig2b] [--table1] [--table2] [--fig5] [--fig6]
-//!        [--faults] [--cluster] [--hedge] [--all]
+//! report [--quick] [--seed N] [--threads N] [--json DIR] [--cache DIR]
+//!        [--trace FILE] [--metrics FILE] [--timeseries FILE] [--fig1a]
+//!        [--fig1b] [--fig1c] [--fig2a] [--fig2b] [--table1] [--table2]
+//!        [--fig5] [--fig6] [--faults] [--cluster] [--hedge] [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -23,6 +23,13 @@
 //! deterministic: byte-identical for every `--threads` value, and the
 //! figure output itself is unchanged by tracing.
 //!
+//! `--cache DIR` (or `DUPLEXITY_CACHE=DIR`) enables the content-addressed
+//! simulation-cell cache: every sweep/grid cell probes DIR before running
+//! and stores its measurements after, so re-runs with overlapping grids
+//! skip the overlap. Cached artifacts are byte-identical to cold ones —
+//! only the wall time changes. When the cache is active, each cached
+//! artifact's manifest records a digest-of-digests over its cell keys.
+//!
 //! Every artifact gets a self-describing run manifest beside it at
 //! `<artifact>.manifest.json` (tool, crate versions, seed, fidelity,
 //! requested threads, event-queue kind) — a pure function of the run's
@@ -32,6 +39,7 @@ use duplexity::experiments::{
     cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, tables, timeline,
 };
 use duplexity::report as render;
+use duplexity::{digest_of_digests, CellCache};
 use duplexity_bench::Fidelity;
 use duplexity_obs::{manifest_path, RunManifest};
 use std::path::{Path, PathBuf};
@@ -97,6 +105,15 @@ fn main() {
         .position(|a| a == "--timeseries")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let cache_flag = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let cache = CellCache::resolve(cache_flag);
+    if let Some(c) = &cache {
+        eprintln!("cell cache: {}", c.dir().display());
+    }
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -134,6 +151,19 @@ fn main() {
         .threads(threads)
         .event_queue(duplexity_queueing::eventcore::EventQueueKind::default().name())
         .with("fidelity", format!("{fidelity:?}"));
+
+    // Stamps an artifact manifest with the digest-of-digests over its cell
+    // keys — but only when the cache is active, so cache-off runs keep
+    // their previous manifest bytes. The digest is a pure function of the
+    // requested inputs, hence still worker-count-independent.
+    let stamp = |keys: &[duplexity::CellKey]| -> RunManifest {
+        match &cache {
+            Some(_) => manifest
+                .clone()
+                .with("cache_digest", digest_of_digests(keys)),
+            None => manifest.clone(),
+        }
+    };
 
     let pool_threads = duplexity::ExecPool::new(threads).threads();
     println!(
@@ -195,6 +225,7 @@ fn main() {
         eprintln!("running the extension-design comparison...");
         let mut opts = fidelity.fig5_options(seed);
         opts.threads = threads;
+        opts.cache = cache.clone();
         opts.designs = duplexity::Design::ALL_WITH_EXTENSIONS.to_vec();
         opts.workloads = vec![duplexity::Workload::McRouter];
         opts.loads = vec![0.5];
@@ -211,50 +242,75 @@ fn main() {
             "{}",
             render::render_fig5_matrix(&cells, "Extensions: normalized p99", |c| c.p99_norm)
         );
-        export(json_dir, "extensions", &cells, &manifest);
+        export(
+            json_dir,
+            "extensions",
+            &cells,
+            &stamp(&fig5::cell_keys(&opts)),
+        );
     }
 
     if want("--faults") {
         eprintln!("running the fault-policy tail sweep...");
         let mut opts = fidelity.fault_sweep_options(seed);
         opts.threads = threads;
+        opts.cache = cache.clone();
         let points = fault_sweep::fault_sweep(&opts);
         println!("{}", render::render_fault_sweep(&points));
-        export(json_dir, "fault_sweep", &points, &manifest);
+        export(
+            json_dir,
+            "fault_sweep",
+            &points,
+            &stamp(&fault_sweep::cell_keys(&opts)),
+        );
     }
 
     if want("--cluster") {
         eprintln!("running the cluster balancing sweep...");
         let mut opts = fidelity.cluster_sweep_options(seed);
         opts.threads = threads;
+        opts.cache = cache.clone();
         let points = cluster_sweep::cluster_sweep(&opts);
         println!("{}", render::render_cluster_sweep(&points));
-        export(json_dir, "cluster_sweep", &points, &manifest);
+        export(
+            json_dir,
+            "cluster_sweep",
+            &points,
+            &stamp(&cluster_sweep::cell_keys(&opts)),
+        );
     }
 
     if want("--hedge") {
         eprintln!("running the duplication/hedging sweep...");
         let mut opts = fidelity.hedge_sweep_options(seed);
         opts.threads = threads;
+        opts.cache = cache.clone();
         let points = hedge_sweep::hedge_sweep(&opts);
         println!("{}", render::render_hedge_sweep(&points));
-        export(json_dir, "hedge_sweep", &points, &manifest);
+        export(
+            json_dir,
+            "hedge_sweep",
+            &points,
+            &stamp(&hedge_sweep::cell_keys(&opts)),
+        );
     }
 
     if let Some(path) = &timeseries_path {
         eprintln!("running the request-domain timeline...");
         let mut topts = fidelity.timeline_options(seed);
         topts.threads = threads;
+        topts.cache = cache.clone();
         let t = timeline::timeline(&topts);
         println!("{}", render::render_timeline(&t));
         write_artifact(path, &t.to_json());
-        export_manifest(path, "timeline", &manifest);
+        export_manifest(path, "timeline", &stamp(&timeline::cell_keys(&topts)));
     }
 
     if want("--fig5") || want("--fig6") {
         eprintln!("running the Figure 5 grid (this is the long part)...");
         let mut opts = fidelity.fig5_options(seed);
         opts.threads = threads;
+        opts.cache = cache.clone();
         let trace_cfg = fig5::TraceConfig::default();
         let tracing = trace_path.is_some() || metrics_path.is_some();
         let run = fig5::run_fig5_traced(&opts, tracing.then_some(&trace_cfg));
@@ -298,7 +354,10 @@ fn main() {
             render::render_fig5_matrix(&cells, "Fig 5(f): normalized batch STP", |c| c.stp_norm)
         );
         summarize_headlines(&cells);
-        export(json_dir, "fig5", &cells, &manifest);
+        // fig6 is a pure function of the fig5 cells, so both artifacts
+        // share the fig5 grid's cache digest.
+        let m = stamp(&fig5::cell_keys(&opts));
+        export(json_dir, "fig5", &cells, &m);
         if want("--fig6") {
             let f6 = fig6::fig6(&cells);
             println!("{}", render::render_fig6(&f6));
@@ -306,8 +365,11 @@ fn main() {
                 "  worst-case dyads per FDR port: {}",
                 fig6::dyads_per_port(&f6)
             );
-            export(json_dir, "fig6", &f6, &manifest);
+            export(json_dir, "fig6", &f6, &m);
         }
+    }
+    if let Some(c) = &cache {
+        eprintln!("{}", c.summary());
     }
 }
 

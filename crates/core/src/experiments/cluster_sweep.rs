@@ -14,6 +14,9 @@
 //! pilot's typed [`Unstable`](duplexity_queueing::des::Unstable) verdict —
 //! render as `sat` instead of killing the grid.
 
+use crate::cellcache::{
+    assemble, miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter,
+};
 use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
@@ -68,6 +71,10 @@ pub struct ClusterSweepOptions {
     /// the per-cell sample budget `R` ways so even a tiny grid can keep
     /// every worker busy.
     pub replications: usize,
+    /// Content-addressed cell cache (default off). Cached cells skip the
+    /// work list — and designs whose cells all hit skip calibration —
+    /// with results byte-identical to a cold run.
+    pub cache: Option<CellCache>,
 }
 
 impl Default for ClusterSweepOptions {
@@ -93,6 +100,7 @@ impl Default for ClusterSweepOptions {
             threads: 0,
             engine: ClusterEngine::default(),
             replications: 1,
+            cache: None,
         }
     }
 }
@@ -148,6 +156,79 @@ fn saturated_point(
     }
 }
 
+/// Content-addressed cache keys for every (design, policy, cluster size,
+/// load) cell of the cluster-sweep grid, in the driver's lexicographic
+/// evaluation order. Replication count is digested — it splits the
+/// per-cell sample budget and re-derives seeds, so `R` and `1` runs are
+/// different results — but thread count is not.
+#[must_use]
+pub fn cell_keys(opts: &ClusterSweepOptions) -> Vec<CellKey> {
+    let mut keys = Vec::new();
+    for &design in &opts.designs {
+        for &policy in &opts.policies {
+            for &servers in &opts.server_counts {
+                for &load in &opts.loads {
+                    keys.push(CellKey::build("cluster_sweep", |w| {
+                        opts.workload.digest(w);
+                        design.digest(w);
+                        policy.digest(w);
+                        w.field_usize("servers", servers);
+                        w.field_f64("load", load);
+                        w.field_u64("calibration_cycles", opts.calibration_cycles);
+                        w.field_u64("seed", opts.seed);
+                        w.field("queue", &opts.queue);
+                        w.field("fault", &opts.fault);
+                        w.field("engine", &opts.engine);
+                        w.field_usize("replications", opts.replications.max(1));
+                    }));
+                }
+            }
+        }
+    }
+    keys
+}
+
+fn encode_point(p: &ClusterSweepPoint) -> String {
+    let mut w = PayloadWriter::new();
+    w.f64("p99_us", p.p99_us);
+    w.f64("p50_us", p.p50_us);
+    w.f64("mean_us", p.mean_us);
+    w.f64("mean_wait_us", p.mean_wait_us);
+    w.f64("utilization", p.utilization);
+    w.usize("samples", p.samples);
+    w.bool("converged", p.converged);
+    w.bool("saturated", p.saturated);
+    w.finish()
+}
+
+// Measured outputs only: the (design, policy, servers, load) coordinates
+// are rebuilt from the grid at assembly time.
+struct CachedPoint {
+    p99_us: f64,
+    p50_us: f64,
+    mean_us: f64,
+    mean_wait_us: f64,
+    utilization: f64,
+    samples: usize,
+    converged: bool,
+    saturated: bool,
+}
+
+fn decode_point(payload: &str) -> Option<CachedPoint> {
+    let mut r = PayloadReader::new(payload);
+    let p = CachedPoint {
+        p99_us: r.f64("p99_us")?,
+        p50_us: r.f64("p50_us")?,
+        mean_us: r.f64("mean_us")?,
+        mean_wait_us: r.f64("mean_wait_us")?,
+        utilization: r.f64("utilization")?,
+        samples: r.usize("samples")?,
+        converged: r.bool("converged")?,
+        saturated: r.bool("saturated")?,
+    };
+    r.done().then_some(p)
+}
+
 /// Runs the cluster sweep: one saturated calibration per design, then a
 /// multi-server queueing simulation per (design, policy, cluster size,
 /// load) cell.
@@ -186,38 +267,6 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
 
     let pool = ExecPool::new(opts.threads);
 
-    // Same calibration as the latency-load sweep: one saturated cycle sim
-    // per design, slowdown = compute inflation vs the baseline dyad.
-    let saturated_service = |design: Design| -> Option<f64> {
-        let m = ServerSim::new(design, opts.workload)
-            .saturated()
-            .horizon_cycles(opts.calibration_cycles)
-            .seed(derive_stream(opts.seed, 0x53E9))
-            .run();
-        if m.request_latencies_us.len() < 10 {
-            return None;
-        }
-        Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
-    };
-    let services = pool.run("cluster_sweep/calibrate", opts.designs.len(), |i| {
-        saturated_service(opts.designs[i])
-    });
-    let base_service = opts
-        .designs
-        .iter()
-        .position(|&d| d == Design::Baseline)
-        .and_then(|i| services[i]);
-    let slowdowns: Vec<f64> = services
-        .iter()
-        .map(|mine| match (base_service, *mine) {
-            (Some(b), Some(m)) => {
-                let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
-                (mc / bc).clamp(1.0, 6.0)
-            }
-            _ => 1.0,
-        })
-        .collect();
-
     // Grid in (design, policy, servers, load) lexicographic order; each
     // cell is independent so the pool slots are index-addressed.
     let grid: Vec<(usize, usize, usize, f64)> = (0..opts.designs.len())
@@ -232,16 +281,71 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
             })
         })
         .collect();
+    let keys = cell_keys(opts);
+    let hits = match &opts.cache {
+        Some(cache) => cache.probe(&keys, decode_point),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
+    // Same calibration as the latency-load sweep: one saturated cycle sim
+    // per design, slowdown = compute inflation vs the baseline dyad. Only
+    // designs with a missed cell calibrate (plus the baseline, which
+    // anchors every slowdown): each calibration is a pure function of
+    // (design, workload, horizon, seed), so a subset run is bit-identical.
+    let saturated_service = |design: Design| -> Option<f64> {
+        let m = ServerSim::new(design, opts.workload)
+            .saturated()
+            .horizon_cycles(opts.calibration_cycles)
+            .seed(derive_stream(opts.seed, 0x53E9))
+            .run();
+        if m.request_latencies_us.len() < 10 {
+            return None;
+        }
+        Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
+    };
+    let mut needed = vec![false; opts.designs.len()];
+    for &i in &misses {
+        needed[grid[i].0] = true;
+    }
+    let base_idx = opts
+        .designs
+        .iter()
+        .position(|&d| d == Design::Baseline)
+        .expect("asserted above");
+    if !misses.is_empty() {
+        needed[base_idx] = true;
+    }
+    let needed_idx: Vec<usize> = (0..opts.designs.len()).filter(|&i| needed[i]).collect();
+    let calibrated = pool.run("cluster_sweep/calibrate", needed_idx.len(), |j| {
+        saturated_service(opts.designs[needed_idx[j]])
+    });
+    let mut services: Vec<Option<f64>> = vec![None; opts.designs.len()];
+    for (j, &di) in needed_idx.iter().enumerate() {
+        services[di] = calibrated[j];
+    }
+    let base_service = services[base_idx];
+    let slowdowns: Vec<f64> = services
+        .iter()
+        .map(|mine| match (base_service, *mine) {
+            (Some(b), Some(m)) => {
+                let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
+                (mc / bc).clamp(1.0, 6.0)
+            }
+            _ => 1.0,
+        })
+        .collect();
 
     // Replications flatten into the pool's work list (cell-major, so a
     // cell's replications are contiguous and merge in replication order):
     // ExecPool does not nest, and flattening is what lets a small grid
-    // with many replications use every worker.
+    // with many replications use every worker. Only missed cells enter
+    // the work list.
     let reps = opts.replications.max(1);
     let rep_samples = opts.queue.max_samples.div_ceil(reps);
     let runs: Vec<Option<ClusterResult>> =
-        pool.run("cluster_sweep/points", grid.len() * reps, |w| {
-            let (di, pi, servers, load) = grid[w / reps];
+        pool.run("cluster_sweep/points", misses.len() * reps, |w| {
+            let (di, pi, servers, load) = grid[misses[w / reps]];
             let rep = w % reps;
             let policy = opts.policies[pi];
             let slowdown = slowdowns[di];
@@ -312,10 +416,14 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
             }
         });
 
+    // Assemble missed cells from their replications (consumed cell-major,
+    // matching the flattened work list), write them back, then interleave
+    // with cached hits in grid order.
     let mut run_iter = runs.into_iter();
-    let points: Vec<ClusterSweepPoint> = grid
+    let fresh: Vec<ClusterSweepPoint> = misses
         .iter()
-        .map(|&(di, pi, servers, load)| {
+        .map(|&i| {
+            let (di, pi, servers, load) = grid[i];
             let design = opts.designs[di];
             let policy = opts.policies[pi];
             let mut parts = Vec::with_capacity(reps);
@@ -353,6 +461,32 @@ pub fn cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterSweepPoint> {
             }
         })
         .collect();
+    if let Some(cache) = &opts.cache {
+        for (j, &i) in misses.iter().enumerate() {
+            cache.store(&keys[i], &encode_point(&fresh[j]));
+        }
+    }
+    let hit_points = hits
+        .into_iter()
+        .zip(&grid)
+        .map(|(hit, &(di, pi, servers, load))| {
+            hit.map(|c| ClusterSweepPoint {
+                design: opts.designs[di],
+                policy: opts.policies[pi].to_string(),
+                servers,
+                load,
+                p99_us: c.p99_us,
+                p50_us: c.p50_us,
+                mean_us: c.mean_us,
+                mean_wait_us: c.mean_wait_us,
+                utilization: c.utilization,
+                samples: c.samples,
+                converged: c.converged,
+                saturated: c.saturated,
+            })
+        })
+        .collect();
+    let points = assemble(hit_points, fresh);
     if log_enabled() {
         let saturated = points.iter().filter(|p| p.saturated).count();
         log_line(&format!(

@@ -9,6 +9,9 @@
 //! through each [`FaultPlan`], using common random numbers per load so the
 //! per-policy tail columns isolate policy effects from sampling noise.
 
+use crate::cellcache::{
+    assemble, miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter,
+};
 use crate::exec::ExecPool;
 use duplexity_net::{FaultPlan, RetryPolicy};
 use duplexity_obs::{log_enabled, log_line};
@@ -95,6 +98,9 @@ pub struct FaultSweepOptions {
     /// available parallelism (see [`crate::exec`]). Results are
     /// bit-identical for every value.
     pub threads: usize,
+    /// Content-addressed cell cache (default off). Cached cells skip the
+    /// work list with results byte-identical to a cold run.
+    pub cache: Option<CellCache>,
 }
 
 impl Default for FaultSweepOptions {
@@ -106,6 +112,7 @@ impl Default for FaultSweepOptions {
             seed: 42,
             queue: Mg1Options::default(),
             threads: 0,
+            cache: None,
         }
     }
 }
@@ -134,6 +141,62 @@ pub struct FaultSweepPoint {
     pub saturated: bool,
 }
 
+/// Content-addressed cache keys for every (policy, load) cell of the
+/// fault-sweep grid, in the driver's policy-major evaluation order. The
+/// policy's *plan* is digested, not its display name: renaming a policy
+/// relabels cached cells without recomputing them.
+#[must_use]
+pub fn cell_keys(opts: &FaultSweepOptions) -> Vec<CellKey> {
+    opts.policies
+        .iter()
+        .flat_map(|policy| {
+            opts.loads.iter().map(move |&load| {
+                CellKey::build("fault_sweep", |w| {
+                    opts.workload.digest(w);
+                    policy.plan.digest(w);
+                    w.field_f64("load", load);
+                    w.field_u64("seed", opts.seed);
+                    w.field("queue", &opts.queue);
+                })
+            })
+        })
+        .collect()
+}
+
+fn encode_point(p: &FaultSweepPoint) -> String {
+    let mut w = PayloadWriter::new();
+    w.f64("p50_us", p.p50_us);
+    w.f64("p99_us", p.p99_us);
+    w.f64("mean_us", p.mean_us);
+    w.f64("mean_attempts", p.mean_attempts);
+    w.f64("drop_rate", p.drop_rate);
+    w.f64("fail_rate", p.fail_rate);
+    w.bool("saturated", p.saturated);
+    w.finish()
+}
+
+// Measured outputs only: the (policy, load) coordinates are rebuilt from
+// the grid at assembly time.
+fn decode_point(payload: &str) -> Option<(f64, f64, f64, f64, f64, f64, bool)> {
+    let mut r = PayloadReader::new(payload);
+    let p50_us = r.f64("p50_us")?;
+    let p99_us = r.f64("p99_us")?;
+    let mean_us = r.f64("mean_us")?;
+    let mean_attempts = r.f64("mean_attempts")?;
+    let drop_rate = r.f64("drop_rate")?;
+    let fail_rate = r.f64("fail_rate")?;
+    let saturated = r.bool("saturated")?;
+    r.done().then_some((
+        p50_us,
+        p99_us,
+        mean_us,
+        mean_attempts,
+        drop_rate,
+        fail_rate,
+        saturated,
+    ))
+}
+
 /// Runs the fault sweep.
 ///
 /// Every cell derives its queueing RNG from `(seed, load)` only — common
@@ -158,8 +221,14 @@ pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
     let grid: Vec<(usize, f64)> = (0..opts.policies.len())
         .flat_map(|pi| opts.loads.iter().map(move |&l| (pi, l)))
         .collect();
-    let points = pool.run("fault_sweep/points", grid.len(), |i| {
-        let (pi, load) = grid[i];
+    let keys = cell_keys(opts);
+    let hits = match &opts.cache {
+        Some(cache) => cache.probe(&keys, decode_point),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+    let fresh = pool.run("fault_sweep/points", misses.len(), |j| {
+        let (pi, load) = grid[misses[j]];
         let policy = &opts.policies[pi];
         let lambda = load / nominal;
         // Saturation guard on a policy-agnostic upper bound of the
@@ -222,6 +291,33 @@ pub fn fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultSweepPoint> {
             saturated: false,
         }
     });
+    if let Some(cache) = &opts.cache {
+        for (j, &i) in misses.iter().enumerate() {
+            cache.store(&keys[i], &encode_point(&fresh[j]));
+        }
+    }
+    let hit_points = hits
+        .into_iter()
+        .zip(&grid)
+        .map(|(hit, &(pi, load))| {
+            hit.map(
+                |(p50_us, p99_us, mean_us, mean_attempts, drop_rate, fail_rate, saturated)| {
+                    FaultSweepPoint {
+                        policy: opts.policies[pi].name.clone(),
+                        load,
+                        p50_us,
+                        p99_us,
+                        mean_us,
+                        mean_attempts,
+                        drop_rate,
+                        fail_rate,
+                        saturated,
+                    }
+                },
+            )
+        })
+        .collect();
+    let points = assemble(hit_points, fresh);
     if log_enabled() {
         let saturated = points.iter().filter(|p| p.saturated).count();
         log_line(&format!(

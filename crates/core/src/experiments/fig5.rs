@@ -17,6 +17,7 @@
 //! * **(f)** batch-thread system throughput STP = Σᵢ IPCᵢ(shared) /
 //!   IPCᵢ(alone) \[123\], normalized.
 
+use crate::cellcache::{miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter};
 use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::{Design, DesignMetrics, Stepping};
@@ -61,6 +62,12 @@ pub struct Fig5Options {
     /// [`Stepping::Naive`]; `Naive` exists for differential testing and
     /// benchmarking.
     pub stepping: Stepping,
+    /// Content-addressed cell cache (default off). Cached cells skip the
+    /// calibration, cycle-simulation, and tail passes — a fully warm grid
+    /// also skips the lender reference — with results byte-identical to a
+    /// cold run. Ignored when tracing is requested (trace logs are not
+    /// cached).
+    pub cache: Option<CellCache>,
 }
 
 impl Default for Fig5Options {
@@ -75,6 +82,7 @@ impl Default for Fig5Options {
             fault: FaultPlan::none(),
             threads: 0,
             stepping: Stepping::FastForward,
+            cache: None,
         }
     }
 }
@@ -175,6 +183,86 @@ struct RawCell {
     remote_ops_per_us: f64,
 }
 
+/// Content-addressed cache keys for every (workload, load, design) cell
+/// of the Figure 5 grid, in the driver's workload-major evaluation order.
+/// A cell's payload covers its cycle-level measurements *and* its tail
+/// tuple; the deterministic normalization post-pass is recomputed on
+/// every run, so the key digests everything upstream of it — grid
+/// coordinates, horizons, seed, queueing controls, fault plan, stepping.
+#[must_use]
+pub fn cell_keys(opts: &Fig5Options) -> Vec<CellKey> {
+    let mut keys = Vec::new();
+    for &workload in &opts.workloads {
+        for &load in &opts.loads {
+            for &design in &opts.designs {
+                keys.push(CellKey::build("fig5", |w| {
+                    workload.digest(w);
+                    design.digest(w);
+                    w.field_f64("load", load);
+                    w.field_u64("horizon_cycles", opts.horizon_cycles);
+                    w.field_u64("seed", opts.seed);
+                    w.field("queue", &opts.queue);
+                    w.field("fault", &opts.fault);
+                    opts.stepping.digest(w);
+                }));
+            }
+        }
+    }
+    keys
+}
+
+// One cached cell: the RawCell measurements plus the tail tuple, i.e.
+// everything the (simulation-free) normalization post-pass consumes.
+// Coordinates are rebuilt from the grid at assembly time.
+struct CachedCell {
+    utilization: f64,
+    density: f64,
+    energy_nj: f64,
+    stp: f64,
+    slowdown: f64,
+    remote_ops_per_us: f64,
+    density_norm: f64,
+    p99: f64,
+    saturated: bool,
+    iso_p99: f64,
+    iso_sat: bool,
+}
+
+fn encode_cell(raw: &RawCell, tail: &(f64, f64, bool, f64, bool)) -> String {
+    let &(density_norm, p99, saturated, iso_p99, iso_sat) = tail;
+    let mut w = PayloadWriter::new();
+    w.f64("utilization", raw.utilization);
+    w.f64("density", raw.density);
+    w.f64("energy_nj", raw.energy_nj);
+    w.f64("stp", raw.stp);
+    w.f64("slowdown", raw.slowdown);
+    w.f64("remote_ops_per_us", raw.remote_ops_per_us);
+    w.f64("density_norm", density_norm);
+    w.f64("p99", p99);
+    w.bool("saturated", saturated);
+    w.f64("iso_p99", iso_p99);
+    w.bool("iso_sat", iso_sat);
+    w.finish()
+}
+
+fn decode_cell(payload: &str) -> Option<CachedCell> {
+    let mut r = PayloadReader::new(payload);
+    let c = CachedCell {
+        utilization: r.f64("utilization")?,
+        density: r.f64("density")?,
+        energy_nj: r.f64("energy_nj")?,
+        stp: r.f64("stp")?,
+        slowdown: r.f64("slowdown")?,
+        remote_ops_per_us: r.f64("remote_ops_per_us")?,
+        density_norm: r.f64("density_norm")?,
+        p99: r.f64("p99")?,
+        saturated: r.bool("saturated")?,
+        iso_p99: r.f64("iso_p99")?,
+        iso_sat: r.bool("iso_sat")?,
+    };
+    r.done().then_some(c)
+}
+
 /// Tracing controls for [`run_fig5_traced`].
 #[derive(Debug, Clone, Copy)]
 pub struct TraceConfig {
@@ -239,7 +327,36 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
     );
 
     let pool = ExecPool::new(opts.threads);
-    let lender_ref = lender_reference(opts.horizon_cycles / 2, opts.seed);
+
+    // Grid in (workload, load, design) lexicographic order; probed against
+    // the cell cache up front so every later pass touches misses only.
+    // Tracing bypasses the cache entirely: trace logs are not cached, and
+    // a partially traced grid would not be worth having.
+    let grid: Vec<(Workload, f64, Design)> = opts
+        .workloads
+        .iter()
+        .flat_map(|&w| {
+            opts.loads
+                .iter()
+                .flat_map(move |&l| opts.designs.iter().map(move |&d| (w, l, d)))
+        })
+        .collect();
+    let cache = if trace.is_some() {
+        None
+    } else {
+        opts.cache.as_ref()
+    };
+    let keys = cell_keys(opts);
+    let hits = match cache {
+        Some(c) => c.probe(&keys, decode_cell),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
+    // The lender reference feeds only fresh cycle cells; a fully warm grid
+    // skips it (it is the one serial stretch of a cold run).
+    let lender_ref =
+        (!misses.is_empty()).then(|| lender_reference(opts.horizon_cycles / 2, opts.seed));
 
     // Pass 1: per-(workload, design) service-time slowdowns from dedicated
     // saturated runs — the analogue of the paper's "measure IPC in gem5 and
@@ -247,11 +364,23 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
     // requests with no queueing-delay contamination. Each calibration cell
     // seeds itself from the experiment seed alone, so the grid parallelizes
     // with bit-identical results; the baseline ratio is taken in a
-    // deterministic combine step below.
-    let pairs: Vec<(Workload, Design)> = opts
+    // deterministic combine step below. Only pairs reachable from a missed
+    // cell calibrate (each missed (w, d) plus its (w, baseline) anchor):
+    // calibrations are pair-independent pure functions, so a subset run is
+    // bit-identical.
+    let all_pairs: Vec<(Workload, Design)> = opts
         .workloads
         .iter()
         .flat_map(|&w| opts.designs.iter().map(move |&d| (w, d)))
+        .collect();
+    let pairs: Vec<(Workload, Design)> = all_pairs
+        .into_iter()
+        .filter(|&(w, d)| {
+            misses.iter().any(|&i| {
+                let (mw, _, md) = grid[i];
+                mw == w && (md == d || d == Design::Baseline)
+            })
+        })
         .collect();
     let services = pool.run("fig5/calibrate", pairs.len(), |i| {
         let (workload, design) = pairs[i];
@@ -276,24 +405,17 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
                     // below 1 are measurement noise.
                     (mc / bc).clamp(1.0, 6.0)
                 }
+                // Uncalibrated pairs are exactly those no missed cell
+                // consults (hit cells carry their slowdown in the payload).
                 _ => 1.0,
             };
             slowdowns.push((workload, design, slowdown));
         }
     }
 
-    // Pass 2: cycle simulations of the full grid. Every cell's ServerSim
+    // Pass 2: cycle simulations of the missed cells. Every cell's ServerSim
     // derives its streams from (seed, design, workload, load) internally, so
     // scheduling order cannot perturb the metrics.
-    let grid: Vec<(Workload, f64, Design)> = opts
-        .workloads
-        .iter()
-        .flat_map(|&w| {
-            opts.loads
-                .iter()
-                .flat_map(move |&l| opts.designs.iter().map(move |&d| (w, l, d)))
-        })
-        .collect();
     let new_tracer = || match trace {
         Some(t) => Tracer::enabled(t.capacity, 1000.0),
         None => Tracer::disabled(),
@@ -301,8 +423,8 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
     let cell_label = |prefix: &str, design: Design, workload: Workload, load: f64| {
         format!("{prefix}/{design}/{workload}@{load:.2}")
     };
-    let traced_raw: Vec<(RawCell, Option<TraceLog>)> = pool.run("fig5/cells", grid.len(), |i| {
-        let (workload, load, design) = grid[i];
+    let traced_raw: Vec<(RawCell, Option<TraceLog>)> = pool.run("fig5/cells", misses.len(), |j| {
+        let (workload, load, design) = grid[misses[j]];
         let tracer = new_tracer();
         let metrics = ServerSim::new(design, workload)
             .load(load)
@@ -310,7 +432,8 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
             .seed(opts.seed)
             .stepping(opts.stepping)
             .run_traced(&tracer);
-        let mut cell = build_raw(design, workload, load, metrics, &lender_ref);
+        let lender_ref = lender_ref.as_ref().expect("computed when any cell misses");
+        let mut cell = build_raw(design, workload, load, metrics, lender_ref);
         cell.slowdown = slowdowns
             .iter()
             .find(|(w, d, _)| *w == workload && *d == design)
@@ -319,7 +442,7 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
         (cell, log)
     });
     let mut cell_logs = Vec::new();
-    let raw: Vec<RawCell> = traced_raw
+    let mut fresh_raw = traced_raw
         .into_iter()
         .map(|(cell, log)| {
             if let Some(log) = log {
@@ -328,18 +451,40 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
                     log,
                 ));
             }
-            cell
+            Some(cell)
+        })
+        .collect::<Vec<Option<RawCell>>>()
+        .into_iter();
+    // The full-grid raw vector interleaves cached measurements with fresh
+    // ones, so the tail pass's baseline lookups work unchanged on any
+    // cold/warm mix.
+    let raw: Vec<RawCell> = grid
+        .iter()
+        .zip(&hits)
+        .map(|(&(workload, load, design), hit)| match hit {
+            Some(c) => RawCell {
+                design,
+                workload,
+                load,
+                utilization: c.utilization,
+                density: c.density,
+                energy_nj: c.energy_nj,
+                stp: c.stp,
+                slowdown: c.slowdown,
+                remote_ops_per_us: c.remote_ops_per_us,
+            },
+            None => fresh_raw.next().flatten().expect("one raw cell per miss"),
         })
         .collect();
 
-    // Pass 3: queueing simulations, parallel per cell. Each tail run builds
-    // a fresh RNG from (seed, workload, load), so a cell's own tail and its
-    // iso-throughput tail are pure functions of the raw grid. The baseline's
-    // density_norm is exactly 1.0 (x/x), so its `tails` entry doubles as
-    // both normalization denominators — the same values the serial code
-    // recomputed per cell.
-    let traced_tails = pool.run("fig5/tails", raw.len(), |i| {
-        let c = &raw[i];
+    // Pass 3: queueing simulations of the missed cells, parallel per cell.
+    // Each tail run builds a fresh RNG from (seed, workload, load), so a
+    // cell's own tail and its iso-throughput tail are pure functions of the
+    // raw grid. The baseline's density_norm is exactly 1.0 (x/x), so its
+    // `tails` entry doubles as both normalization denominators — the same
+    // values the serial code recomputed per cell.
+    let traced_tails = pool.run("fig5/tails", misses.len(), |j| {
+        let c = &raw[misses[j]];
         let baseline = raw
             .iter()
             .find(|b| b.workload == c.workload && b.load == c.load && b.design == Design::Baseline)
@@ -352,16 +497,30 @@ pub fn run_fig5_traced(opts: &Fig5Options, trace: Option<&TraceConfig>) -> Fig5R
         ((density_norm, p99, saturated, iso_p99, iso_sat), log)
     });
     let mut tail_logs = Vec::new();
-    let tails: Vec<(f64, f64, bool, f64, bool)> = traced_tails
+    let mut fresh_tails = traced_tails
         .into_iter()
-        .zip(&raw)
-        .map(|((tuple, log), c)| {
+        .zip(&misses)
+        .map(|((tuple, log), &i)| {
             if let Some(log) = log {
+                let c = &raw[i];
                 tail_logs.push((cell_label("tails", c.design, c.workload, c.load), log));
             }
             tuple
         })
+        .collect::<Vec<(f64, f64, bool, f64, bool)>>()
+        .into_iter();
+    let tails: Vec<(f64, f64, bool, f64, bool)> = hits
+        .iter()
+        .map(|hit| match hit {
+            Some(c) => (c.density_norm, c.p99, c.saturated, c.iso_p99, c.iso_sat),
+            None => fresh_tails.next().expect("one tail tuple per miss"),
+        })
         .collect();
+    if let Some(c) = cache {
+        for &i in &misses {
+            c.store(&keys[i], &encode_cell(&raw[i], &tails[i]));
+        }
+    }
 
     // Deterministic post-pass: normalization against the baseline cell.
     let mut cells = Vec::with_capacity(raw.len());
@@ -588,6 +747,7 @@ mod tests {
             fault: FaultPlan::none(),
             threads: 0,
             stepping: Stepping::FastForward,
+            cache: None,
         }
     }
 

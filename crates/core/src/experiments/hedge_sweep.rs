@@ -20,10 +20,14 @@
 //! plans draw nothing from the duplicate stream, making `none` cells
 //! bitwise comparable to the undecorated balancer.
 
+use crate::cellcache::{
+    assemble, miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter,
+};
 use crate::exec::ExecPool;
 use duplexity_obs::{log_enabled, log_line, Tracer};
 use duplexity_queueing::cluster::{
-    try_simulate_cluster_hedged, BalancerPolicy, ClusterOptions, DuplicationPolicy,
+    merge_hedged_replications, try_simulate_cluster_hedged, BalancerPolicy, ClusterOptions,
+    DuplicationPolicy, HedgedClusterResult,
 };
 use duplexity_queueing::des::Mg1Options;
 use duplexity_queueing::eventcore::EventQueueKind;
@@ -64,6 +68,17 @@ pub struct HedgeSweepOptions {
     /// total-order contract (see `duplexity_queueing::eventcore`), so this
     /// is a pure throughput knob; the bench uses it to race the two.
     pub event_queue: EventQueueKind,
+    /// Independent replications per cell, run *within-cell parallel* on
+    /// the pool (flattened into the grid's work list, exactly as
+    /// [`cluster_sweep`](crate::experiments::cluster_sweep) does) with
+    /// per-replication derived seeds and merged in replication order via
+    /// [`merge_hedged_replications`]. `1` (the default) runs each cell's
+    /// historical single pass bitwise; `R > 1` splits the per-cell sample
+    /// budget `R` ways so even a tiny grid can keep every worker busy.
+    pub replications: usize,
+    /// Content-addressed cell cache (default off). Cached cells skip the
+    /// work list with results byte-identical to a cold run.
+    pub cache: Option<CellCache>,
 }
 
 impl Default for HedgeSweepOptions {
@@ -94,6 +109,8 @@ impl Default for HedgeSweepOptions {
             },
             threads: 0,
             event_queue: EventQueueKind::default(),
+            replications: 1,
+            cache: None,
         }
     }
 }
@@ -169,6 +186,95 @@ fn saturated_point(
     }
 }
 
+/// Content-addressed cache keys for every (policy, plan, cluster size,
+/// load) cell of the hedge-sweep grid, in the driver's lexicographic
+/// evaluation order. The plan is digested structurally (mode, purge,
+/// priority), not by label; replication count is digested because it
+/// splits the sample budget and re-derives seeds.
+#[must_use]
+pub fn cell_keys(opts: &HedgeSweepOptions) -> Vec<CellKey> {
+    let mut keys = Vec::new();
+    for &policy in &opts.policies {
+        for &plan in &opts.plans {
+            for &servers in &opts.server_counts {
+                for &load in &opts.loads {
+                    keys.push(CellKey::build("hedge_sweep", |w| {
+                        opts.workload.digest(w);
+                        policy.digest(w);
+                        plan.digest(w);
+                        w.field_usize("servers", servers);
+                        w.field_f64("load", load);
+                        w.field_u64("seed", opts.seed);
+                        w.field("queue", &opts.queue);
+                        w.field("event_queue", &opts.event_queue);
+                        w.field_usize("replications", opts.replications.max(1));
+                    }));
+                }
+            }
+        }
+    }
+    keys
+}
+
+fn encode_point(p: &HedgeSweepPoint) -> String {
+    let mut w = PayloadWriter::new();
+    w.f64("p99_us", p.p99_us);
+    w.f64("p50_us", p.p50_us);
+    w.f64("mean_us", p.mean_us);
+    w.f64("mean_wait_us", p.mean_wait_us);
+    w.f64("dup_mean_wait_us", p.dup_mean_wait_us);
+    w.f64("utilization", p.utilization);
+    w.f64("added_utilization", p.added_utilization);
+    w.u64("dup_copies", p.dup_copies);
+    w.u64("hedges_fired", p.hedges_fired);
+    w.u64("purged", p.purged);
+    w.u64("wasted_completions", p.wasted_completions);
+    w.usize("samples", p.samples);
+    w.bool("converged", p.converged);
+    w.bool("saturated", p.saturated);
+    w.finish()
+}
+
+// Measured outputs only: the (policy, plan, servers, load) coordinates
+// are rebuilt from the grid at assembly time.
+struct CachedPoint {
+    p99_us: f64,
+    p50_us: f64,
+    mean_us: f64,
+    mean_wait_us: f64,
+    dup_mean_wait_us: f64,
+    utilization: f64,
+    added_utilization: f64,
+    dup_copies: u64,
+    hedges_fired: u64,
+    purged: u64,
+    wasted_completions: u64,
+    samples: usize,
+    converged: bool,
+    saturated: bool,
+}
+
+fn decode_point(payload: &str) -> Option<CachedPoint> {
+    let mut r = PayloadReader::new(payload);
+    let p = CachedPoint {
+        p99_us: r.f64("p99_us")?,
+        p50_us: r.f64("p50_us")?,
+        mean_us: r.f64("mean_us")?,
+        mean_wait_us: r.f64("mean_wait_us")?,
+        dup_mean_wait_us: r.f64("dup_mean_wait_us")?,
+        utilization: r.f64("utilization")?,
+        added_utilization: r.f64("added_utilization")?,
+        dup_copies: r.u64("dup_copies")?,
+        hedges_fired: r.u64("hedges_fired")?,
+        purged: r.u64("purged")?,
+        wasted_completions: r.u64("wasted_completions")?,
+        samples: r.usize("samples")?,
+        converged: r.bool("converged")?,
+        saturated: r.bool("saturated")?,
+    };
+    r.done().then_some(p)
+}
+
 /// Runs the hedge sweep: one duplication-aware cluster simulation per
 /// (policy, plan, cluster size, load) cell, in lexicographic grid order.
 ///
@@ -215,43 +321,98 @@ pub fn hedge_sweep(opts: &HedgeSweepOptions) -> Vec<HedgeSweepPoint> {
         })
         .collect();
 
-    let points = pool.run("hedge_sweep/points", grid.len(), |i| {
-        let (pi, qi, servers, load) = grid[i];
-        let policy = opts.policies[pi];
-        let plan = opts.plans[qi];
-        let lambda = servers as f64 * load / nominal;
-        // Cheap pre-guard mirroring the engine's pilot rule: an eager
-        // no-purge plan must carry every copy to completion.
-        let eager_copies = match plan.mode {
-            duplexity_queueing::cluster::DupMode::Duplicate { copies } if !plan.purge => {
-                copies as f64
+    let keys = cell_keys(opts);
+    let hits = match &opts.cache {
+        Some(cache) => cache.probe(&keys, decode_point),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
+    // Replications flatten into the pool's work list (cell-major, so a
+    // cell's replications are contiguous and merge in replication order),
+    // exactly as the cluster sweep does; only missed cells enter the list.
+    let reps = opts.replications.max(1);
+    let rep_samples = opts.queue.max_samples.div_ceil(reps);
+    let runs: Vec<Option<HedgedClusterResult>> =
+        pool.run("hedge_sweep/points", misses.len() * reps, |w| {
+            let (pi, qi, servers, load) = grid[misses[w / reps]];
+            let rep = w % reps;
+            let policy = opts.policies[pi];
+            let plan = opts.plans[qi];
+            let lambda = servers as f64 * load / nominal;
+            // Cheap pre-guard mirroring the engine's pilot rule: an eager
+            // no-purge plan must carry every copy to completion.
+            let eager_copies = match plan.mode {
+                duplexity_queueing::cluster::DupMode::Duplicate { copies } if !plan.purge => {
+                    copies as f64
+                }
+                _ => 1.0,
+            };
+            if load / nominal * mean_service * eager_copies >= 0.95 {
+                return None;
             }
-            _ => 1.0,
-        };
-        if load / nominal * mean_service * eager_copies >= 0.95 {
-            return saturated_point(policy, &plan, servers, load);
-        }
-        let mut service = |rng: &mut SimRng| {
-            // Split sampling: the same draw order as the cluster sweep's
-            // fault-free path.
-            model.sample_compute(rng) + model.sample_stall(rng)
-        };
-        let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
-        copts.event_queue = opts.event_queue;
-        copts.seed = derive_stream(
-            opts.seed,
-            HEDGE_CELL_STREAM ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
-        );
-        let mut balancer = policy.build();
-        match try_simulate_cluster_hedged(
-            lambda,
-            &mut service,
-            balancer.as_mut(),
-            &plan,
-            &copts,
-            &Tracer::disabled(),
-        ) {
-            Ok(r) => HedgeSweepPoint {
+            let mut service = |rng: &mut SimRng| {
+                // Split sampling: the same draw order as the cluster sweep's
+                // fault-free path.
+                model.sample_compute(rng) + model.sample_stall(rng)
+            };
+            let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
+            copts.event_queue = opts.event_queue;
+            copts.max_samples = rep_samples;
+            // A lone replication uses the cell seed directly (the
+            // historical stream); R > 1 derives per-replication
+            // sub-streams.
+            let cell_seed = derive_stream(
+                opts.seed,
+                HEDGE_CELL_STREAM ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+            );
+            copts.seed = if reps == 1 {
+                cell_seed
+            } else {
+                derive_stream(cell_seed, 1 + rep as u64)
+            };
+            let mut balancer = policy.build();
+            try_simulate_cluster_hedged(
+                lambda,
+                &mut service,
+                balancer.as_mut(),
+                &plan,
+                &copts,
+                &Tracer::disabled(),
+            )
+            .ok()
+        });
+
+    // Assemble missed cells from their replications (consumed cell-major,
+    // matching the flattened work list), write them back, then interleave
+    // with cached hits in grid order.
+    let mut run_iter = runs.into_iter();
+    let fresh: Vec<HedgeSweepPoint> = misses
+        .iter()
+        .map(|&i| {
+            let (pi, qi, servers, load) = grid[i];
+            let policy = opts.policies[pi];
+            let plan = opts.plans[qi];
+            let mut parts = Vec::with_capacity(reps);
+            let mut saturated = false;
+            for _ in 0..reps {
+                match run_iter.next().expect("one run per (cell, replication)") {
+                    Some(r) => parts.push(r),
+                    None => saturated = true,
+                }
+            }
+            if saturated {
+                return saturated_point(policy, &plan, servers, load);
+            }
+            // A lone replication passes through untouched (bitwise the
+            // historical cell); pooled replications merge in replication
+            // order.
+            let r = if parts.len() == 1 {
+                parts.pop().expect("one replication")
+            } else {
+                merge_hedged_replications(parts, opts.queue.quantile, opts.queue.confidence)
+            };
+            HedgeSweepPoint {
                 policy: policy.to_string(),
                 plan: plan.label(),
                 servers,
@@ -274,10 +435,41 @@ pub fn hedge_sweep(opts: &HedgeSweepOptions) -> Vec<HedgeSweepPoint> {
                 samples: r.cluster.samples,
                 converged: r.cluster.converged,
                 saturated: false,
-            },
-            Err(_) => saturated_point(policy, &plan, servers, load),
+            }
+        })
+        .collect();
+    if let Some(cache) = &opts.cache {
+        for (j, &i) in misses.iter().enumerate() {
+            cache.store(&keys[i], &encode_point(&fresh[j]));
         }
-    });
+    }
+    let hit_points = hits
+        .into_iter()
+        .zip(&grid)
+        .map(|(hit, &(pi, qi, servers, load))| {
+            hit.map(|c| HedgeSweepPoint {
+                policy: opts.policies[pi].to_string(),
+                plan: opts.plans[qi].label(),
+                servers,
+                load,
+                p99_us: c.p99_us,
+                p50_us: c.p50_us,
+                mean_us: c.mean_us,
+                mean_wait_us: c.mean_wait_us,
+                dup_mean_wait_us: c.dup_mean_wait_us,
+                utilization: c.utilization,
+                added_utilization: c.added_utilization,
+                dup_copies: c.dup_copies,
+                hedges_fired: c.hedges_fired,
+                purged: c.purged,
+                wasted_completions: c.wasted_completions,
+                samples: c.samples,
+                converged: c.converged,
+                saturated: c.saturated,
+            })
+        })
+        .collect();
+    let points = assemble(hit_points, fresh);
     if log_enabled() {
         let saturated = points.iter().filter(|p| p.saturated).count();
         log_line(&format!(
@@ -345,6 +537,37 @@ mod tests {
             );
             assert_eq!(at("none").dup_copies, 0);
             assert_eq!(at("none").added_utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn within_cell_replications_merge_deterministically() {
+        let mut opts = quick_opts();
+        opts.replications = 4;
+        opts.threads = 1;
+        let one = hedge_sweep(&opts);
+        opts.threads = 8;
+        let eight = hedge_sweep(&opts);
+        assert_eq!(
+            serde_json::to_string_pretty(&one).unwrap(),
+            serde_json::to_string_pretty(&eight).unwrap(),
+            "replicated grid must be bit-identical at any worker count"
+        );
+        // The merged cells keep the replication-split sample budget and the
+        // qualitative duplication contract.
+        for p in &one {
+            assert!(!p.saturated, "unexpected saturation at {p:?}");
+            assert!(p.samples >= 40_000, "budget lost in the merge: {p:?}");
+        }
+        for load in [0.25, 0.4] {
+            let at = |plan: &str| {
+                one.iter()
+                    .find(|p| p.plan == plan && p.load == load)
+                    .unwrap()
+            };
+            assert!(at("dup2").p99_us <= at("none").p99_us);
+            assert!(at("dup2").added_utilization < at("dup2_np").added_utilization);
+            assert_eq!(at("none").dup_copies, 0);
         }
     }
 

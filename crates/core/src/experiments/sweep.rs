@@ -7,6 +7,9 @@
 //! each design's **SLO capacity** — the highest load whose p99 stays within
 //! budget.
 
+use crate::cellcache::{
+    assemble, miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter,
+};
 use crate::exec::ExecPool;
 use crate::server::ServerSim;
 use duplexity_cpu::designs::Design;
@@ -40,6 +43,10 @@ pub struct SweepOptions {
     /// `DUPLEXITY_THREADS` / available parallelism (see [`crate::exec`]).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Content-addressed cell cache (default off). Cached cells skip the
+    /// work list — and designs whose cells all hit skip calibration —
+    /// with results byte-identical to a cold run.
+    pub cache: Option<CellCache>,
 }
 
 impl Default for SweepOptions {
@@ -56,6 +63,7 @@ impl Default for SweepOptions {
             },
             fault: FaultPlan::none(),
             threads: 0,
+            cache: None,
         }
     }
 }
@@ -73,6 +81,50 @@ pub struct SweepPoint {
     pub mean_us: f64,
     /// Whether this point saturated.
     pub saturated: bool,
+}
+
+/// Content-addressed cache keys for every (design, load) cell of the
+/// sweep grid, in the driver's design-major evaluation order. A cell's
+/// key digests everything its value depends on — workload, design, load,
+/// calibration horizon, seed, queueing controls, fault plan — and
+/// nothing else, so adding loads or designs to the grid reuses the
+/// overlapping cells.
+#[must_use]
+pub fn cell_keys(opts: &SweepOptions) -> Vec<CellKey> {
+    opts.designs
+        .iter()
+        .flat_map(|&design| {
+            opts.loads.iter().map(move |&load| {
+                CellKey::build("sweep", |w| {
+                    opts.workload.digest(w);
+                    design.digest(w);
+                    w.field_f64("load", load);
+                    w.field_u64("calibration_cycles", opts.calibration_cycles);
+                    w.field_u64("seed", opts.seed);
+                    w.field("queue", &opts.queue);
+                    w.field("fault", &opts.fault);
+                })
+            })
+        })
+        .collect()
+}
+
+fn encode_point(p: &SweepPoint) -> String {
+    let mut w = PayloadWriter::new();
+    w.f64("p99_us", p.p99_us);
+    w.f64("mean_us", p.mean_us);
+    w.bool("saturated", p.saturated);
+    w.finish()
+}
+
+// Measured outputs only: the (design, load) coordinates are rebuilt from
+// the grid at assembly time.
+fn decode_point(payload: &str) -> Option<(f64, f64, bool)> {
+    let mut r = PayloadReader::new(payload);
+    let p99_us = r.f64("p99_us")?;
+    let mean_us = r.f64("mean_us")?;
+    let saturated = r.bool("saturated")?;
+    r.done().then_some((p99_us, mean_us, saturated))
 }
 
 /// Runs the sweep: one saturated calibration per design, then a queueing
@@ -98,6 +150,19 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
 
     let pool = ExecPool::new(opts.threads);
 
+    // Every (design, load) point builds its queueing RNG from
+    // (seed, load) — common random numbers across designs — so the grid
+    // parallelizes with bit-identical results in design-major order.
+    let grid: Vec<(usize, f64)> = (0..opts.designs.len())
+        .flat_map(|di| opts.loads.iter().map(move |&l| (di, l)))
+        .collect();
+    let keys = cell_keys(opts);
+    let hits = match &opts.cache {
+        Some(cache) => cache.probe(&keys, decode_point),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
     let saturated_service = |design: Design| -> Option<f64> {
         let m = ServerSim::new(design, opts.workload)
             .saturated()
@@ -112,14 +177,30 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
 
     // Calibrations are independent cycle simulations — one per design — so
     // they run on the pool; the baseline's slot is the slowdown reference.
-    let services = pool.run("sweep/calibrate", opts.designs.len(), |i| {
-        saturated_service(opts.designs[i])
-    });
-    let base_service = opts
+    // Only designs with a missed cell calibrate (plus the baseline, which
+    // anchors every slowdown): each calibration is a pure function of
+    // (design, workload, horizon, seed), so a subset run is bit-identical.
+    let mut needed = vec![false; opts.designs.len()];
+    for &i in &misses {
+        needed[grid[i].0] = true;
+    }
+    let base_idx = opts
         .designs
         .iter()
         .position(|&d| d == Design::Baseline)
-        .and_then(|i| services[i]);
+        .expect("asserted above");
+    if !misses.is_empty() {
+        needed[base_idx] = true;
+    }
+    let needed_idx: Vec<usize> = (0..opts.designs.len()).filter(|&i| needed[i]).collect();
+    let calibrated = pool.run("sweep/calibrate", needed_idx.len(), |j| {
+        saturated_service(opts.designs[needed_idx[j]])
+    });
+    let mut services: Vec<Option<f64>> = vec![None; opts.designs.len()];
+    for (j, &di) in needed_idx.iter().enumerate() {
+        services[di] = calibrated[j];
+    }
+    let base_service = services[base_idx];
     let slowdowns: Vec<f64> = services
         .iter()
         .map(|mine| match (base_service, *mine) {
@@ -131,14 +212,8 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
         })
         .collect();
 
-    // Every (design, load) point builds its queueing RNG from
-    // (seed, load) — common random numbers across designs — so the grid
-    // parallelizes with bit-identical results in design-major order.
-    let grid: Vec<(usize, f64)> = (0..opts.designs.len())
-        .flat_map(|di| opts.loads.iter().map(move |&l| (di, l)))
-        .collect();
-    let points = pool.run("sweep/points", grid.len(), |i| {
-        let (di, load) = grid[i];
+    let fresh = pool.run("sweep/points", misses.len(), |j| {
+        let (di, load) = grid[misses[j]];
         let design = opts.designs[di];
         let slowdown = slowdowns[di];
         let lambda = load / nominal;
@@ -187,6 +262,25 @@ pub fn latency_load_sweep(opts: &SweepOptions) -> Vec<SweepPoint> {
             },
         }
     });
+    if let Some(cache) = &opts.cache {
+        for (j, &i) in misses.iter().enumerate() {
+            cache.store(&keys[i], &encode_point(&fresh[j]));
+        }
+    }
+    let hit_points = hits
+        .into_iter()
+        .zip(&grid)
+        .map(|(hit, &(di, load))| {
+            hit.map(|(p99_us, mean_us, saturated)| SweepPoint {
+                design: opts.designs[di],
+                load,
+                p99_us,
+                mean_us,
+                saturated,
+            })
+        })
+        .collect();
+    let points = assemble(hit_points, fresh);
     if log_enabled() {
         let saturated = points.iter().filter(|p| p.saturated).count();
         log_line(&format!(

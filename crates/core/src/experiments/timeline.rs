@@ -17,8 +17,9 @@
 //! artifact is byte-identical at any [`ExecPool`] worker count, which
 //! `tests/obs_determinism.rs` holds it to.
 
+use crate::cellcache::{miss_indices, CellCache, CellKey, PayloadReader, PayloadWriter};
 use crate::exec::ExecPool;
-use duplexity_obs::{log_enabled, log_line, Registry, TimeSeriesSet, Tracer};
+use duplexity_obs::{log_enabled, log_line, Bin, Observation, Registry, TimeSeriesSet, Tracer};
 use duplexity_queueing::cluster::{
     try_simulate_cluster_hedged, BalancerPolicy, ClusterOptions, DuplicationPolicy,
 };
@@ -63,6 +64,9 @@ pub struct TimelineOptions {
     /// only gauges and registry counters (which never drop), so a small
     /// cap merely bounds memory.
     pub trace_capacity: usize,
+    /// Optional content-addressed cell cache; `None` (the default) runs
+    /// every load cell fresh.
+    pub cache: Option<CellCache>,
 }
 
 impl Default for TimelineOptions {
@@ -82,8 +86,135 @@ impl Default for TimelineOptions {
             threads: 0,
             event_queue: EventQueueKind::default(),
             trace_capacity: 1 << 10,
+            cache: None,
         }
     }
+}
+
+/// Cache keys for every load cell, in grid (load) order. `trace_capacity`
+/// is deliberately excluded: the artifact consumes only gauges and
+/// registry counters, which never drop, so the ring cap cannot perturb a
+/// cached payload. `Mg1Options::seed` is likewise excluded (each cell
+/// overwrites it from the digested experiment seed).
+#[must_use]
+pub fn cell_keys(opts: &TimelineOptions) -> Vec<CellKey> {
+    opts.loads
+        .iter()
+        .map(|&load| {
+            CellKey::build("timeline", |w| {
+                w.field("workload", &opts.workload);
+                w.field("policy", &opts.policy);
+                w.field("plan", &opts.plan);
+                w.field_usize("servers", opts.servers);
+                w.field_f64("load", load);
+                w.field_f64("bin_us", opts.bin_us);
+                w.field_u64("seed", opts.seed);
+                w.field("queue", &opts.queue);
+                w.field("event_queue", &opts.event_queue);
+            })
+        })
+        .collect()
+}
+
+/// A reconstructed load cell: endpoint summary (minus the load
+/// coordinate, which the grid supplies) plus the cell's gauge series and
+/// registry, exactly as the live tracer would have produced them.
+struct CachedTimelineCell {
+    samples: usize,
+    p99_us: f64,
+    sketch_p99_us: f64,
+    saturated: bool,
+    series: Option<TimeSeriesSet>,
+    registry: Registry,
+}
+
+fn encode_cell(cell: &TimelineCell, series: Option<&TimeSeriesSet>, registry: &Registry) -> String {
+    let mut w = PayloadWriter::new();
+    w.usize("samples", cell.samples);
+    w.f64("p99_us", cell.p99_us);
+    w.f64("sketch_p99_us", cell.sketch_p99_us);
+    w.bool("saturated", cell.saturated);
+    w.bool("has_series", series.is_some());
+    if let Some(ts) = series {
+        w.usize("series_count", ts.series().count());
+        for (name, s) in ts.series() {
+            w.str("name", name);
+            let bins = s.bins();
+            w.usize("bins", bins.len());
+            for b in bins {
+                w.u64("count", b.count);
+                w.f64("sum", b.sum);
+                w.f64("min", b.min);
+                w.f64("max", b.max);
+                w.f64("last", b.last);
+            }
+        }
+    }
+    w.usize("counters", registry.counters().count());
+    for (path, v) in registry.counters() {
+        w.u64("value", v);
+        w.str("path", path);
+    }
+    w.usize("observations", registry.observations().count());
+    for (path, o) in registry.observations() {
+        w.u64("count", o.count);
+        w.f64("sum", o.sum);
+        w.f64("min", o.min);
+        w.f64("max", o.max);
+        w.str("path", path);
+    }
+    w.finish()
+}
+
+fn decode_cell(bin_us: f64, payload: &str) -> Option<CachedTimelineCell> {
+    let mut r = PayloadReader::new(payload);
+    let samples = r.usize("samples")?;
+    let p99_us = r.f64("p99_us")?;
+    let sketch_p99_us = r.f64("sketch_p99_us")?;
+    let saturated = r.bool("saturated")?;
+    let series = if r.bool("has_series")? {
+        let mut ts = TimeSeriesSet::new(bin_us);
+        for _ in 0..r.usize("series_count")? {
+            let name = r.str("name")?.to_string();
+            for idx in 0..r.usize("bins")? {
+                let bin = Bin {
+                    count: r.u64("count")?,
+                    sum: r.f64("sum")?,
+                    min: r.f64("min")?,
+                    max: r.f64("max")?,
+                    last: r.f64("last")?,
+                };
+                ts.insert_bin(&name, idx, bin);
+            }
+        }
+        Some(ts)
+    } else {
+        None
+    };
+    let mut registry = Registry::default();
+    for _ in 0..r.usize("counters")? {
+        let v = r.u64("value")?;
+        let path = r.str("path")?.to_string();
+        registry.incr(&path, v);
+    }
+    for _ in 0..r.usize("observations")? {
+        let o = Observation {
+            count: r.u64("count")?,
+            sum: r.f64("sum")?,
+            min: r.f64("min")?,
+            max: r.f64("max")?,
+        };
+        let path = r.str("path")?.to_string();
+        registry.set_observation(&path, o);
+    }
+    r.done().then_some(CachedTimelineCell {
+        samples,
+        p99_us,
+        sketch_p99_us,
+        saturated,
+        series,
+        registry,
+    })
 }
 
 /// Per-load endpoint summary riding along with the series.
@@ -175,9 +306,16 @@ pub fn timeline(opts: &TimelineOptions) -> Timeline {
     let model = opts.workload.service_model();
     let nominal = opts.workload.nominal_service_us();
 
+    let keys = cell_keys(opts);
+    let hits = match opts.cache.as_ref() {
+        Some(c) => c.probe(&keys, |payload| decode_cell(opts.bin_us, payload)),
+        None => opts.loads.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
     let pool = ExecPool::new(opts.threads);
-    let cells = pool.run("timeline/cells", opts.loads.len(), |i| {
-        let load = opts.loads[i];
+    let fresh = pool.run("timeline/cells", misses.len(), |j| {
+        let load = opts.loads[misses[j]];
         let lambda = opts.servers as f64 * load / nominal;
         let tracer = Tracer::enabled(opts.trace_capacity, TIMELINE_TICKS_PER_US)
             .with_timeseries(opts.bin_us);
@@ -216,17 +354,46 @@ pub fn timeline(opts: &TimelineOptions) -> Timeline {
         };
         (cell, log)
     });
+    if let Some(c) = opts.cache.as_ref() {
+        for ((cell, log), &i) in fresh.iter().zip(&misses) {
+            c.store(
+                &keys[i],
+                &encode_cell(cell, log.timeseries.as_ref(), &log.registry),
+            );
+        }
+    }
 
+    // Merge in load-index order regardless of which cells came from the
+    // cache, so cold, warm, and mixed runs assemble identical artifacts.
+    let mut fresh = fresh.into_iter();
     let mut series = TimeSeriesSet::new(opts.bin_us);
     let mut registry = Registry::default();
-    let mut summaries = Vec::with_capacity(cells.len());
-    for (cell, log) in cells {
-        let prefix = format!("load{}", cell.load);
-        if let Some(ts) = &log.timeseries {
-            series.merge_prefixed(&prefix, ts);
+    let mut summaries = Vec::with_capacity(opts.loads.len());
+    for (&load, hit) in opts.loads.iter().zip(hits) {
+        let prefix = format!("load{load}");
+        match hit {
+            Some(c) => {
+                if let Some(ts) = &c.series {
+                    series.merge_prefixed(&prefix, ts);
+                }
+                registry.merge_prefixed(&prefix, &c.registry);
+                summaries.push(TimelineCell {
+                    load,
+                    samples: c.samples,
+                    p99_us: c.p99_us,
+                    sketch_p99_us: c.sketch_p99_us,
+                    saturated: c.saturated,
+                });
+            }
+            None => {
+                let (cell, log) = fresh.next().expect("one fresh cell per miss");
+                if let Some(ts) = &log.timeseries {
+                    series.merge_prefixed(&prefix, ts);
+                }
+                registry.merge_prefixed(&prefix, &log.registry);
+                summaries.push(cell);
+            }
         }
-        registry.merge_prefixed(&prefix, &log.registry);
-        summaries.push(cell);
     }
     if log_enabled() {
         log_line(&format!(

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cellcache;
 pub mod chip;
 pub mod exec;
 pub mod experiments;
@@ -61,6 +62,7 @@ pub mod report;
 pub mod scheduler;
 pub mod server;
 
+pub use cellcache::{digest_of_digests, CellCache, CellKey, Digest, DigestWriter};
 pub use chip::{simulate_chip, simulate_mixed_chip, ChipConfig, ChipMetrics, DyadAssignment};
 pub use duplexity_cpu::designs::{Design, DesignMetrics};
 pub use duplexity_net::{Event, EventKind, EventSource, FaultPlan, LatencyDist, RetryPolicy};

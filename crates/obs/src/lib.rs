@@ -56,5 +56,5 @@ pub use manifest::{manifest_path, RunManifest};
 pub use poolobs::{PoolReport, WorkerLoad};
 pub use registry::{Observation, Registry};
 pub use sketch::LatencySketch;
-pub use timeseries::{TimeSeries, TimeSeriesSet};
+pub use timeseries::{Bin, TimeSeries, TimeSeriesSet};
 pub use trace::{MorphTrigger, RemoteKind, ReturnReason, ThreadTag, TraceEvent, TraceLog, Tracer};

@@ -95,6 +95,19 @@ impl Registry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Observation iteration in path order.
+    pub fn observations(&self) -> impl Iterator<Item = (&str, &Observation)> {
+        self.observations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Installs a complete observation summary at `path`, replacing any
+    /// existing one. A raw reconstruction hook (cache round-trips, not
+    /// live recording) — pair with [`Registry::observations`] to dump and
+    /// rebuild a registry exactly.
+    pub fn set_observation(&mut self, path: &str, o: Observation) {
+        self.observations.insert(path.to_string(), o);
+    }
+
     /// Folds `other` into `self`, prefixing every path with `prefix`
     /// (pass `""` for an in-place merge). Counters add; observations
     /// combine their summaries.

@@ -156,6 +156,21 @@ impl TimeSeriesSet {
         self.series.get(name)
     }
 
+    /// Installs a complete bin summary at index `idx` of series `name`,
+    /// replacing any existing bin (intermediate bins pad with empty
+    /// defaults). A raw reconstruction hook (cache round-trips, not live
+    /// recording): re-inserting every non-empty bin of a dumped series
+    /// rebuilds it exactly, because live recording never leaves a
+    /// trailing empty bin.
+    pub fn insert_bin(&mut self, name: &str, idx: usize, bin: Bin) {
+        let idx = idx.min(MAX_BINS - 1);
+        let series = self.series.entry(name.to_string()).or_default();
+        if idx >= series.bins.len() {
+            series.bins.resize(idx + 1, Bin::default());
+        }
+        series.bins[idx] = bin;
+    }
+
     /// Series iteration in lexicographic name order.
     pub fn series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
         self.series.iter().map(|(k, v)| (k.as_str(), v))

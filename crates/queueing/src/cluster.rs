@@ -799,6 +799,60 @@ pub struct HedgedClusterResult {
     pub added_utilization: f64,
 }
 
+/// Pools independent replications of one hedged cluster cell, *in
+/// replication order* (the hedged counterpart of [`merge_replications`]
+/// — same contract: a pure function of the ordered replication list,
+/// bit-identical at any worker count).
+///
+/// Cluster metrics merge via [`merge_replications`]; tallies sum
+/// fieldwise; duplicate waits use the exact Welford merge; added
+/// utilization re-derives from the pooled duplicate-delivered service
+/// time over the pooled measured window, mirroring the single-run
+/// definition.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the replications disagree on the server
+/// count.
+#[must_use]
+pub fn merge_hedged_replications(
+    parts: Vec<HedgedClusterResult>,
+    quantile: f64,
+    confidence: f64,
+) -> HedgedClusterResult {
+    assert!(!parts.is_empty(), "cannot merge zero replications");
+    let mut tally = DupTally::default();
+    let mut dup_wait = Summary::new();
+    let mut clusters = Vec::with_capacity(parts.len());
+    for part in parts {
+        tally.requests += part.tally.requests;
+        tally.copies_issued += part.tally.copies_issued;
+        tally.dup_copies += part.tally.dup_copies;
+        tally.completions += part.tally.completions;
+        tally.wasted_completions += part.tally.wasted_completions;
+        tally.hedges_fired += part.tally.hedges_fired;
+        tally.hedges_cancelled += part.tally.hedges_cancelled;
+        tally.purged_queued += part.tally.purged_queued;
+        tally.purged_in_service += part.tally.purged_in_service;
+        tally.dup_delivered_us += part.tally.dup_delivered_us;
+        dup_wait.merge(&part.dup_wait);
+        clusters.push(part.cluster);
+    }
+    let cluster = merge_replications(clusters, quantile, confidence);
+    let denom = cluster.per_server_requests.len() as f64 * cluster.measured_us;
+    let added_utilization = if denom > 0.0 {
+        (tally.dup_delivered_us / denom).min(1.0)
+    } else {
+        0.0
+    };
+    HedgedClusterResult {
+        cluster,
+        tally,
+        dup_wait,
+        added_utilization,
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CopyState {
     Queued,

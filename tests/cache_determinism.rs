@@ -1,0 +1,141 @@
+//! Byte-identity of cached experiment artifacts across cache temperature
+//! and worker count.
+//!
+//! The cell cache's contract is that it is *invisible* in the artifact: a
+//! cold run (every cell computed, then stored), a warm run (every cell
+//! loaded), and a mixed run (a sub-grid populated first, the rest computed)
+//! must all serialize to exactly the bytes of a cache-free run — at one
+//! worker and at eight. Exercised for the two standing bench grids, fig5
+//! and the cluster sweep.
+
+use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
+use duplexity::experiments::fig5::{run_fig5, Fig5Options};
+use duplexity::{CellCache, Design, Workload};
+use duplexity_queueing::cluster::BalancerPolicy;
+use duplexity_queueing::des::Mg1Options;
+use std::path::PathBuf;
+
+fn tmp_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "duplexity-cache-determinism-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fig5_opts(loads: Vec<f64>, threads: usize, cache: Option<CellCache>) -> Fig5Options {
+    Fig5Options {
+        loads,
+        workloads: vec![Workload::McRouter],
+        designs: vec![Design::Baseline, Design::Smt, Design::Duplexity],
+        horizon_cycles: 1_200_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 100_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        cache,
+        ..Fig5Options::default()
+    }
+}
+
+fn cluster_opts(loads: Vec<f64>, threads: usize) -> ClusterSweepOptions {
+    ClusterSweepOptions {
+        designs: vec![Design::Baseline],
+        policies: vec![BalancerPolicy::Random, BalancerPolicy::Jsq],
+        server_counts: vec![4],
+        loads,
+        calibration_cycles: 200_000,
+        seed: 7,
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 500,
+            ..Mg1Options::default()
+        },
+        threads,
+        ..ClusterSweepOptions::default()
+    }
+}
+
+#[test]
+fn fig5_cold_warm_and_mixed_runs_are_byte_identical() {
+    let loads = vec![0.3, 0.5];
+    let reference =
+        serde_json::to_string_pretty(&run_fig5(&fig5_opts(loads.clone(), 1, None))).unwrap();
+
+    let dir = tmp_dir("fig5");
+    // Cold at 1 worker: every cell computed and stored.
+    let cold = CellCache::new(&dir);
+    let out =
+        serde_json::to_string_pretty(&run_fig5(&fig5_opts(loads.clone(), 1, Some(cold.clone()))))
+            .unwrap();
+    assert_eq!(out, reference, "cold cached fig5 diverged");
+    assert_eq!(cold.hits(), 0);
+    assert!(cold.misses() > 0);
+
+    // Warm at 8 workers: every cell loaded.
+    let warm = CellCache::new(&dir);
+    let out =
+        serde_json::to_string_pretty(&run_fig5(&fig5_opts(loads.clone(), 8, Some(warm.clone()))))
+            .unwrap();
+    assert_eq!(out, reference, "warm cached fig5 diverged");
+    assert_eq!(warm.misses(), 0);
+    assert_eq!(warm.hits(), cold.misses());
+
+    // Mixed at 8 workers: a fresh directory seeded by a one-load sub-grid,
+    // then the full grid — the overlap loads, the rest computes.
+    let dir = tmp_dir("fig5-mixed");
+    let seedc = CellCache::new(&dir);
+    let _ = run_fig5(&fig5_opts(vec![0.5], 1, Some(seedc)));
+    let mixed = CellCache::new(&dir);
+    let out =
+        serde_json::to_string_pretty(&run_fig5(&fig5_opts(loads, 8, Some(mixed.clone())))).unwrap();
+    assert_eq!(out, reference, "mixed cached fig5 diverged");
+    assert!(mixed.hits() > 0, "sub-grid cells were not reused");
+    assert!(mixed.misses() > 0, "full grid found nothing to compute");
+
+    let _ = std::fs::remove_dir_all(tmp_dir("fig5"));
+    let _ = std::fs::remove_dir_all(tmp_dir("fig5-mixed"));
+}
+
+#[test]
+fn cluster_sweep_cold_warm_and_mixed_runs_are_byte_identical() {
+    let loads = vec![0.4, 0.7];
+    let reference =
+        serde_json::to_string_pretty(&cluster_sweep(&cluster_opts(loads.clone(), 1))).unwrap();
+
+    let dir = tmp_dir("cluster");
+    let cold = CellCache::new(&dir);
+    let mut opts = cluster_opts(loads.clone(), 1);
+    opts.cache = Some(cold.clone());
+    let out = serde_json::to_string_pretty(&cluster_sweep(&opts)).unwrap();
+    assert_eq!(out, reference, "cold cached cluster sweep diverged");
+    assert_eq!(cold.hits(), 0);
+    assert!(cold.misses() > 0);
+
+    let warm = CellCache::new(&dir);
+    let mut opts = cluster_opts(loads.clone(), 8);
+    opts.cache = Some(warm.clone());
+    let out = serde_json::to_string_pretty(&cluster_sweep(&opts)).unwrap();
+    assert_eq!(out, reference, "warm cached cluster sweep diverged");
+    assert_eq!(warm.misses(), 0);
+    assert_eq!(warm.hits(), cold.misses());
+
+    let dir = tmp_dir("cluster-mixed");
+    let mut sub = cluster_opts(vec![0.4], 1);
+    sub.cache = Some(CellCache::new(&dir));
+    let _ = cluster_sweep(&sub);
+    let mixed = CellCache::new(&dir);
+    let mut opts = cluster_opts(loads, 8);
+    opts.cache = Some(mixed.clone());
+    let out = serde_json::to_string_pretty(&cluster_sweep(&opts)).unwrap();
+    assert_eq!(out, reference, "mixed cached cluster sweep diverged");
+    assert!(mixed.hits() > 0, "sub-grid cells were not reused");
+    assert!(mixed.misses() > 0, "full grid found nothing to compute");
+
+    let _ = std::fs::remove_dir_all(tmp_dir("cluster"));
+    let _ = std::fs::remove_dir_all(tmp_dir("cluster-mixed"));
+}

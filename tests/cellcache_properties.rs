@@ -1,0 +1,176 @@
+//! Property-based tests for the content-addressed cell cache.
+//!
+//! Three contracts hold the cache together:
+//!
+//! 1. **Digest stability** — equal options digest to equal keys, so a
+//!    re-run finds its own cells.
+//! 2. **Field sensitivity** — perturbing any single digested input yields
+//!    a different key (no accidental aliasing between configurations),
+//!    while the deliberately excluded inputs (`threads`, the per-cell
+//!    `Mg1Options::seed` template) leave the key unchanged.
+//! 3. **Robust decoding** — truncated, corrupted, or schema-stale entry
+//!    files degrade to cache misses; no on-disk state panics a probe.
+
+use duplexity::cellcache::{PayloadReader, PayloadWriter};
+use duplexity::experiments::sweep::{cell_keys, SweepOptions};
+use duplexity::{CellCache, CellKey, Design, Workload};
+use duplexity_net::FaultPlan;
+use duplexity_queueing::des::Mg1Options;
+use proptest::prelude::*;
+
+/// A one-cell sweep grid parameterized by every digested scalar the
+/// perturbation test wants to wiggle.
+fn one_cell_opts(
+    seed: u64,
+    load: f64,
+    calibration_cycles: u64,
+    max_samples: usize,
+    warmup: usize,
+    drop_prob: f64,
+) -> SweepOptions {
+    let mut fault = FaultPlan::none();
+    fault.drop_prob = drop_prob;
+    SweepOptions {
+        workload: Workload::McRouter,
+        designs: vec![Design::Baseline],
+        loads: vec![load],
+        calibration_cycles,
+        seed,
+        queue: Mg1Options {
+            max_samples,
+            warmup,
+            ..Mg1Options::default()
+        },
+        fault,
+        threads: 0,
+        cache: None,
+    }
+}
+
+fn decode(payload: &str) -> Option<(f64, u64)> {
+    let mut r = PayloadReader::new(payload);
+    let v = r.f64("v")?;
+    let n = r.u64("n")?;
+    r.done().then_some((v, n))
+}
+
+proptest! {
+    /// Equal options, independently constructed, digest to equal keys.
+    #[test]
+    fn equal_options_digest_equally(
+        seed in any::<u64>(),
+        load in 0.05f64..0.95,
+        cal in 100_000u64..5_000_000,
+        ms in 1_000usize..100_000,
+        wu in 0usize..5_000,
+        dp in 0.0f64..0.5,
+    ) {
+        let a = one_cell_opts(seed, load, cal, ms, wu, dp);
+        let b = one_cell_opts(seed, load, cal, ms, wu, dp);
+        prop_assert_eq!(cell_keys(&a), cell_keys(&b));
+    }
+
+    /// Perturbing any single digested field produces a different key;
+    /// perturbing the deliberately excluded fields does not.
+    #[test]
+    fn single_field_perturbations_change_the_key(
+        seed in any::<u64>(),
+        load in 0.05f64..0.9,
+        cal in 100_000u64..5_000_000,
+        ms in 1_000usize..100_000,
+        wu in 0usize..5_000,
+        dp in 0.0f64..0.4,
+    ) {
+        let base = one_cell_opts(seed, load, cal, ms, wu, dp);
+        let base_key = cell_keys(&base).pop().expect("one cell");
+
+        let perturbed: Vec<(&str, SweepOptions)> = vec![
+            ("seed", one_cell_opts(seed.wrapping_add(1), load, cal, ms, wu, dp)),
+            ("load", one_cell_opts(seed, load + 0.001, cal, ms, wu, dp)),
+            ("calibration_cycles", one_cell_opts(seed, load, cal + 1, ms, wu, dp)),
+            ("max_samples", one_cell_opts(seed, load, cal, ms + 1, wu, dp)),
+            ("warmup", one_cell_opts(seed, load, cal, ms, wu + 1, dp)),
+            ("drop_prob", one_cell_opts(seed, load, cal, ms, wu, dp + 0.001)),
+            ("workload", {
+                let mut o = one_cell_opts(seed, load, cal, ms, wu, dp);
+                o.workload = Workload::Rsc;
+                o
+            }),
+            ("design", {
+                let mut o = one_cell_opts(seed, load, cal, ms, wu, dp);
+                o.designs = vec![Design::Smt];
+                o
+            }),
+        ];
+        for (field, opts) in &perturbed {
+            let k = cell_keys(opts).pop().expect("one cell");
+            prop_assert_ne!(&k, &base_key, "perturbing {} did not change the key", field);
+        }
+
+        // Excluded inputs: worker count and the per-cell-overwritten seed
+        // template must not reach the digest.
+        let mut threads = base.clone();
+        threads.threads = 7;
+        prop_assert_eq!(cell_keys(&threads).pop().expect("one cell"), base_key.clone());
+        let mut qseed = base.clone();
+        qseed.queue.seed = qseed.queue.seed.wrapping_add(99);
+        prop_assert_eq!(cell_keys(&qseed).pop().expect("one cell"), base_key);
+    }
+
+    /// Truncations and schema-version bumps miss; arbitrary single-bit
+    /// corruption never panics a probe.
+    #[test]
+    fn corrupted_entries_degrade_to_misses_without_panicking(
+        v_bits in any::<u64>(),
+        n in any::<u64>(),
+        case in any::<u64>(),
+        cut_permille in 0u32..1000,
+        flip_pos in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        // Arbitrary bit patterns cover every f64, NaNs and infinities
+        // included — exactly the values JSON-based encodings mangle.
+        let v = f64::from_bits(v_bits);
+        let dir = std::env::temp_dir().join(format!(
+            "duplexity-cellcache-prop-{}-{case:016x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::new(&dir);
+        let key = CellKey::build("prop", |w| w.field_u64("case", case));
+        let mut pw = PayloadWriter::new();
+        pw.f64("v", v);
+        pw.u64("n", n);
+        cache.store(&key, &pw.finish());
+        let path = dir.join(format!("{}.cell", key.hex()));
+        let bytes = std::fs::read(&path).expect("stored entry exists");
+
+        // Intact entry: bit-exact round-trip, NaNs included.
+        let hit = CellCache::new(&dir).probe(std::slice::from_ref(&key), decode);
+        prop_assert_eq!(
+            hit[0].map(|(x, m)| (x.to_bits(), m)),
+            Some((v.to_bits(), n))
+        );
+
+        // Strict truncation: always a miss, never a panic.
+        let cut = (bytes.len() * cut_permille as usize / 1000).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).expect("truncate entry");
+        prop_assert!(CellCache::new(&dir).probe(std::slice::from_ref(&key), decode)[0].is_none());
+
+        // Arbitrary single-bit corruption: no panic; a hit, if any, still
+        // decodes through the strict reader.
+        let mut flipped = bytes.clone();
+        let pos = (flip_pos % flipped.len() as u64) as usize;
+        flipped[pos] ^= 1 << flip_bit;
+        std::fs::write(&path, &flipped).expect("corrupt entry");
+        let _ = CellCache::new(&dir).probe(std::slice::from_ref(&key), decode);
+
+        // Schema-version bump: always a miss.
+        let text = String::from_utf8(bytes).expect("entry is UTF-8");
+        let stale = text.replacen("duplexity-cell v", "duplexity-cell v9", 1);
+        std::fs::write(&path, stale).expect("stale entry");
+        prop_assert!(CellCache::new(&dir).probe(std::slice::from_ref(&key), decode)[0].is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -44,6 +44,7 @@ fn faulted_fig5_opts(threads: usize) -> Fig5Options {
             .with_slow_replica(0.05, 3.0),
         threads,
         stepping: duplexity_cpu::designs::Stepping::FastForward,
+        cache: None,
     }
 }
 
