@@ -43,6 +43,7 @@ use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
 use duplexity::experiments::fault_sweep::{fault_sweep, FaultSweepOptions};
 use duplexity::experiments::fig5::{run_fig5, Fig5Cell, Fig5Options};
 use duplexity::experiments::hedge_sweep::hedge_sweep;
+use duplexity::experiments::rack_sweep::rack_sweep;
 use duplexity::{CellCache, Design, Workload};
 use duplexity_bench::Fidelity;
 use duplexity_cpu::designs::Stepping;
@@ -106,6 +107,17 @@ struct HedgeSweepBench {
     /// Duplicate copies issued across the grid — a sanity signal that the
     /// timed work actually exercised the duplication machinery.
     dup_copies: u64,
+    wall_s: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RackSweepBench {
+    points: usize,
+    saturated: usize,
+    /// Successful steals across the grid — a sanity signal that the timed
+    /// work exercised the work-stealing machinery, not just fresh dispatch.
+    steals: u64,
     wall_s: f64,
     points_per_sec: f64,
 }
@@ -204,6 +216,7 @@ struct BenchReport {
     fault_sweep: FaultSweepBench,
     cluster_sweep: ClusterSweepBench,
     hedge_sweep: HedgeSweepBench,
+    rack_sweep: RackSweepBench,
     engine_core: EngineCoreBench,
     sweep_path: SweepPathBench,
     obs: ObsBench,
@@ -509,6 +522,13 @@ fn main() {
     let hedge_points = hedge_sweep(&hedge_opts);
     let hedge_s = t4.elapsed().as_secs_f64();
 
+    eprintln!("bench: two-level rack sweep");
+    let mut rack_opts = fid.rack_sweep_options(seed);
+    rack_opts.threads = threads;
+    let t4b = Instant::now();
+    let rack_points = rack_sweep(&rack_opts);
+    let rack_s = t4b.elapsed().as_secs_f64();
+
     eprintln!("bench: event-core engines (heap vs wheel, cluster + hedged)");
     let (eng_servers, eng_load) = (16usize, 0.6);
     let eng_samples = if smoke { 200_000 } else { 400_000 };
@@ -748,6 +768,13 @@ fn main() {
             dup_copies: hedge_points.iter().map(|p| p.dup_copies).sum(),
             wall_s: hedge_s,
             points_per_sec: hedge_points.len() as f64 / hedge_s.max(1e-12),
+        },
+        rack_sweep: RackSweepBench {
+            points: rack_points.len(),
+            saturated: rack_points.iter().filter(|p| p.saturated).count(),
+            steals: rack_points.iter().map(|p| p.steals).sum(),
+            wall_s: rack_s,
+            points_per_sec: rack_points.len() as f64 / rack_s.max(1e-12),
         },
         engine_core,
         sweep_path,

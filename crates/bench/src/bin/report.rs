@@ -4,7 +4,8 @@
 //! report [--quick] [--seed N] [--threads N] [--json DIR] [--cache DIR]
 //!        [--trace FILE] [--metrics FILE] [--timeseries FILE] [--fig1a]
 //!        [--fig1b] [--fig1c] [--fig2a] [--fig2b] [--table1] [--table2]
-//!        [--fig5] [--fig6] [--faults] [--cluster] [--hedge] [--all]
+//!        [--fig5] [--fig6] [--faults] [--cluster] [--hedge] [--rack]
+//!        [--all]
 //! ```
 //!
 //! With no figure flags (or `--all`), everything is regenerated. `--quick`
@@ -36,7 +37,7 @@
 //! inputs, so it too is byte-identical at any worker count.
 
 use duplexity::experiments::{
-    cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, tables, timeline,
+    cluster_sweep, fault_sweep, fig1, fig2, fig5, fig6, hedge_sweep, rack_sweep, tables, timeline,
 };
 use duplexity::report as render;
 use duplexity::{digest_of_digests, CellCache};
@@ -134,6 +135,7 @@ fn main() {
         "--faults",
         "--cluster",
         "--hedge",
+        "--rack",
         "--extensions",
         "--power",
         // Not a figure, but an artifact selector all the same: asking for
@@ -292,6 +294,21 @@ fn main() {
             "hedge_sweep",
             &points,
             &stamp(&hedge_sweep::cell_keys(&opts)),
+        );
+    }
+
+    if want("--rack") {
+        eprintln!("running the two-level rack sweep...");
+        let mut opts = fidelity.rack_sweep_options(seed);
+        opts.threads = threads;
+        opts.cache = cache.clone();
+        let points = rack_sweep::rack_sweep(&opts);
+        println!("{}", render::render_rack_sweep(&points));
+        export(
+            json_dir,
+            "rack_sweep",
+            &points,
+            &stamp(&rack_sweep::cell_keys(&opts)),
         );
     }
 

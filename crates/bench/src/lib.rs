@@ -11,8 +11,9 @@ use duplexity::experiments::cluster_sweep::ClusterSweepOptions;
 use duplexity::experiments::fault_sweep::FaultSweepOptions;
 use duplexity::experiments::fig5::Fig5Options;
 use duplexity::experiments::hedge_sweep::HedgeSweepOptions;
+use duplexity::experiments::rack_sweep::RackSweepOptions;
 use duplexity::experiments::timeline::TimelineOptions;
-use duplexity::BalancerPolicy;
+use duplexity::{BalancerPolicy, RackPlan};
 use duplexity_queueing::des::Mg1Options;
 
 /// Fidelity presets for regenerating the figures.
@@ -162,6 +163,51 @@ impl Fidelity {
         opts
     }
 
+    /// The two-level rack sweep grid at this fidelity (the `--rack`
+    /// artifact). Bench trims to one design, one policy, and the plans
+    /// that carry the story (fresh, stale, stale-with-stealing,
+    /// distributed-stale); every preset keeps the fresh plan as the
+    /// cluster-equivalent anchor.
+    #[must_use]
+    pub fn rack_sweep_options(self, seed: u64) -> RackSweepOptions {
+        let mut opts = RackSweepOptions {
+            seed,
+            calibration_cycles: self.horizon_cycles(),
+            ..RackSweepOptions::default()
+        };
+        match self {
+            Fidelity::Bench => {
+                opts.designs = vec![duplexity::Design::Baseline];
+                opts.policies = vec![BalancerPolicy::Jsq];
+                opts.plans = vec![
+                    RackPlan::fresh(),
+                    RackPlan::fresh().with_delta(32.0),
+                    RackPlan::fresh().with_delta(8.0).with_steal(2),
+                    RackPlan::fresh()
+                        .with_delta(8.0)
+                        .distributed(4)
+                        .with_tenants(64, 0.99),
+                ];
+                opts.server_counts = vec![4];
+                opts.loads = vec![0.5];
+                opts.queue = Mg1Options {
+                    max_samples: 60_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Quick => {
+                opts.queue = Mg1Options {
+                    max_samples: 120_000,
+                    warmup: 1_000,
+                    ..Mg1Options::default()
+                };
+            }
+            Fidelity::Full => {}
+        }
+        opts
+    }
+
     /// The request-domain timeline at this fidelity (the `--timeseries`
     /// artifact): event-clock gauge series plus the DES self-profile.
     #[must_use]
@@ -251,5 +297,23 @@ mod tests {
                 .any(|p| p.label() == "none"));
         }
         assert_eq!(Fidelity::Full.hedge_sweep_options(9).seed, 9);
+    }
+
+    #[test]
+    fn rack_sweep_presets_scale_with_fidelity() {
+        let bench = Fidelity::Bench.rack_sweep_options(1);
+        assert_eq!(bench.server_counts, vec![4]);
+        assert_eq!(bench.loads, vec![0.5]);
+        assert!(bench.queue.max_samples < Fidelity::Full.rack_sweep_options(1).queue.max_samples);
+        // Every preset keeps the fresh plan: the cluster-equivalent anchor
+        // every staleness/steal variant is compared against.
+        for f in [Fidelity::Bench, Fidelity::Quick, Fidelity::Full] {
+            assert!(f
+                .rack_sweep_options(1)
+                .plans
+                .iter()
+                .any(|p| p.label() == "central"));
+        }
+        assert_eq!(Fidelity::Full.rack_sweep_options(9).seed, 9);
     }
 }

@@ -37,8 +37,10 @@
 //! tmp-write+rename so a crashed or concurrent run can never publish a
 //! torn entry. Each file carries a versioned envelope (magic line, key
 //! echo, payload byte length); a corrupt, truncated, or
-//! version-mismatched entry degrades to a miss with a stderr warning —
-//! the cache can make a run faster, never wrong. There is no eviction:
+//! version-mismatched entry degrades to a miss with a stderr warning
+//! (gated behind the verbose `DUPLEXITY_LOG` level, like all obs
+//! bookkeeping) — the cache can make a run faster, never wrong. There is
+//! no eviction:
 //! entries are invalidated by *keying* (stale keys are simply never
 //! probed again), and the directory can be deleted wholesale at any
 //! time.
@@ -50,10 +52,12 @@
 
 use duplexity_cpu::designs::{Design, Stepping};
 use duplexity_net::{FaultPlan, RetryPolicy};
+use duplexity_obs::logx::log_verbose;
 use duplexity_obs::Registry;
 use duplexity_queueing::cluster::{BalancerPolicy, ClusterEngine, DupMode, DuplicationPolicy};
 use duplexity_queueing::des::Mg1Options;
 use duplexity_queueing::eventcore::EventQueueKind;
+use duplexity_queueing::rack::{Coordination, RackPlan, StealPolicy};
 use duplexity_workloads::Workload;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +75,16 @@ const MAGIC: &str = "duplexity-cell";
 /// Environment variable naming the cache directory when `--cache` is not
 /// given.
 pub const CACHE_ENV: &str = "DUPLEXITY_CACHE";
+
+/// One corrupt/stale/unwritable-entry warning on stderr, gated behind the
+/// verbose `DUPLEXITY_LOG` level so 8-worker sweeps do not interleave
+/// garbage by default. Never stdout, never artifacts: a warning can
+/// change nothing but a miss counter.
+fn cache_warn(msg: std::fmt::Arguments<'_>) {
+    if log_verbose() {
+        eprintln!("[duplexity] cellcache: {msg}");
+    }
+}
 
 // FNV-1a, 128-bit variant (offset basis and prime per the FNV spec).
 const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
@@ -289,7 +303,10 @@ impl CellCache {
                 return None;
             }
             Err(e) => {
-                eprintln!("cellcache: unreadable entry {}: {e} (miss)", path.display());
+                cache_warn(format_args!(
+                    "unreadable entry {}: {e} (miss)",
+                    path.display()
+                ));
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -303,7 +320,7 @@ impl CellCache {
                 Some(payload)
             }
             Err(why) => {
-                eprintln!("cellcache: {why} in {} (miss)", path.display());
+                cache_warn(format_args!("{why} in {} (miss)", path.display()));
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -321,10 +338,10 @@ impl CellCache {
                 let payload = self.load(key)?;
                 let decoded = decode(&payload);
                 if decoded.is_none() {
-                    eprintln!(
-                        "cellcache: undecodable payload for {} (miss)",
+                    cache_warn(format_args!(
+                        "undecodable payload for {} (miss)",
                         self.entry_path(key).display()
-                    );
+                    ));
                     // Reclassify the envelope-level hit.
                     self.stats.hits.fetch_sub(1, Ordering::Relaxed);
                     self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -339,7 +356,7 @@ impl CellCache {
     pub fn store(&self, key: &CellKey, payload: &str) {
         let entry = envelope(key, payload);
         if let Err(e) = std::fs::create_dir_all(&self.dir) {
-            eprintln!("cellcache: cannot create {}: {e}", self.dir.display());
+            cache_warn(format_args!("cannot create {}: {e}", self.dir.display()));
             return;
         }
         let tmp = self
@@ -354,7 +371,7 @@ impl CellCache {
                     .fetch_add(entry.len() as u64, Ordering::Relaxed);
             }
             Err(e) => {
-                eprintln!("cellcache: cannot write {}: {e}", path.display());
+                cache_warn(format_args!("cannot write {}: {e}", path.display()));
                 let _ = std::fs::remove_file(&tmp);
             }
         }
@@ -731,6 +748,33 @@ impl Digest for ClusterEngine {
                 w.field("queue", kind);
             }
         }
+    }
+}
+
+impl Digest for Coordination {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.tag("coordination");
+        // The label is injective over the variants (`central` / `dist{k}`).
+        w.field_str("name", &self.label());
+    }
+}
+
+impl Digest for StealPolicy {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.tag("steal_policy");
+        w.field_usize("probes", self.probes);
+        w.field_u64("min_queue", u64::from(self.min_queue));
+    }
+}
+
+impl Digest for RackPlan {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.tag("rack_plan");
+        w.field("coordination", &self.coordination);
+        w.field_f64("delta_us", self.delta_us);
+        w.field("steal", &self.steal);
+        w.field_usize("tenants", self.tenants);
+        w.field_f64("skew", self.skew);
     }
 }
 

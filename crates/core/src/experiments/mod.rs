@@ -7,6 +7,7 @@ pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod hedge_sweep;
+pub mod rack_sweep;
 pub mod sweep;
 pub mod tables;
 pub mod timeline;

@@ -1,0 +1,634 @@
+//! Two-level rack sweep: stale-signal dispatch, work stealing, and
+//! dispatch-plane coordination over the cluster grid.
+//!
+//! The cluster sweep assumes the balancer observes per-server queues
+//! instantaneously — at microsecond service times that is generous, since
+//! a rack-level scheduler's view of its servers is itself microseconds
+//! old. This driver lifts the [`cluster_sweep`] methodology to the
+//! two-level rack model ([`try_simulate_rack`]): per (design, policy,
+//! plan, cluster size, load) cell it runs the rack engine with bounded
+//! signal staleness Δ, optional idle-server work stealing, centralized or
+//! distributed dispatch planes, and Zipf-skewed tenant traffic.
+//!
+//! The grid shares the cluster sweep's calibration (one saturated
+//! cycle-level run per design) *and* its per-cell seed derivation, so a
+//! fresh plan's cells — Δ=0, no stealing, single tenant — are bitwise
+//! identical to the corresponding [`cluster_sweep`] cells: the rack sweep
+//! strictly generalizes the cluster sweep without perturbing one golden
+//! byte.
+//!
+//! [`cluster_sweep`]: crate::experiments::cluster_sweep
+
+use crate::cellcache::{
+    assemble, miss_indices, CellCache, CellKey, Digest, PayloadReader, PayloadWriter,
+};
+use crate::exec::ExecPool;
+use crate::server::ServerSim;
+use duplexity_cpu::designs::Design;
+use duplexity_obs::{log_enabled, log_line, Tracer};
+use duplexity_queueing::cluster::{BalancerPolicy, ClusterOptions};
+use duplexity_queueing::des::Mg1Options;
+use duplexity_queueing::eventcore::EventQueueKind;
+use duplexity_queueing::rack::{merge_rack_replications, try_simulate_rack, RackPlan, RackResult};
+use duplexity_stats::rng::{derive_stream, SimRng};
+use duplexity_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Grid and fidelity parameters for the rack sweep.
+#[derive(Debug, Clone)]
+pub struct RackSweepOptions {
+    /// Microservice under test.
+    pub workload: Workload,
+    /// Designs to sweep (must include [`Design::Baseline`], the slowdown
+    /// reference).
+    pub designs: Vec<Design>,
+    /// Balancing policies to compare.
+    pub policies: Vec<BalancerPolicy>,
+    /// Rack scheduling plans (coordination × staleness × stealing ×
+    /// tenant skew) to compare. [`RackPlan::fresh`] reproduces the
+    /// cluster sweep's cells byte-for-byte.
+    pub plans: Vec<RackPlan>,
+    /// Cluster sizes (servers behind the rack dispatcher) to evaluate.
+    pub server_counts: Vec<usize>,
+    /// Per-server offered loads to evaluate.
+    pub loads: Vec<f64>,
+    /// Cycle horizon for the per-design service calibration.
+    pub calibration_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queueing controls (lifted per-cell to [`ClusterOptions`]).
+    pub queue: Mg1Options,
+    /// Worker threads; `0` resolves `DUPLEXITY_THREADS` / available
+    /// parallelism. Results are bit-identical for every value.
+    pub threads: usize,
+    /// Event queue driving each cell (heap and wheel are bit-identical by
+    /// the eventcore contract, so this is a speed knob, not a digested
+    /// input).
+    pub event_queue: EventQueueKind,
+    /// Independent replications per cell, flattened into the pool's work
+    /// list and merged in replication order (same contract as the cluster
+    /// sweep).
+    pub replications: usize,
+    /// Content-addressed cell cache (default off).
+    pub cache: Option<CellCache>,
+}
+
+impl Default for RackSweepOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::McRouter,
+            designs: vec![Design::Baseline, Design::Duplexity],
+            policies: vec![BalancerPolicy::Jsq, BalancerPolicy::PowerOfD(2)],
+            plans: vec![
+                RackPlan::fresh(),
+                RackPlan::fresh().with_delta(8.0),
+                RackPlan::fresh().with_delta(32.0),
+                RackPlan::fresh().with_delta(8.0).with_steal(2),
+                RackPlan::fresh()
+                    .with_delta(8.0)
+                    .distributed(4)
+                    .with_tenants(64, 0.99),
+            ],
+            server_counts: vec![8],
+            loads: vec![0.5, 0.7],
+            calibration_cycles: 2_000_000,
+            seed: 42,
+            queue: Mg1Options {
+                max_samples: 300_000,
+                ..Mg1Options::default()
+            },
+            threads: 0,
+            event_queue: EventQueueKind::default(),
+            replications: 1,
+            cache: None,
+        }
+    }
+}
+
+/// One (design, policy, plan, cluster size, load) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RackSweepPoint {
+    /// Design.
+    pub design: Design,
+    /// Balancing policy name (e.g. `jsq`, `power_of_2`).
+    pub policy: String,
+    /// Rack plan label (e.g. `central`, `central_d4`, `dist4_d4_z0.99`).
+    pub plan: String,
+    /// Dispatch-plane coordination label (`central` / `dist{k}`).
+    pub coordination: String,
+    /// Signal staleness Δ, µs.
+    pub delta_us: f64,
+    /// Servers behind the dispatcher.
+    pub servers: usize,
+    /// Per-server offered load fraction.
+    pub load: f64,
+    /// 99th-percentile sojourn, µs (`inf` once the cell saturates).
+    pub p99_us: f64,
+    /// Median sojourn, µs.
+    pub p50_us: f64,
+    /// Mean sojourn, µs.
+    pub mean_us: f64,
+    /// Mean queueing delay (arrival to service start), µs.
+    pub mean_wait_us: f64,
+    /// Hot-tenant 99th-percentile sojourn, µs (sketch-derived; equals the
+    /// overall sketch tail when the plan has a single tenant).
+    pub hot_p99_us: f64,
+    /// Mean per-server busy fraction.
+    pub utilization: f64,
+    /// Successful steals over the run.
+    pub steals: u64,
+    /// Steal attempts whose stale signal pointed at an empty victim.
+    pub steals_empty: u64,
+    /// Measured requests.
+    pub samples: usize,
+    /// Whether the CI stopping rule was met before the sample cap.
+    pub converged: bool,
+    /// Whether this cell saturated (pre-guard or DES pilot verdict).
+    pub saturated: bool,
+}
+
+fn saturated_point(
+    design: Design,
+    policy: BalancerPolicy,
+    plan: &RackPlan,
+    servers: usize,
+    load: f64,
+) -> RackSweepPoint {
+    RackSweepPoint {
+        design,
+        policy: policy.to_string(),
+        plan: plan.label(),
+        coordination: plan.coordination.label(),
+        delta_us: plan.delta_us,
+        servers,
+        load,
+        p99_us: f64::INFINITY,
+        p50_us: f64::INFINITY,
+        mean_us: f64::INFINITY,
+        mean_wait_us: f64::INFINITY,
+        hot_p99_us: f64::INFINITY,
+        utilization: 1.0,
+        steals: 0,
+        steals_empty: 0,
+        samples: 0,
+        converged: false,
+        saturated: true,
+    }
+}
+
+/// Content-addressed cache keys for every cell of the rack-sweep grid, in
+/// the driver's lexicographic evaluation order.
+///
+/// Digested: workload, design, policy, the full rack plan (coordination,
+/// Δ, steal policy, tenants, skew), cluster size, load, calibration
+/// horizon, seed, queue controls, and the replication count. Deliberately
+/// **excluded**: the event-queue kind (heap and wheel are bit-identical by
+/// the eventcore contract — a speed knob cannot change a result) and the
+/// resolved thread count.
+#[must_use]
+pub fn cell_keys(opts: &RackSweepOptions) -> Vec<CellKey> {
+    let mut keys = Vec::new();
+    for &design in &opts.designs {
+        for &policy in &opts.policies {
+            for plan in &opts.plans {
+                for &servers in &opts.server_counts {
+                    for &load in &opts.loads {
+                        keys.push(CellKey::build("rack_sweep", |w| {
+                            opts.workload.digest(w);
+                            design.digest(w);
+                            policy.digest(w);
+                            plan.digest(w);
+                            w.field_usize("servers", servers);
+                            w.field_f64("load", load);
+                            w.field_u64("calibration_cycles", opts.calibration_cycles);
+                            w.field_u64("seed", opts.seed);
+                            w.field("queue", &opts.queue);
+                            w.field_usize("replications", opts.replications.max(1));
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    keys
+}
+
+fn encode_point(p: &RackSweepPoint) -> String {
+    let mut w = PayloadWriter::new();
+    w.f64("p99_us", p.p99_us);
+    w.f64("p50_us", p.p50_us);
+    w.f64("mean_us", p.mean_us);
+    w.f64("mean_wait_us", p.mean_wait_us);
+    w.f64("hot_p99_us", p.hot_p99_us);
+    w.f64("utilization", p.utilization);
+    w.u64("steals", p.steals);
+    w.u64("steals_empty", p.steals_empty);
+    w.usize("samples", p.samples);
+    w.bool("converged", p.converged);
+    w.bool("saturated", p.saturated);
+    w.finish()
+}
+
+// Measured outputs only: the grid coordinates (and the plan's labels) are
+// rebuilt from the options at assembly time.
+struct CachedPoint {
+    p99_us: f64,
+    p50_us: f64,
+    mean_us: f64,
+    mean_wait_us: f64,
+    hot_p99_us: f64,
+    utilization: f64,
+    steals: u64,
+    steals_empty: u64,
+    samples: usize,
+    converged: bool,
+    saturated: bool,
+}
+
+fn decode_point(payload: &str) -> Option<CachedPoint> {
+    let mut r = PayloadReader::new(payload);
+    let p = CachedPoint {
+        p99_us: r.f64("p99_us")?,
+        p50_us: r.f64("p50_us")?,
+        mean_us: r.f64("mean_us")?,
+        mean_wait_us: r.f64("mean_wait_us")?,
+        hot_p99_us: r.f64("hot_p99_us")?,
+        utilization: r.f64("utilization")?,
+        steals: r.u64("steals")?,
+        steals_empty: r.u64("steals_empty")?,
+        samples: r.usize("samples")?,
+        converged: r.bool("converged")?,
+        saturated: r.bool("saturated")?,
+    };
+    r.done().then_some(p)
+}
+
+/// Runs the rack sweep: one saturated calibration per design, then a rack
+/// simulation per (design, policy, plan, cluster size, load) cell.
+///
+/// Per-cell seeds use the cluster sweep's exact derivation —
+/// `derive_stream(seed, 0xC105 ^ load-bits ^ servers-bits)` — so cells
+/// are common-random-number comparable across designs, policies, *and*
+/// plans, and a fresh plan's cells reproduce [`cluster_sweep`] cells
+/// bitwise. Bit-identical under [`ExecPool`] at any worker count.
+///
+/// [`cluster_sweep`]: crate::experiments::cluster_sweep::cluster_sweep
+///
+/// # Panics
+///
+/// Panics if the options contain no loads, designs, policies, plans, or
+/// server counts, contain a zero server count, or omit
+/// [`Design::Baseline`] (the slowdown reference).
+#[must_use]
+pub fn rack_sweep(opts: &RackSweepOptions) -> Vec<RackSweepPoint> {
+    assert!(
+        !opts.loads.is_empty()
+            && !opts.designs.is_empty()
+            && !opts.policies.is_empty()
+            && !opts.plans.is_empty()
+            && !opts.server_counts.is_empty(),
+        "empty rack sweep"
+    );
+    assert!(
+        opts.designs.contains(&Design::Baseline),
+        "baseline required as the slowdown reference"
+    );
+    assert!(
+        opts.server_counts.iter().all(|&n| n >= 1),
+        "cluster sizes must be >= 1"
+    );
+    let model = opts.workload.service_model();
+    let nominal = opts.workload.nominal_service_us();
+    let stall = model.mean_stall_us();
+
+    let pool = ExecPool::new(opts.threads);
+
+    // Grid in (design, policy, plan, servers, load) lexicographic order.
+    let grid: Vec<(usize, usize, usize, usize, f64)> = (0..opts.designs.len())
+        .flat_map(|di| {
+            let policies = &opts.policies;
+            let plans = &opts.plans;
+            let counts = &opts.server_counts;
+            let loads = &opts.loads;
+            (0..policies.len()).flat_map(move |pi| {
+                (0..plans.len()).flat_map(move |li| {
+                    counts
+                        .iter()
+                        .flat_map(move |&n| loads.iter().map(move |&l| (di, pi, li, n, l)))
+                })
+            })
+        })
+        .collect();
+    let keys = cell_keys(opts);
+    let hits = match &opts.cache {
+        Some(cache) => cache.probe(&keys, decode_point),
+        None => grid.iter().map(|_| None).collect(),
+    };
+    let misses = miss_indices(&hits);
+
+    // The cluster sweep's calibration verbatim: one saturated cycle sim
+    // per design (stream 0x53E9), baseline anchors every slowdown, and
+    // only designs with a missed cell pay for it.
+    let saturated_service = |design: Design| -> Option<f64> {
+        let m = ServerSim::new(design, opts.workload)
+            .saturated()
+            .horizon_cycles(opts.calibration_cycles)
+            .seed(derive_stream(opts.seed, 0x53E9))
+            .run();
+        if m.request_latencies_us.len() < 10 {
+            return None;
+        }
+        Some(m.request_latencies_us.iter().sum::<f64>() / m.request_latencies_us.len() as f64)
+    };
+    let mut needed = vec![false; opts.designs.len()];
+    for &i in &misses {
+        needed[grid[i].0] = true;
+    }
+    let base_idx = opts
+        .designs
+        .iter()
+        .position(|&d| d == Design::Baseline)
+        .expect("asserted above");
+    if !misses.is_empty() {
+        needed[base_idx] = true;
+    }
+    let needed_idx: Vec<usize> = (0..opts.designs.len()).filter(|&i| needed[i]).collect();
+    let calibrated = pool.run("rack_sweep/calibrate", needed_idx.len(), |j| {
+        saturated_service(opts.designs[needed_idx[j]])
+    });
+    let mut services: Vec<Option<f64>> = vec![None; opts.designs.len()];
+    for (j, &di) in needed_idx.iter().enumerate() {
+        services[di] = calibrated[j];
+    }
+    let base_service = services[base_idx];
+    let slowdowns: Vec<f64> = services
+        .iter()
+        .map(|mine| match (base_service, *mine) {
+            (Some(b), Some(m)) => {
+                let (bc, mc) = ((b - stall).max(0.05), (m - stall).max(0.05));
+                (mc / bc).clamp(1.0, 6.0)
+            }
+            _ => 1.0,
+        })
+        .collect();
+
+    // Replications flatten cell-major into the pool's work list, exactly
+    // as in the cluster sweep. Only missed cells enter.
+    let reps = opts.replications.max(1);
+    let rep_samples = opts.queue.max_samples.div_ceil(reps);
+    let runs: Vec<Option<RackResult>> = pool.run("rack_sweep/points", misses.len() * reps, |w| {
+        let (di, pi, li, servers, load) = grid[misses[w / reps]];
+        let rep = w % reps;
+        let policy = opts.policies[pi];
+        let plan = &opts.plans[li];
+        let slowdown = slowdowns[di];
+        let lambda = servers as f64 * load / nominal;
+        // The cluster sweep's fault-free pre-guard: mean service is the
+        // scaled compute leg plus the (fault-free) stall leg.
+        let scaled_mean = model.mean_compute_us() * slowdown + stall;
+        if load / nominal * scaled_mean >= 0.95 {
+            return None;
+        }
+        let scaled = model.scale_compute(slowdown);
+        // The cluster sweep's fault-free service closure: split sampling
+        // keeps the RNG stream identical to the historical path, which is
+        // what makes fresh-plan cells reproduce cluster cells bitwise.
+        let mut service = |rng: &mut SimRng| scaled.sample_compute(rng) + scaled.sample_stall(rng);
+        let mut copts = ClusterOptions::from_mg1(servers, &opts.queue);
+        copts.max_samples = rep_samples;
+        copts.event_queue = opts.event_queue;
+        // The cluster sweep's cell-seed derivation verbatim: common random
+        // numbers across designs, policies, and plans at a given (load,
+        // cluster size).
+        let cell_seed = derive_stream(
+            opts.seed,
+            0xC105 ^ ((load * 1000.0) as u64) ^ ((servers as u64) << 32),
+        );
+        copts.seed = if reps == 1 {
+            cell_seed
+        } else {
+            derive_stream(cell_seed, 1 + rep as u64)
+        };
+        try_simulate_rack(
+            lambda,
+            &mut service,
+            policy,
+            plan,
+            &copts,
+            &Tracer::disabled(),
+        )
+        .ok()
+    });
+
+    // Assemble missed cells cell-major, write back, interleave with hits.
+    let mut run_iter = runs.into_iter();
+    let fresh: Vec<RackSweepPoint> = misses
+        .iter()
+        .map(|&i| {
+            let (di, pi, li, servers, load) = grid[i];
+            let design = opts.designs[di];
+            let policy = opts.policies[pi];
+            let plan = &opts.plans[li];
+            let mut parts = Vec::with_capacity(reps);
+            let mut saturated = false;
+            for _ in 0..reps {
+                match run_iter.next().expect("one run per (cell, replication)") {
+                    Some(r) => parts.push(r),
+                    None => saturated = true,
+                }
+            }
+            if saturated {
+                return saturated_point(design, policy, plan, servers, load);
+            }
+            let r = if parts.len() == 1 {
+                parts.pop().expect("one replication")
+            } else {
+                merge_rack_replications(parts, opts.queue.quantile, opts.queue.confidence)
+            };
+            // Single-tenant plans put every sample in the hot sketch, so
+            // the hot tail degenerates to the overall sketch tail.
+            let hot_p99 = r.hot_sketch.quantile(0.99).unwrap_or(0.0);
+            RackSweepPoint {
+                design,
+                policy: policy.to_string(),
+                plan: plan.label(),
+                coordination: plan.coordination.label(),
+                delta_us: plan.delta_us,
+                servers,
+                load,
+                p99_us: r.cluster.tail_us,
+                p50_us: r.cluster.p50_us,
+                mean_us: r.cluster.mean_sojourn_us,
+                mean_wait_us: r.cluster.mean_wait_us,
+                hot_p99_us: hot_p99,
+                utilization: r.cluster.utilization,
+                steals: r.tally.steals,
+                steals_empty: r.tally.steals_empty,
+                samples: r.cluster.samples,
+                converged: r.cluster.converged,
+                saturated: false,
+            }
+        })
+        .collect();
+    if let Some(cache) = &opts.cache {
+        for (j, &i) in misses.iter().enumerate() {
+            cache.store(&keys[i], &encode_point(&fresh[j]));
+        }
+    }
+    let hit_points = hits
+        .into_iter()
+        .zip(&grid)
+        .map(|(hit, &(di, pi, li, servers, load))| {
+            hit.map(|c| {
+                let plan = &opts.plans[li];
+                RackSweepPoint {
+                    design: opts.designs[di],
+                    policy: opts.policies[pi].to_string(),
+                    plan: plan.label(),
+                    coordination: plan.coordination.label(),
+                    delta_us: plan.delta_us,
+                    servers,
+                    load,
+                    p99_us: c.p99_us,
+                    p50_us: c.p50_us,
+                    mean_us: c.mean_us,
+                    mean_wait_us: c.mean_wait_us,
+                    hot_p99_us: c.hot_p99_us,
+                    utilization: c.utilization,
+                    steals: c.steals,
+                    steals_empty: c.steals_empty,
+                    samples: c.samples,
+                    converged: c.converged,
+                    saturated: c.saturated,
+                }
+            })
+        })
+        .collect();
+    let points = assemble(hit_points, fresh);
+    if log_enabled() {
+        let saturated = points.iter().filter(|p| p.saturated).count();
+        log_line(&format!(
+            "rack_sweep: {} points ({} designs × {} policies × {} plans × {} sizes × {} loads) on {}, {} saturated",
+            points.len(),
+            opts.designs.len(),
+            opts.policies.len(),
+            opts.plans.len(),
+            opts.server_counts.len(),
+            opts.loads.len(),
+            opts.workload,
+            saturated,
+        ));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
+
+    fn quick_opts() -> RackSweepOptions {
+        RackSweepOptions {
+            designs: vec![Design::Baseline, Design::Duplexity],
+            policies: vec![BalancerPolicy::Jsq],
+            plans: vec![
+                RackPlan::fresh(),
+                RackPlan::fresh().with_delta(32.0),
+                RackPlan::fresh()
+                    .with_delta(8.0)
+                    .distributed(4)
+                    .with_tenants(64, 0.0),
+            ],
+            server_counts: vec![4],
+            loads: vec![0.4, 0.7],
+            calibration_cycles: 800_000,
+            queue: Mg1Options {
+                max_samples: 80_000,
+                warmup: 1_000,
+                ..Mg1Options::default()
+            },
+            ..RackSweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn fresh_plan_cells_reproduce_the_cluster_sweep_bitwise() {
+        // The degeneracy criterion end-to-end: a fresh rack plan's cells
+        // must equal the cluster sweep's cells bit-for-bit (same
+        // calibration streams, same cell seeds, same engine bookkeeping).
+        let ropts = RackSweepOptions {
+            plans: vec![RackPlan::fresh()],
+            ..quick_opts()
+        };
+        let copts = ClusterSweepOptions {
+            designs: ropts.designs.clone(),
+            policies: ropts.policies.clone(),
+            server_counts: ropts.server_counts.clone(),
+            loads: ropts.loads.clone(),
+            calibration_cycles: ropts.calibration_cycles,
+            queue: ropts.queue,
+            ..ClusterSweepOptions::default()
+        };
+        let rack = rack_sweep(&ropts);
+        let cluster = cluster_sweep(&copts);
+        assert_eq!(rack.len(), cluster.len());
+        for (r, c) in rack.iter().zip(&cluster) {
+            assert_eq!(r.design, c.design);
+            assert_eq!(r.policy, c.policy);
+            assert_eq!(r.load, c.load);
+            assert_eq!(r.p99_us, c.p99_us, "{r:?} vs {c:?}");
+            assert_eq!(r.p50_us, c.p50_us);
+            assert_eq!(r.mean_us, c.mean_us);
+            assert_eq!(r.mean_wait_us, c.mean_wait_us);
+            assert_eq!(r.utilization, c.utilization);
+            assert_eq!(r.samples, c.samples);
+            assert_eq!(r.converged, c.converged);
+        }
+    }
+
+    #[test]
+    fn stale_and_uncoordinated_dispatch_degrade_every_cell() {
+        let points = rack_sweep(&quick_opts());
+        assert_eq!(points.len(), 12);
+        for design in [Design::Baseline, Design::Duplexity] {
+            for load in [0.4, 0.7] {
+                let at = |plan: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.design == design && p.plan == plan && p.load == load)
+                        .unwrap()
+                };
+                // Staleness inflates queueing delay (the clean per-cell
+                // signal; the p99 ordering is pinned on the stronger
+                // distributed contrast below and in the engine tests).
+                assert!(
+                    at("central").mean_wait_us < at("central_d32").mean_wait_us,
+                    "{design} @{load}: fresh wait {} vs stale wait {}",
+                    at("central").mean_wait_us,
+                    at("central_d32").mean_wait_us
+                );
+                // Distributed dispatchers herd onto the visibly-short
+                // server; the tail pays for it at every cell.
+                assert!(
+                    at("central").p99_us < at("dist4_d8_z0").p99_us,
+                    "{design} @{load}: central p99 {} vs distributed p99 {}",
+                    at("central").p99_us,
+                    at("dist4_d8_z0").p99_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_cells_render_instead_of_panicking() {
+        let mut opts = quick_opts();
+        opts.designs = vec![Design::Baseline];
+        opts.plans = vec![RackPlan::fresh().with_delta(8.0)];
+        opts.loads = vec![0.5, 0.99];
+        let points = rack_sweep(&opts);
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].saturated);
+        assert!(points[1].saturated, "load 0.99 must report saturation");
+        assert!(points[1].p99_us.is_infinite());
+    }
+}

@@ -50,6 +50,7 @@
 //! | Fault-policy tail sweep (extension) | [`experiments::fault_sweep::fault_sweep`] |
 //! | Cluster balancing sweep (extension) | [`experiments::cluster_sweep::cluster_sweep`] |
 //! | Duplication/hedging sweep (extension) | [`experiments::hedge_sweep::hedge_sweep`] |
+//! | Two-level rack sweep (extension) | [`experiments::rack_sweep::rack_sweep`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use duplexity_obs::{
     chrome_trace_json, PoolReport, Registry, TraceEvent, TraceLog, Tracer, WorkerLoad,
 };
 pub use duplexity_queueing::cluster::{BalancerPolicy, DupMode, DuplicationPolicy};
+pub use duplexity_queueing::rack::{Coordination, RackPlan, StealPolicy};
 pub use duplexity_workloads::Workload;
 pub use exec::ExecPool;
 pub use experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions, ClusterSweepPoint};
@@ -78,6 +80,7 @@ pub use experiments::fault_sweep::{
 };
 pub use experiments::fig5::{run_fig5, run_fig5_traced, Fig5Options, Fig5Run, TraceConfig};
 pub use experiments::hedge_sweep::{hedge_sweep, HedgeSweepOptions, HedgeSweepPoint};
+pub use experiments::rack_sweep::{rack_sweep, RackSweepOptions, RackSweepPoint};
 pub use experiments::timeline::{timeline, Timeline, TimelineCell, TimelineOptions};
 pub use scheduler::{
     provision_dyad_adaptively, recommend_contexts, AdaptiveProvisioner, LiveProvisionSchedule,

@@ -8,6 +8,7 @@ use crate::experiments::fig2::{Fig2aPoint, Fig2bPoint};
 use crate::experiments::fig5::Fig5Cell;
 use crate::experiments::fig6::Fig6Cell;
 use crate::experiments::hedge_sweep::HedgeSweepPoint;
+use crate::experiments::rack_sweep::RackSweepPoint;
 use crate::experiments::timeline::Timeline;
 use duplexity_cpu::designs::Design;
 use duplexity_queueing::closed_loop::SurfaceCell;
@@ -311,6 +312,76 @@ pub fn render_cluster_sweep(points: &[ClusterSweepPoint]) -> String {
     out
 }
 
+/// Renders the two-level rack sweep: one design × cluster-size block, one
+/// row per (policy, plan) — the centralized-vs-distributed comparison at
+/// each staleness Δ — with per-load p99 columns plus the mean wait and
+/// steal count at the highest stable load. Rows group by policy and walk
+/// the plan axis in grid order, so each policy reads as a tail-vs-Δ
+/// series with the distributed and stealing variants alongside.
+#[must_use]
+pub fn render_rack_sweep(points: &[RackSweepPoint]) -> String {
+    let mut out = String::from(
+        "Rack sweep: p99 sojourn (µs) per plan (coordination × staleness × steal), policy, and farm size\n",
+    );
+    let mut loads: Vec<f64> = Vec::new();
+    for p in points {
+        if !loads.contains(&p.load) {
+            loads.push(p.load);
+        }
+    }
+    let mut blocks: Vec<(Design, usize)> = Vec::new();
+    for p in points {
+        if !blocks.contains(&(p.design, p.servers)) {
+            blocks.push((p.design, p.servers));
+        }
+    }
+    for (design, servers) in blocks {
+        let _ = writeln!(out, "\n{} × {servers} servers", design.name());
+        let _ = write!(out, "{:<14} {:<16}", "policy", "plan");
+        for l in &loads {
+            let _ = write!(out, " {:>9}", format!("p99@{:.0}%", l * 100.0));
+        }
+        let _ = writeln!(out, " {:>9} {:>7}", "wait", "steals");
+        let mut rows_seen: Vec<(&str, &str)> = Vec::new();
+        for p in points
+            .iter()
+            .filter(|p| p.design == design && p.servers == servers)
+        {
+            if !rows_seen.contains(&(p.policy.as_str(), p.plan.as_str())) {
+                rows_seen.push((&p.policy, &p.plan));
+            }
+        }
+        for (policy, plan) in rows_seen {
+            let rows: Vec<&RackSweepPoint> = points
+                .iter()
+                .filter(|p| {
+                    p.design == design
+                        && p.servers == servers
+                        && p.policy == policy
+                        && p.plan == plan
+                })
+                .collect();
+            let _ = write!(out, "{policy:<14} {plan:<16}");
+            for l in &loads {
+                let v = rows
+                    .iter()
+                    .find(|p| p.load == *l)
+                    .map_or(f64::NAN, |p| p.p99_us);
+                let _ = write!(out, " {:>9}", norm(v));
+            }
+            match rows.iter().rev().find(|p| !p.saturated) {
+                Some(p) => {
+                    let _ = writeln!(out, " {:>9.3} {:>7}", p.mean_wait_us, p.steals);
+                }
+                None => {
+                    let _ = writeln!(out, " {:>9} {:>7}", "sat", "-");
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Renders the duplication/hedging sweep: one policy × cluster-size block,
 /// one row per duplication plan, per-load p99 columns, plus the frontier
 /// columns at the highest load every plan in the block survives: the added
@@ -584,6 +655,54 @@ mod tests {
         assert!(
             s.lines()
                 .any(|l| l.starts_with("jsq") && l.contains("60.000")),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn rack_sweep_rendering_compares_plans_within_a_policy() {
+        let mk = |plan: &str, coord: &str, delta: f64, load: f64, p99: f64, steals: u64| {
+            RackSweepPoint {
+                design: Design::Baseline,
+                policy: "jsq".to_string(),
+                plan: plan.to_string(),
+                coordination: coord.to_string(),
+                delta_us: delta,
+                servers: 8,
+                load,
+                p99_us: p99,
+                p50_us: p99 / 4.0,
+                mean_us: p99 / 3.0,
+                mean_wait_us: p99 / 8.0,
+                hot_p99_us: p99 * 1.1,
+                utilization: load,
+                steals,
+                steals_empty: 0,
+                samples: 1000,
+                converged: true,
+                saturated: false,
+            }
+        };
+        let points = vec![
+            mk("central", "central", 0.0, 0.5, 14.0, 0),
+            mk("central", "central", 0.0, 0.7, 18.0, 0),
+            mk("central_d8", "central", 8.0, 0.5, 15.0, 0),
+            mk("central_d8", "central", 8.0, 0.7, 20.0, 0),
+            mk("dist4_d8_z0.99", "dist4", 8.0, 0.5, 24.0, 0),
+            mk("dist4_d8_z0.99", "dist4", 8.0, 0.7, 33.0, 0),
+            mk("central_d8_st2", "central", 8.0, 0.5, 14.5, 321),
+            mk("central_d8_st2", "central", 8.0, 0.7, 19.0, 640),
+        ];
+        let s = render_rack_sweep(&points);
+        assert!(s.contains("Baseline × 8 servers"), "{s}");
+        assert!(s.contains("p99@50%") && s.contains("p99@70%"), "{s}");
+        // Centralized and distributed variants sit in the same block for
+        // direct comparison, and steal counts surface per row.
+        assert!(s.contains("central_d8"), "{s}");
+        assert!(s.contains("dist4_d8_z0.99"), "{s}");
+        assert!(
+            s.lines()
+                .any(|l| l.contains("central_d8_st2") && l.trim_end().ends_with("640")),
             "{s}"
         );
     }

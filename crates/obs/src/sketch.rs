@@ -60,6 +60,10 @@ pub struct LatencySketch {
     min: f64,
     /// Exact largest sample (`-inf` when empty).
     max: f64,
+    /// Non-finite samples rejected by [`LatencySketch::record`]. Counted
+    /// (instead of silently dropped) so a sketch whose `count()` drifts
+    /// from the exact-vector count has a diagnostic to point at.
+    dropped_nonfinite: u64,
 }
 
 impl Default for LatencySketch {
@@ -97,6 +101,7 @@ impl LatencySketch {
             count: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            dropped_nonfinite: 0,
         }
     }
 
@@ -116,6 +121,15 @@ impl LatencySketch {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Non-finite samples rejected by [`LatencySketch::record`] (they
+    /// never enter `count()`). A non-zero value explains any sketch-vs-
+    /// exact-vector count disagreement, so the engines surface it through
+    /// the registry instead of letting the drift pass silently.
+    #[must_use]
+    pub fn dropped_nonfinite(&self) -> u64 {
+        self.dropped_nonfinite
     }
 
     /// Exact smallest recorded sample.
@@ -169,10 +183,13 @@ impl LatencySketch {
         idx
     }
 
-    /// Records one sample. Non-finite samples are ignored (the engines
-    /// never produce them; `inf` would otherwise poison the geometry).
+    /// Records one sample. Non-finite samples are rejected (the engines
+    /// never produce them; `inf` would otherwise poison the geometry) and
+    /// tallied in [`LatencySketch::dropped_nonfinite`] so the drop is
+    /// observable rather than silent.
     pub fn record(&mut self, v: f64) {
         if !v.is_finite() {
+            self.dropped_nonfinite += 1;
             return;
         }
         self.count += 1;
@@ -233,6 +250,7 @@ impl LatencySketch {
         self.zero += other.zero;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.dropped_nonfinite += other.dropped_nonfinite;
         // Zero-count buckets still widen the span, so a merge reproduces
         // the concatenated stream's allocation exactly (full structural
         // equality, not just equal counts).
@@ -317,12 +335,21 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_samples_are_ignored() {
+    fn non_finite_samples_are_counted_as_dropped() {
         let mut s = LatencySketch::new();
         s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
         s.record(f64::NAN);
-        assert!(s.is_empty());
+        assert!(s.is_empty(), "non-finite samples never enter count()");
+        assert_eq!(s.dropped_nonfinite(), 3);
         s.record(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.dropped_nonfinite(), 3);
+        // The drop counter merges additively like every other field.
+        let mut other = LatencySketch::new();
+        other.record(f64::NAN);
+        s.merge(&other);
+        assert_eq!(s.dropped_nonfinite(), 4);
         assert_eq!(s.count(), 1);
     }
 

@@ -33,10 +33,15 @@ use rand::RngExt;
 use std::collections::VecDeque;
 
 /// Cluster traces share the DES clock domain: 1000 ticks per simulated µs.
-const CLUSTER_TICKS_PER_US: f64 = 1000.0;
+/// Shared with [`rack`](crate::rack), whose traces live in the same domain.
+pub(crate) const CLUSTER_TICKS_PER_US: f64 = 1000.0;
 
 /// Stream label for the balancer's private RNG (vs the arrival stream).
-const BALANCER_STREAM: u64 = 0xBA1A;
+/// Shared with [`rack`](crate::rack): the rack scheduler derives its
+/// balancer stream from the *same* label so a fresh-signal (Δ=0) rack plan
+/// consumes draw-for-draw the cluster engine's balancer sequence — the
+/// bitwise-degeneracy contract.
+pub(crate) const BALANCER_STREAM: u64 = 0xBA1A;
 
 /// Stream label for duplicate-copy service demands. Like the balancer
 /// stream, this is derived independently from the seed so the primary
@@ -45,7 +50,7 @@ const BALANCER_STREAM: u64 = 0xBA1A;
 /// which is what keeps every pre-existing golden fixture byte-identical.
 const DUPLICATE_STREAM: u64 = 0xD0B7;
 
-fn ns_ticks(us: f64) -> u64 {
+pub(crate) fn ns_ticks(us: f64) -> u64 {
     (us * CLUSTER_TICKS_PER_US).round().max(0.0) as u64
 }
 
@@ -1651,6 +1656,12 @@ impl<Q: EventQueue<EvKind>> HedgeSim<'_, Q> {
         ] {
             self.tracer.count(&format!("cluster/eventq/{name}"), v);
         }
+        // Non-finite sojourns rejected by the sketch (should be zero; a
+        // nonzero value explains any sketch-vs-exact count drift).
+        self.tracer.count(
+            "cluster/sketch/dropped_nonfinite",
+            self.sketch.dropped_nonfinite(),
+        );
     }
 }
 

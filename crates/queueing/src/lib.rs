@@ -27,6 +27,11 @@
 //!   engines: a total-order `(t, kind, seq)` contract with a `BinaryHeap`
 //!   reference and a calendar-queue timing wheel that are bit-identical
 //!   by construction (and differentially tested);
+//! * [`rack`] — the two-level rack model over the cluster engine:
+//!   bounded-delay dispatch on stale queue signals (the balancer sees
+//!   state as of `t − Δ`), idle-server work stealing, and centralized vs
+//!   distributed dispatch planes under Zipf-skewed tenant traffic, with
+//!   the Δ=0/no-steal plan bitwise identical to the cluster engine;
 //! * [`mmk`] — analytic M/M/k (Erlang-C) and two-class non-preemptive
 //!   priority M/M/1 cross-checks for the cluster simulator.
 
@@ -40,6 +45,7 @@ pub mod eventcore;
 pub mod fanout;
 pub mod mg1;
 pub mod mmk;
+pub mod rack;
 
 pub use closed_loop::{closed_loop_utilization, utilization_surface};
 pub use cluster::{
@@ -57,3 +63,7 @@ pub use des::{
 pub use fanout::{exponential_fanout_mean, exponential_fanout_quantile, FanOut};
 pub use mg1::{idle_period_cdf, mean_idle_period_us, Mg1Analytic};
 pub use mmk::{Mm1PriorityAnalytic, MmkAnalytic};
+pub use rack::{
+    merge_rack_replications, simulate_rack, try_simulate_rack, Coordination, RackPlan, RackResult,
+    RackTally, StealPolicy,
+};

@@ -146,6 +146,64 @@ proptest! {
     }
 }
 
+/// The rotation seam, pinned deterministically: an event at **exactly**
+/// `frontier + horizon` (`width × nbuckets` past the frontier) is one full
+/// rotation ahead — the first time that does *not* fit in the wheel. It
+/// must take the overflow path at push time, migrate back as the frontier
+/// crosses its slot, and pop in exactly the heap's order, including ties
+/// at the boundary time that only the kind rank can break. Exercised twice
+/// (once from the initial frontier, once after a rotation has advanced it)
+/// so the boundary is relative to the *current* frontier, not slot zero.
+#[test]
+fn event_exactly_at_the_rotation_boundary_crosses_the_seam_like_the_heap() {
+    // width 1.0 × 8 buckets → horizon 8.0. The schedule below pushes the
+    // boundary events at t = 8.0 (frontier 0.0 + horizon) and, after the
+    // pops have rotated the frontier to 8.0, at t = 16.0.
+    let ops = [
+        QueueOp::Push(0.0, 0),
+        QueueOp::Push(3.0, 1),
+        QueueOp::Push(7.5, 2),
+        // Exactly frontier + horizon, three times, distinct kind ranks:
+        // the seam tie-break.
+        QueueOp::Push(8.0, 2),
+        QueueOp::Push(8.0, 0),
+        QueueOp::Push(8.0, 1),
+        // Drain past the seam: the frontier rotates and the boundary
+        // events migrate in.
+        QueueOp::Pop(4),
+        // The frontier now sits at 8.0; the next boundary is 16.0.
+        QueueOp::Push(16.0, 0),
+        QueueOp::Pop(3),
+    ];
+    run_differential(WheelEventQueue::with_geometry(1.0, 8), &ops)
+        .expect("wheel and heap agree across the rotation boundary");
+
+    // White-box confirmation that the schedule hit the path it claims to:
+    // `frontier + horizon` is *exclusive*, so every boundary event above
+    // overflowed at push time and migrated back before popping.
+    let mut wheel: WheelEventQueue<u32> = WheelEventQueue::with_geometry(1.0, 8);
+    wheel.push(8.0 - 1e-9, 0, 0);
+    assert_eq!(
+        wheel.profile().overflow_pushes,
+        0,
+        "just inside the horizon stays in the wheel"
+    );
+    wheel.push(8.0, 0, 1);
+    assert_eq!(
+        wheel.profile().overflow_pushes,
+        1,
+        "exactly frontier + horizon is the first overflowing time"
+    );
+    assert_eq!(wheel.pop().map(|(k, p)| (k.t, p)), Some((8.0 - 1e-9, 0)));
+    assert_eq!(wheel.pop().map(|(k, p)| (k.t, p)), Some((8.0, 1)));
+    assert!(wheel.is_empty());
+    let prof = wheel.profile();
+    assert_eq!(
+        prof.overflow_migrations, 1,
+        "the boundary event must migrate back into a bucket, not pop from overflow"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // 2. Batched RNG draws: `draw_batch` is bitwise the sequential stream.
 // ---------------------------------------------------------------------------

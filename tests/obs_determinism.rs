@@ -93,6 +93,15 @@ fn run_manifests_record_requested_parameters_only() {
 /// relative-accuracy bound of the exact sorted-vector quantiles.
 fn assert_sketch_tracks_exact(cell: &str, mut r: duplexity_queueing::cluster::ClusterResult) {
     assert_eq!(r.sketch.count(), r.samples as u64, "{cell}");
+    // A healthy cell produces only finite sojourns; the sketch's
+    // non-finite tally doubles as a corruption detector for the whole
+    // grid — any NaN/inf sneaking into the measurement path trips here
+    // instead of silently skewing a quantile.
+    assert_eq!(
+        r.sketch.dropped_nonfinite(),
+        0,
+        "{cell}: non-finite sojourns reached the sketch"
+    );
     let alpha = r.sketch.relative_accuracy();
     for q in [0.5, 0.95, 0.99, 0.999] {
         let exact = r.sojourn_samples.quantile(q).expect("non-empty cell");

@@ -1,0 +1,197 @@
+//! The two-level rack sweep contract, end to end.
+//!
+//! Four guarantees (see `crates/queueing/src/rack.rs` and the
+//! `rack_sweep` driver):
+//!
+//! 1. **Worker-count independence** — the rack-sweep grid, with every
+//!    feature axis active (signal staleness, work stealing, distributed
+//!    dispatch planes, Zipf tenant skew, within-cell replications), is
+//!    bit-identical at 1 and 8 `ExecPool` workers, and at the
+//!    resolved-from-env worker count (`threads: 0`, which CI pins to
+//!    `DUPLEXITY_THREADS=8`).
+//! 2. **Degeneracy** — a fresh plan (Δ=0, no stealing, centralized, one
+//!    tenant) reproduces the cluster sweep's artifact byte-for-byte: the
+//!    rack model strictly generalizes the cluster model, paying zero
+//!    fidelity for the new axes when they are off.
+//! 3. **Golden snapshot** — a small fixed-seed grid is byte-identical to
+//!    `tests/golden/rack_sweep.json` (regenerate with `UPDATE_GOLDEN=1`).
+//! 4. **Cache invisibility** — a cold cached run, then a warm run from the
+//!    same directory, serialize to exactly the cache-free bytes, with the
+//!    warm run computing **nothing** (zero misses).
+
+mod common;
+
+use duplexity::experiments::cluster_sweep::{cluster_sweep, ClusterSweepOptions};
+use duplexity::experiments::rack_sweep::{rack_sweep, RackSweepOptions};
+use duplexity::{BalancerPolicy, CellCache, Design, RackPlan};
+use duplexity_queueing::des::Mg1Options;
+use std::path::PathBuf;
+
+/// A grid that exercises every rack axis at once: fresh (the degenerate
+/// anchor), stale, stale-with-stealing, and stale-distributed-skewed.
+fn sweep_opts(threads: usize) -> RackSweepOptions {
+    RackSweepOptions {
+        designs: vec![Design::Baseline, Design::Duplexity],
+        policies: vec![BalancerPolicy::Jsq],
+        plans: vec![
+            RackPlan::fresh(),
+            RackPlan::fresh().with_delta(8.0),
+            RackPlan::fresh().with_delta(8.0).with_steal(2),
+            RackPlan::fresh()
+                .with_delta(8.0)
+                .distributed(4)
+                .with_tenants(64, 0.99),
+        ],
+        server_counts: vec![4],
+        loads: vec![0.4, 0.7],
+        calibration_cycles: 200_000,
+        seed: 42,
+        queue: Mg1Options {
+            max_samples: 20_000,
+            warmup: 1_000,
+            ..Mg1Options::default()
+        },
+        threads,
+        ..RackSweepOptions::default()
+    }
+}
+
+#[test]
+fn rack_sweep_grid_is_bit_identical_at_1_and_8_workers() {
+    let one = rack_sweep(&sweep_opts(1));
+    let eight = rack_sweep(&sweep_opts(8));
+    assert_eq!(one.len(), eight.len());
+    assert_eq!(one.len(), 2 * 4 * 2);
+    for p in &one {
+        assert!(!p.saturated && p.samples > 0, "unexpected empty cell {p:?}");
+    }
+    // The steal plan must actually steal somewhere, or the independent
+    // steal-stream axis this test claims to pin never executed.
+    assert!(
+        one.iter().any(|p| p.steals > 0),
+        "no cell recorded a successful steal"
+    );
+    // Bitwise equality, not tolerance: the determinism contract.
+    common::assert_identical_artifacts("rack_sweep 1 vs 8 workers", &one, &eight);
+    // The resolved-from-env arm (threads: 0 honours DUPLEXITY_THREADS,
+    // which CI sets to 8) must land on the same bytes as both.
+    common::assert_identical_artifacts(
+        "rack_sweep resolved-from-env workers",
+        &one,
+        &rack_sweep(&sweep_opts(0)),
+    );
+}
+
+#[test]
+fn replicated_rack_sweep_is_bit_identical_at_1_and_8_workers() {
+    // Within-cell parallel replications flatten into the pool's work list
+    // and merge in replication order — worker placement must not show.
+    let replicated = |threads| RackSweepOptions {
+        replications: 4,
+        ..sweep_opts(threads)
+    };
+    let one = rack_sweep(&replicated(1));
+    let eight = rack_sweep(&replicated(8));
+    assert_eq!(one.len(), 2 * 4 * 2);
+    common::assert_identical_artifacts("replicated rack_sweep 1 vs 8 workers", &one, &eight);
+}
+
+#[test]
+fn fresh_plans_reproduce_the_cluster_sweep_artifact() {
+    // The stale-signal degeneracy criterion at the artifact level: with
+    // Δ=0 and no stealing, every measured field of every rack cell equals
+    // the corresponding cluster-sweep cell bit-for-bit. (The engines'
+    // draw-for-draw equivalence is pinned in `crates/queueing/src/rack.rs`
+    // and the driver's own unit tests; this is the end-to-end check that
+    // the sweep plumbing — calibration, cell seeds, replication merge —
+    // preserves it.)
+    let mut ropts = sweep_opts(0);
+    ropts.plans = vec![RackPlan::fresh()];
+    let copts = ClusterSweepOptions {
+        designs: ropts.designs.clone(),
+        policies: ropts.policies.clone(),
+        server_counts: ropts.server_counts.clone(),
+        loads: ropts.loads.clone(),
+        calibration_cycles: ropts.calibration_cycles,
+        seed: ropts.seed,
+        queue: ropts.queue,
+        ..ClusterSweepOptions::default()
+    };
+    let rack = rack_sweep(&ropts);
+    let cluster = cluster_sweep(&copts);
+    assert_eq!(rack.len(), cluster.len());
+    for (r, c) in rack.iter().zip(&cluster) {
+        assert_eq!(r.design, c.design);
+        assert_eq!(r.policy, c.policy);
+        assert_eq!(r.servers, c.servers);
+        assert_eq!(r.load, c.load);
+        assert_eq!(r.samples, c.samples, "{r:?} vs {c:?}");
+        assert_eq!(r.converged, c.converged);
+        for (field, x, y) in [
+            ("p99", r.p99_us, c.p99_us),
+            ("p50", r.p50_us, c.p50_us),
+            ("mean", r.mean_us, c.mean_us),
+            ("wait", r.mean_wait_us, c.mean_wait_us),
+            ("util", r.utilization, c.utilization),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{} {} @{}: rack {field} {x} vs cluster {y}",
+                r.policy,
+                r.servers,
+                r.load
+            );
+        }
+        assert_eq!(r.steals, 0, "a fresh plan must never draw a steal probe");
+    }
+}
+
+#[test]
+fn rack_sweep_small_grid_matches_golden() {
+    let opts = RackSweepOptions {
+        designs: vec![Design::Baseline],
+        threads: 0,
+        ..sweep_opts(0)
+    };
+    let points = rack_sweep(&opts);
+    assert!(
+        points.iter().all(|p| !p.saturated && p.p99_us.is_finite()),
+        "golden grid must stay unsaturated so every float round-trips"
+    );
+    common::assert_matches_golden("rack_determinism", "rack_sweep", &points);
+}
+
+fn tmp_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "duplexity-rack-determinism-{label}-{}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn rack_sweep_cold_then_warm_cached_runs_are_byte_identical() {
+    let reference = common::pretty_json(&rack_sweep(&sweep_opts(1)));
+
+    let dir = tmp_dir("rack");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Cold at 1 worker: every cell computed and stored.
+    let cold = CellCache::new(&dir);
+    let mut opts = sweep_opts(1);
+    opts.cache = Some(cold.clone());
+    let out = common::pretty_json(&rack_sweep(&opts));
+    assert_eq!(out, reference, "cold cached rack sweep diverged");
+    assert_eq!(cold.hits(), 0);
+    assert!(cold.misses() > 0);
+
+    // Warm at 8 workers: every cell loaded, nothing recomputed.
+    let warm = CellCache::new(&dir);
+    let mut opts = sweep_opts(8);
+    opts.cache = Some(warm.clone());
+    let out = common::pretty_json(&rack_sweep(&opts));
+    assert_eq!(out, reference, "warm cached rack sweep diverged");
+    assert_eq!(warm.misses(), 0, "a warm rack re-run must compute nothing");
+    assert_eq!(warm.hits(), cold.misses());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
